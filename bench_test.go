@@ -1,0 +1,422 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablation benchmarks for the design choices called out in
+// DESIGN.md. Each benchmark either times the measurement the paper times
+// (tool overheads for Table 1 / Fig. 14) or re-runs the profiled workload
+// behind a figure and reports the figure's headline quantities through
+// b.ReportMetric, so `go test -bench=.` regenerates every experimental
+// series. The textual tables/plots themselves come from
+// cmd/aprof-experiments.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/aprof"
+	"repro/internal/core"
+	"repro/internal/fit"
+	"repro/internal/guest"
+	"repro/internal/report"
+	"repro/internal/shadow"
+	"repro/internal/tools"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// benchSize shrinks workload sizes so the full `-bench=.` sweep stays fast.
+func benchSize(name string) int {
+	s, err := workloads.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return max(s.DefaultSize/2, 4)
+}
+
+func runWorkload(b *testing.B, name string, params workloads.Params, tls ...guest.Tool) *guest.Machine {
+	b.Helper()
+	m, err := workloads.RunByName(name, params, tls...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// toolUnderTest builds the tool for one Table 1 column; nil means native.
+func toolUnderTest(name string) guest.Tool {
+	switch name {
+	case "native":
+		return nil
+	case "nulgrind":
+		return tools.NewNulgrind()
+	case "memcheck":
+		return tools.NewMemcheck()
+	case "callgrind":
+		return tools.NewCallgrind()
+	case "helgrind":
+		return tools.NewHelgrind()
+	case "aprof-rms":
+		return core.New(core.Options{RMSOnly: true})
+	case "aprof-trms":
+		return core.New(core.Options{})
+	default:
+		panic("unknown tool " + name)
+	}
+}
+
+var table1Tools = []string{"native", "nulgrind", "memcheck", "callgrind", "helgrind", "aprof-rms", "aprof-trms"}
+
+// BenchmarkTable1 regenerates Table 1: time per run of each OMP2012-style
+// benchmark under each tool. Slowdowns are the ratios between the tool rows
+// and the native row of the same benchmark.
+func BenchmarkTable1(b *testing.B) {
+	for _, s := range workloads.Suite("omp2012") {
+		for _, tool := range table1Tools {
+			b.Run(s.Name+"/"+tool, func(b *testing.B) {
+				params := workloads.Params{Threads: 4, Size: benchSize(s.Name)}
+				for i := 0; i < b.N; i++ {
+					var tls []guest.Tool
+					if t := toolUnderTest(tool); t != nil {
+						tls = append(tls, t)
+					}
+					if _, err := workloads.Run(s, params, tls...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig14 regenerates Fig. 14: overhead as a function of the thread
+// count (time per run of one representative kernel under each tool).
+func BenchmarkFig14(b *testing.B) {
+	for _, nt := range []int{1, 2, 4, 8, 16} {
+		for _, tool := range []string{"nulgrind", "memcheck", "callgrind", "helgrind", "aprof-rms", "aprof-trms"} {
+			b.Run(fmt.Sprintf("threads=%d/%s", nt, tool), func(b *testing.B) {
+				params := workloads.Params{Threads: nt, Size: benchSize("360.ilbdc")}
+				for i := 0; i < b.N; i++ {
+					if _, err := workloads.RunByName("360.ilbdc", params, toolUnderTest(tool)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// profiledRun profiles a workload once per iteration and returns the last
+// profile for metric reporting.
+func profiledRun(b *testing.B, name string, params workloads.Params, opts core.Options) *core.Profile {
+	b.Helper()
+	var p *core.Profile
+	for i := 0; i < b.N; i++ {
+		prof := core.New(opts)
+		runWorkload(b, name, params, prof)
+		p = prof.Profile()
+	}
+	return p
+}
+
+// BenchmarkFig1 regenerates the Fig. 1 definition examples.
+func BenchmarkFig1(b *testing.B) {
+	for _, name := range []string{"fig1a", "fig1b"} {
+		b.Run(name, func(b *testing.B) {
+			p := profiledRun(b, name, workloads.Params{}, core.Options{})
+			f := p.Routine("f").Merged()
+			b.ReportMetric(float64(f.SumTRMS), "trms_f")
+			b.ReportMetric(float64(f.SumRMS), "rms_f")
+		})
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2 (producer-consumer).
+func BenchmarkFig2(b *testing.B) {
+	p := profiledRun(b, "producer-consumer", workloads.Params{Size: 64}, core.Options{})
+	cons := p.Routine("consumer").Merged()
+	b.ReportMetric(float64(cons.SumTRMS), "trms_consumer")
+	b.ReportMetric(float64(cons.SumRMS), "rms_consumer")
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (buffered external read).
+func BenchmarkFig3(b *testing.B) {
+	p := profiledRun(b, "external-read", workloads.Params{Size: 64}, core.Options{})
+	er := p.Routine("externalRead").Merged()
+	b.ReportMetric(float64(er.SumTRMS), "trms")
+	b.ReportMetric(float64(er.InducedExternal), "external")
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (mysql_select trend inversion): the
+// reported metrics are the power-law exponents of cost against each metric.
+func BenchmarkFig4(b *testing.B) {
+	p := profiledRun(b, "mysqld", workloads.Params{}, core.Options{})
+	sel := p.Routine("mysql_select").Merged()
+	if pl, err := fit.FitPowerLaw(report.WorstCase(sel.ByTRMS)); err == nil {
+		b.ReportMetric(pl.Exponent, "trms_exponent")
+	}
+	if pl, err := fit.FitPowerLaw(report.WorstCase(sel.ByRMS)); err == nil {
+		b.ReportMetric(pl.Exponent, "rms_exponent")
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (vips im_generate).
+func BenchmarkFig5(b *testing.B) {
+	p := profiledRun(b, "vips", workloads.Params{}, core.Options{})
+	img := p.Routine("im_generate").Merged()
+	if pl, err := fit.FitPowerLaw(report.WorstCase(img.ByTRMS)); err == nil {
+		b.ReportMetric(pl.Exponent, "trms_exponent")
+	}
+	b.ReportMetric(float64(len(img.ByTRMS)), "trms_points")
+	b.ReportMetric(float64(len(img.ByRMS)), "rms_points")
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (buf_flush superlinear fit).
+func BenchmarkFig6(b *testing.B) {
+	p := profiledRun(b, "mysqld", workloads.Params{Threads: 6, Seed: 3}, core.Options{})
+	flush := p.Routine("buf_flush_buffered_writes").Merged()
+	if pl, err := fit.FitPowerLaw(report.WorstCase(flush.ByTRMS)); err == nil {
+		b.ReportMetric(pl.Exponent, "trms_exponent")
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7 (wbuffer richness by input source).
+func BenchmarkFig7(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"rms-only", core.Options{RMSOnly: true}},
+		{"external-only", core.Options{DisableThreadInduced: true}},
+		{"full", core.Options{}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			p := profiledRun(b, "vips", workloads.Params{}, v.opts)
+			wb := p.Routine("wbuffer_write_thread")
+			b.ReportMetric(float64(wb.DistinctTRMS()), "distinct_sizes")
+		})
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (send_eof workload plots).
+func BenchmarkFig8(b *testing.B) {
+	p := profiledRun(b, "mysqld", workloads.Params{}, core.Options{})
+	eof := p.Routine("Protocol::send_eof")
+	b.ReportMetric(float64(eof.DistinctTRMS()), "trms_points")
+	b.ReportMetric(float64(eof.DistinctRMS()), "rms_points")
+}
+
+// BenchmarkFig9 regenerates Fig. 9 (per-routine induced split).
+func BenchmarkFig9(b *testing.B) {
+	for _, name := range []string{"mysqld", "vips"} {
+		b.Run(name, func(b *testing.B) {
+			p := profiledRun(b, name, workloads.Params{}, core.Options{})
+			splits := report.PerRoutineInduced(p)
+			b.ReportMetric(float64(len(splits)), "routines_with_induced_input")
+		})
+	}
+}
+
+// BenchmarkFig15to19 regenerates the metric figures: one profiled run per
+// representative benchmark with richness, volume and induced-split outputs.
+func BenchmarkFig15to19(b *testing.B) {
+	for _, name := range []string{"dedup", "vips", "fluidanimate", "mysqld", "350.md"} {
+		b.Run(name, func(b *testing.B) {
+			p := profiledRun(b, name, workloads.Params{Size: benchSize(name)}, core.Options{})
+			rich := report.RichnessCurve(p)    // Fig. 15
+			vol := report.VolumeCurve(p)       // Fig. 16
+			tp, ep := report.InducedSplit(p)   // Fig. 17
+			ti := report.ThreadInducedCurve(p) // Fig. 18
+			ex := report.ExternalCurve(p)      // Fig. 19
+			b.ReportMetric(report.ValueAtPercent(rich, 5), "richness_p5")
+			b.ReportMetric(report.ValueAtPercent(vol, 5), "volume_p5")
+			b.ReportMetric(tp, "thread_induced_pct")
+			b.ReportMetric(ep, "external_pct")
+			_ = ti
+			_ = ex
+		})
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md) ---
+
+// BenchmarkAblationNaiveVsTimestamping compares the Fig. 10 naive algorithm
+// with the Fig. 11 read/write timestamping algorithm on the same workload.
+func BenchmarkAblationNaiveVsTimestamping(b *testing.B) {
+	params := workloads.Params{Size: benchSize("350.md"), Threads: 4}
+	b.Run("timestamping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runWorkload(b, "350.md", params, core.New(core.Options{}))
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runWorkload(b, "350.md", params, core.NewNaive(core.Options{}))
+		}
+	})
+}
+
+// BenchmarkAblationRenumber measures the cost of aggressive counter
+// renumbering (Fig. 13) against a run that never renumbers, on a
+// call/kernel-write-heavy workload that actually exercises the counter.
+func BenchmarkAblationRenumber(b *testing.B) {
+	params := workloads.Params{Size: benchSize("mysqld")}
+	for _, v := range []struct {
+		name      string
+		threshold uint32
+	}{{"never", 0}, {"every-1024", 1024}, {"every-256", 256}} {
+		b.Run(v.name, func(b *testing.B) {
+			var renumbers uint64
+			for i := 0; i < b.N; i++ {
+				p := core.New(core.Options{RenumberThreshold: v.threshold})
+				runWorkload(b, "mysqld", params, p)
+				renumbers = p.Renumbers()
+			}
+			b.ReportMetric(float64(renumbers), "renumbers/run")
+		})
+	}
+}
+
+// BenchmarkAblationShadow compares the paper's three-level shadow memory
+// with a flat map under a profiler-like access pattern.
+func BenchmarkAblationShadow(b *testing.B) {
+	const cells = 1 << 16
+	b.Run("three-level", func(b *testing.B) {
+		t := shadow.NewTable[uint32]()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := guest.Addr(uint64(i*2654435761) % cells)
+			s := t.Slot(a)
+			if *s < uint32(i) {
+				*s = uint32(i)
+			}
+		}
+	})
+	b.Run("flat-map", func(b *testing.B) {
+		m := make(map[guest.Addr]uint32)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := guest.Addr(uint64(i*2654435761) % cells)
+			if m[a] < uint32(i) {
+				m[a] = uint32(i)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTimeslice measures the effect of the fair-scheduler
+// quantum on profiling cost and on collected trms richness.
+func BenchmarkAblationTimeslice(b *testing.B) {
+	for _, ts := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("timeslice=%d", ts), func(b *testing.B) {
+			var induced uint64
+			for i := 0; i < b.N; i++ {
+				p := core.New(core.Options{})
+				runWorkload(b, "dedup", workloads.Params{Size: benchSize("dedup"), Timeslice: ts}, p)
+				induced = p.Profile().InducedThread
+			}
+			b.ReportMetric(float64(induced), "thread_induced_accesses")
+		})
+	}
+}
+
+// BenchmarkAblationReplay compares online profiling with record+merge+replay.
+func BenchmarkAblationReplay(b *testing.B) {
+	params := workloads.Params{Size: benchSize("vips")}
+	b.Run("online", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runWorkload(b, "vips", params, core.New(core.Options{}))
+		}
+	})
+	b.Run("record-replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := trace.NewRecorder()
+			runWorkload(b, "vips", params, rec)
+			if err := trace.Replay(rec.Trace(), 0, core.New(core.Options{})); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkProfilerEventCost isolates the profiler's per-event cost on a
+// sequential memory-scan guest (reads dominate real workloads).
+func BenchmarkProfilerEventCost(b *testing.B) {
+	for _, tool := range []string{"native", "nulgrind", "aprof-rms", "aprof-trms"} {
+		b.Run(tool, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var tls []guest.Tool
+				if t := toolUnderTest(tool); t != nil {
+					tls = append(tls, t)
+				}
+				m := guest.NewMachine(guest.Config{Tools: tls})
+				base := m.Static(4096)
+				if err := m.Run(func(th *guest.Thread) {
+					th.Fn("scan", func() {
+						for j := 0; j < 4096; j++ {
+							th.Load(base + guest.Addr(j))
+						}
+					})
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublicAPI exercises the facade end to end (quickstart shape).
+func BenchmarkPublicAPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := aprof.ProfileWorkload("merge-sort", aprof.WorkloadParams{Size: 64}, aprof.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Routine("merge_sort") == nil {
+			b.Fatal("merge_sort missing")
+		}
+	}
+}
+
+// BenchmarkCachegrind measures the cache-simulation tool (an extension
+// beyond the paper's Table 1 columns).
+func BenchmarkCachegrind(b *testing.B) {
+	params := workloads.Params{Threads: 4, Size: benchSize("351.bwaves")}
+	for i := 0; i < b.N; i++ {
+		cg := tools.NewCachegrind()
+		runWorkload(b, "351.bwaves", params, cg)
+		if i == b.N-1 {
+			b.ReportMetric(cg.MissRate(), "d1_miss_rate")
+		}
+	}
+}
+
+// BenchmarkISPLWorkloads measures the ISPL VM executing whole programs under
+// the profiler.
+func BenchmarkISPLWorkloads(b *testing.B) {
+	for _, name := range []string{"ispl-quicksort", "ispl-pipeline", "ispl-mapreduce"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runWorkload(b, name, workloads.Params{}, core.New(core.Options{}))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationContextSensitivity measures the cost of calling-context
+// profiling over flat profiling.
+func BenchmarkAblationContextSensitivity(b *testing.B) {
+	params := workloads.Params{Size: benchSize("mysqld")}
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runWorkload(b, "mysqld", params, core.New(core.Options{}))
+		}
+	})
+	b.Run("contexts", func(b *testing.B) {
+		var contexts int
+		for i := 0; i < b.N; i++ {
+			p := core.New(core.Options{ContextSensitive: true})
+			runWorkload(b, "mysqld", params, p)
+			contexts = p.ContextTree().NumContexts()
+		}
+		b.ReportMetric(float64(contexts), "contexts")
+	})
+}

@@ -1,0 +1,116 @@
+// Command aprof-diff compares two profile JSON dumps (produced by
+// `aprof -json`) and reports per-routine performance changes — the
+// regression-detection use case input-sensitive profiling enables: changes
+// are judged by each routine's cost *function* (fitted growth exponent and
+// cost per input cell), which transfers across workload sizes, not by raw
+// totals.
+//
+// Usage:
+//
+//	aprof -workload mysqld -json old.json
+//	...change things...
+//	aprof -workload mysqld -json new.json
+//	aprof-diff old.json new.json
+//
+// The exit status is 1 when regressions are detected (for CI use), 2 on
+// usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/aprof"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		expTol     = flag.Float64("exponent-tolerance", 0.3, "fitted-exponent increase flagged as asymptotic regression")
+		costTol    = flag.Float64("cost-tolerance", 0.25, "relative cost-per-input increase flagged as cost regression")
+		showAll    = flag.Bool("all", false, "show unchanged routines too")
+		regressEx  = flag.Bool("fail-on-regression", true, "exit 1 when regressions are found")
+		maxDisplay = flag.Int("top", 30, "rows to display")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: aprof-diff [flags] old.json new.json")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldP, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newP, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	deltas := report.CompareProfiles(oldP, newP, report.CompareOptions{
+		ExponentTolerance: *expTol,
+		CostTolerance:     *costTol,
+	})
+
+	var rows [][]string
+	shown := 0
+	for _, d := range deltas {
+		if !*showAll && d.Verdict == report.VerdictUnchanged {
+			continue
+		}
+		if shown >= *maxDisplay {
+			break
+		}
+		shown++
+		rows = append(rows, []string{
+			d.Name,
+			d.Verdict.String(),
+			expStr(d.OldExponent) + " -> " + expStr(d.NewExponent),
+			unitStr(d.OldCostPerUnit) + " -> " + unitStr(d.NewCostPerUnit),
+			fmt.Sprintf("%d -> %d", d.OldCost, d.NewCost),
+		})
+	}
+	if len(rows) == 0 {
+		fmt.Println("no routine-level changes detected")
+		return
+	}
+	report.Table(os.Stdout,
+		[]string{"routine", "verdict", "growth exponent", "cost per input cell", "total cost"}, rows)
+
+	regs := report.Regressions(deltas)
+	fmt.Printf("\n%d regression(s), %d routine(s) compared\n", len(regs), len(deltas))
+	if len(regs) > 0 && *regressEx {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*aprof.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return aprof.ReadProfileJSON(f)
+}
+
+func expStr(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("n^%.2f", v)
+}
+
+func unitStr(v float64) string {
+	if v == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aprof-diff:", err)
+	os.Exit(1)
+}

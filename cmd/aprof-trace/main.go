@@ -1,0 +1,203 @@
+// Command aprof-trace records, inspects and replays execution traces.
+//
+// Usage:
+//
+//	aprof-trace record -workload mysqld -o run.trace [-threads 8 -size 12]
+//	aprof-trace info run.trace
+//	aprof-trace dump run.trace [-limit 50]
+//	aprof-trace replay run.trace [-tieseed 7]
+//	aprof-trace stats run.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/aprof"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "dump":
+		err = dump(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	case "stats":
+		err = stats(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aprof-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: aprof-trace record|info|dump|replay|stats ...")
+	os.Exit(2)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", "", "workload to record")
+	out := fs.String("o", "run.trace", "output trace file")
+	threads := fs.Int("threads", 0, "worker threads")
+	size := fs.Int("size", 0, "problem size")
+	seed := fs.Int64("seed", 0, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workload == "" {
+		return fmt.Errorf("record: -workload is required")
+	}
+	rec := aprof.NewRecorder()
+	if _, err := aprof.RunWorkload(*workload, aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed}, rec); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := aprof.EncodeTrace(rec.Trace(), f); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d events from %s to %s\n", rec.Trace().NumEvents(), *workload, *out)
+	return nil
+}
+
+func load(path string) (*aprof.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return aprof.DecodeTrace(f)
+}
+
+func info(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("info: trace file required")
+	}
+	tr, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %d threads, %d events, %d routines, %d sync objects\n",
+		args[0], len(tr.Threads), tr.NumEvents(), len(tr.Routines), len(tr.Syncs))
+	var rows [][]string
+	for i := range tr.Threads {
+		tt := &tr.Threads[i]
+		first, last := uint64(0), uint64(0)
+		if len(tt.Events) > 0 {
+			first, last = tt.Events[0].TS, tt.Events[len(tt.Events)-1].TS
+		}
+		rows = append(rows, []string{fmt.Sprint(tt.ID), fmt.Sprint(len(tt.Events)),
+			fmt.Sprint(first), fmt.Sprint(last)})
+	}
+	report.Table(os.Stdout, []string{"thread", "events", "first ts", "last ts"}, rows)
+	return nil
+}
+
+func dump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	limit := fs.Int("limit", 50, "events to print (0: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("dump: trace file required")
+	}
+	tr, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	merged := trace.Merge(tr, 0)
+	if *limit > 0 && len(merged) > *limit {
+		merged = merged[:*limit]
+	}
+	for _, e := range merged {
+		fmt.Println(e)
+	}
+	return nil
+}
+
+func stats(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("stats: trace file required")
+	}
+	tr, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	st := trace.ComputeStats(tr)
+	fmt.Printf("%d events, %d threads, timestamp span %d\n\n", st.Events, st.Threads, st.Span)
+	var kindRows [][]string
+	for k := trace.Kind(0); int(k) < 16; k++ {
+		if n := st.ByKind[k]; n > 0 {
+			kindRows = append(kindRows, []string{k.String(), fmt.Sprint(n)})
+		}
+	}
+	report.Table(os.Stdout, []string{"event kind", "count"}, kindRows)
+	fmt.Println()
+	var thRows [][]string
+	for _, ts := range st.PerThread {
+		thRows = append(thRows, []string{fmt.Sprint(ts.ID), fmt.Sprint(ts.Events),
+			fmt.Sprint(ts.Reads), fmt.Sprint(ts.Writes), fmt.Sprint(ts.KernelIO), fmt.Sprint(ts.Calls)})
+	}
+	report.Table(os.Stdout, []string{"thread", "events", "reads", "writes", "kernel I/O", "calls"}, thRows)
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	tieSeed := fs.Int64("tieseed", 0, "tie-breaking seed for the merge")
+	top := fs.Int("top", 15, "routines to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("replay: trace file required")
+	}
+	tr, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prof := aprof.NewProfiler(aprof.Options{})
+	if err := aprof.Replay(tr, *tieSeed, prof); err != nil {
+		return err
+	}
+	p := prof.Profile()
+	type row struct {
+		name string
+		a    *aprof.Activations
+	}
+	var rows []row
+	for _, name := range p.RoutineNames() {
+		rows = append(rows, row{name, p.Routines[name].Merged()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].a.SumCost > rows[j].a.SumCost })
+	if *top > 0 && len(rows) > *top {
+		rows = rows[:*top]
+	}
+	var table [][]string
+	for _, r := range rows {
+		table = append(table, []string{r.name, fmt.Sprint(r.a.Calls),
+			fmt.Sprint(r.a.SumCost), fmt.Sprint(r.a.SumTRMS), fmt.Sprint(r.a.SumRMS)})
+	}
+	report.Table(os.Stdout, []string{"routine", "calls", "cost(BB)", "trms", "rms"}, table)
+	return nil
+}

@@ -1,0 +1,411 @@
+// Command aprof runs a built-in workload under the input-sensitive profiler
+// (or one of the comparison tools) and reports per-routine profiles, cost
+// plots and asymptotic fits.
+//
+// Usage:
+//
+//	aprof -list
+//	aprof -workload mysqld [-threads 8] [-size 12] [-top 10]
+//	aprof -workload vips -plot im_generate
+//	aprof -workload mysqld -fit buf_flush_buffered_writes
+//	aprof -workload dedup -induced
+//	aprof -workload 350.md -tool helgrind
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/aprof"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list the built-in workloads and exit")
+		workload  = flag.String("workload", "", "workload to run (see -list)")
+		tool      = flag.String("tool", "aprof", "tool to attach: aprof, aprof-rms, nulgrind, memcheck, callgrind, helgrind")
+		threads   = flag.Int("threads", 0, "worker threads (0: workload default)")
+		size      = flag.Int("size", 0, "problem size (0: workload default)")
+		seed      = flag.Int64("seed", 0, "workload data seed")
+		timeslice = flag.Int("timeslice", 0, "scheduler quantum in guest operations (0: default)")
+		top       = flag.Int("top", 15, "routines to show in the summary table")
+		plot      = flag.String("plot", "", "show worst-case cost plots for this routine")
+		fitR      = flag.String("fit", "", "fit complexity models for this routine")
+		induced   = flag.Bool("induced", false, "show the per-routine induced-input table")
+		perThread = flag.String("per-thread", "", "show this routine's thread-sensitive profiles")
+		contexts  = flag.Bool("contexts", false, "profile by calling context and show the top contexts")
+		full      = flag.Bool("report", false, "print the full report (plots, fits, induced breakdowns)")
+		jsonOut   = flag.String("json", "", "dump the profile as JSON to this file")
+		htmlOut   = flag.String("html", "", "write a self-contained HTML report (SVG plots) to this file")
+		csvOut    = flag.String("csv", "", "with -plot: also write the worst-case points as CSV to this file")
+		record    = flag.String("record", "", "record the execution trace to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		listWorkloads()
+		return
+	}
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "aprof: -workload is required (try -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	params := aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed, Timeslice: *timeslice}
+	opts := runOpts{top: *top, plot: *plot, fit: *fitR, induced: *induced,
+		perThread: *perThread, csvOut: *csvOut,
+		contexts: *contexts, jsonOut: *jsonOut, htmlOut: *htmlOut, record: *record, full: *full}
+	if err := run(*workload, *tool, params, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "aprof:", err)
+		os.Exit(1)
+	}
+}
+
+func listWorkloads() {
+	var rows [][]string
+	for _, suite := range []string{"omp2012", "parsec", "mysql", "micro", "seq", "ispl"} {
+		for _, s := range aprof.WorkloadSuite(suite) {
+			rows = append(rows, []string{s.Name, s.Suite, s.Description})
+		}
+	}
+	report.Table(os.Stdout, []string{"workload", "suite", "description"}, rows)
+}
+
+// runOpts carries the reporting flags.
+type runOpts struct {
+	top       int
+	plot      string
+	fit       string
+	induced   bool
+	perThread string
+	csvOut    string
+	contexts  bool
+	full      bool
+	jsonOut   string
+	htmlOut   string
+	record    string
+}
+
+func run(workload, tool string, params aprof.WorkloadParams, o runOpts) error {
+	top := o.top
+	var tls []aprof.Tool
+	var prof *aprof.Profiler
+	switch tool {
+	case "aprof":
+		prof = aprof.NewProfiler(aprof.Options{ContextSensitive: o.contexts})
+		tls = append(tls, prof)
+	case "aprof-rms":
+		prof = aprof.NewProfiler(aprof.Options{RMSOnly: true})
+		tls = append(tls, prof)
+	case "nulgrind":
+		tls = append(tls, aprof.NewNulgrind())
+	case "memcheck":
+		mc := aprof.NewMemcheck()
+		tls = append(tls, mc)
+		defer func() { reportMemcheck(mc) }()
+	case "callgrind":
+		cg := aprof.NewCallgrind()
+		tls = append(tls, cg)
+		defer func() { reportCallgrind(cg, top) }()
+	case "helgrind":
+		hg := aprof.NewHelgrind()
+		tls = append(tls, hg)
+		defer func() { reportHelgrind(hg) }()
+	default:
+		return fmt.Errorf("unknown tool %q", tool)
+	}
+
+	var rec *aprof.TraceRecorder
+	if o.record != "" {
+		rec = aprof.NewRecorder()
+		tls = append(tls, rec)
+	}
+
+	m, err := aprof.RunWorkload(workload, params, tls...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s: %d threads, %d basic blocks, %d guest operations\n\n",
+		workload, m.NumThreads(), m.BBTotal(), m.Ops())
+
+	if rec != nil {
+		f, err := os.Create(o.record)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := aprof.EncodeTrace(rec.Trace(), f); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events written to %s\n\n", rec.Trace().NumEvents(), o.record)
+	}
+
+	if prof == nil {
+		return nil
+	}
+	p := prof.Profile()
+
+	if o.jsonOut != "" {
+		f, err := os.Create(o.jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := aprof.WriteProfileJSON(p, f); err != nil {
+			return err
+		}
+		fmt.Printf("profile written to %s\n\n", o.jsonOut)
+	}
+	if o.htmlOut != "" {
+		f, err := os.Create(o.htmlOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteHTMLReport(f, p, report.HTMLOptions{Title: "aprof: " + workload, Top: top}); err != nil {
+			return err
+		}
+		fmt.Printf("HTML report written to %s\n\n", o.htmlOut)
+	}
+
+	switch {
+	case o.full:
+		return report.WriteFullReport(os.Stdout, p, report.FullReportOptions{Top: top})
+	case o.contexts:
+		return contextTable(prof.ContextTree(), top)
+	case o.plot != "":
+		if o.csvOut != "" {
+			if err := writePlotCSV(p, o.plot, o.csvOut); err != nil {
+				return err
+			}
+		}
+		return plotRoutine(p, o.plot)
+	case o.fit != "":
+		return fitRoutine(p, o.fit)
+	case o.induced:
+		return inducedTable(p)
+	case o.perThread != "":
+		return perThreadTable(p, o.perThread)
+	default:
+		return summary(p, top)
+	}
+}
+
+// perThreadTable shows a routine's thread-sensitive profiles — the paper
+// keeps profiles of different threads distinct; this is that raw view.
+func perThreadTable(p *aprof.Profile, name string) error {
+	rp, err := routineOrErr(p, name)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, tid := range rp.ThreadIDs() {
+		a := rp.PerThread[tid]
+		rows = append(rows, []string{fmt.Sprint(tid), fmt.Sprint(a.Calls),
+			fmt.Sprint(a.SumCost), fmt.Sprint(a.SumTRMS), fmt.Sprint(a.SumRMS),
+			fmt.Sprint(len(a.ByTRMS)),
+			fmt.Sprint(a.InducedThread), fmt.Sprint(a.InducedExternal)})
+	}
+	fmt.Printf("%s across %d threads:\n", name, len(rows))
+	report.Table(os.Stdout,
+		[]string{"thread", "calls", "cost(BB)", "trms", "rms", "|trms|", "thread-induced", "external"}, rows)
+	return nil
+}
+
+// contextTable prints the hottest calling contexts.
+func contextTable(tree *aprof.ContextTree, top int) error {
+	if tree == nil {
+		return fmt.Errorf("no context tree (internal error)")
+	}
+	type row struct {
+		node *aprof.ContextNode
+		a    *aprof.Activations
+	}
+	var rows []row
+	tree.Walk(func(n *aprof.ContextNode) {
+		rows = append(rows, row{n, n.Merged()})
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].a.SumCost > rows[j].a.SumCost })
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	var table [][]string
+	for _, r := range rows {
+		table = append(table, []string{r.node.Path(), fmt.Sprint(r.a.Calls),
+			fmt.Sprint(r.a.SumCost), fmt.Sprint(r.a.SumTRMS), fmt.Sprint(len(r.a.ByTRMS))})
+	}
+	fmt.Printf("%d distinct calling contexts\n\n", tree.NumContexts())
+	report.Table(os.Stdout, []string{"calling context", "calls", "cost(BB)", "trms", "|trms|"}, table)
+	return nil
+}
+
+func summary(p *aprof.Profile, top int) error {
+	type row struct {
+		name    string
+		a       *aprof.Activations
+		rich    float64
+		dTRMS   int
+		dRMS    int
+		induced float64
+	}
+	var rows []row
+	for _, name := range p.RoutineNames() {
+		rp := p.Routines[name]
+		a := rp.Merged()
+		rows = append(rows, row{
+			name:    name,
+			a:       a,
+			rich:    aprof.Richness(rp),
+			dTRMS:   rp.DistinctTRMS(),
+			dRMS:    rp.DistinctRMS(),
+			induced: 100 * aprof.InputVolume(a),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].a.SumCost > rows[j].a.SumCost })
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	var table [][]string
+	for _, r := range rows {
+		table = append(table, []string{
+			r.name,
+			fmt.Sprint(r.a.Calls),
+			fmt.Sprint(r.a.SumCost),
+			fmt.Sprint(r.a.SumTRMS),
+			fmt.Sprint(r.dTRMS),
+			fmt.Sprint(r.dRMS),
+			fmt.Sprintf("%.1f%%", r.induced),
+		})
+	}
+	report.Table(os.Stdout, []string{"routine", "calls", "cost(BB)", "trms", "|trms|", "|rms|", "input volume"}, table)
+	tp, ep := aprof.InducedSplit(p)
+	fmt.Printf("\ninduced first-accesses: %.1f%% thread-induced, %.1f%% external\n", tp, ep)
+	return nil
+}
+
+func routineOrErr(p *aprof.Profile, name string) (*aprof.RoutineProfile, error) {
+	rp := p.Routine(name)
+	if rp == nil {
+		return nil, fmt.Errorf("routine %q not profiled; profiled routines: %v", name, p.RoutineNames())
+	}
+	return rp, nil
+}
+
+// writePlotCSV exports a routine's worst-case points (both metrics) as CSV.
+func writePlotCSV(p *aprof.Profile, name, path string) error {
+	rp, err := routineOrErr(p, name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	merged := rp.Merged()
+	fmt.Fprintln(f, "# worst-case cost vs trms")
+	if err := report.WriteCSV(f, "trms", "cost", aprof.WorstCasePlot(merged.ByTRMS)); err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "# worst-case cost vs rms")
+	if err := report.WriteCSV(f, "rms", "cost", aprof.WorstCasePlot(merged.ByRMS)); err != nil {
+		return err
+	}
+	fmt.Printf("plot data written to %s\n\n", path)
+	return nil
+}
+
+func plotRoutine(p *aprof.Profile, name string) error {
+	rp, err := routineOrErr(p, name)
+	if err != nil {
+		return err
+	}
+	merged := rp.Merged()
+	for _, metric := range []struct {
+		label string
+		hist  map[uint64]*aprof.Point
+	}{{"rms", merged.ByRMS}, {"trms", merged.ByTRMS}} {
+		pts := aprof.WorstCasePlot(metric.hist)
+		report.Scatter(os.Stdout,
+			fmt.Sprintf("%s — worst-case cost vs %s (%d points)", name, metric.label, len(pts)),
+			pts, 72, 16)
+		fmt.Println()
+	}
+	return nil
+}
+
+func fitRoutine(p *aprof.Profile, name string) error {
+	rp, err := routineOrErr(p, name)
+	if err != nil {
+		return err
+	}
+	merged := rp.Merged()
+	for _, metric := range []struct {
+		label string
+		hist  map[uint64]*aprof.Point
+	}{{"rms", merged.ByRMS}, {"trms", merged.ByTRMS}} {
+		pts := aprof.WorstCasePlot(metric.hist)
+		fmt.Printf("%s vs %s (%d points):\n", name, metric.label, len(pts))
+		if best, err := aprof.BestFit(pts); err == nil {
+			fmt.Printf("  best model:    %s\n", best)
+		} else {
+			fmt.Printf("  best model:    %v\n", err)
+		}
+		if pl, err := aprof.FitPowerLaw(pts); err == nil {
+			fmt.Printf("  power law:     %s\n", pl)
+		} else {
+			fmt.Printf("  power law:     %v\n", err)
+		}
+	}
+	return nil
+}
+
+func inducedTable(p *aprof.Profile) error {
+	var table [][]string
+	for _, name := range p.RoutineNames() {
+		a := p.Routines[name].Merged()
+		ind := a.InducedThread + a.InducedExternal
+		if ind == 0 {
+			continue
+		}
+		table = append(table, []string{name,
+			fmt.Sprint(a.SumTRMS),
+			fmt.Sprint(a.InducedThread),
+			fmt.Sprint(a.InducedExternal),
+			fmt.Sprintf("%.1f%%", 100*float64(ind)/float64(a.SumTRMS))})
+	}
+	report.Table(os.Stdout, []string{"routine", "trms", "thread-induced", "external", "induced share"}, table)
+	return nil
+}
+
+func reportMemcheck(mc *aprof.Memcheck) {
+	blocks, cells := mc.Leaks()
+	fmt.Printf("memcheck: %d uninitialized reads, %d use-after-free, %d invalid frees, %d leaked blocks (%d cells)\n",
+		mc.UninitReads(), mc.UseAfterFrees(), mc.InvalidFrees(), blocks, cells)
+	for _, e := range mc.Errors() {
+		fmt.Println("  ", e)
+	}
+}
+
+func reportCallgrind(cg *aprof.Callgrind, top int) {
+	var rows [][]string
+	nodes := cg.Nodes()
+	if top > 0 && len(nodes) > top {
+		nodes = nodes[:top]
+	}
+	for _, n := range nodes {
+		rows = append(rows, []string{n.Name, fmt.Sprint(n.Calls), fmt.Sprint(n.Inclusive), fmt.Sprint(n.Exclusive)})
+	}
+	report.Table(os.Stdout, []string{"routine", "calls", "inclusive(BB)", "exclusive(BB)"}, rows)
+}
+
+func reportHelgrind(hg *aprof.Helgrind) {
+	fmt.Printf("helgrind: %d racy accesses detected\n", hg.Races())
+	for _, r := range hg.RaceReports() {
+		fmt.Println("  ", r)
+	}
+}

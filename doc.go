@@ -1,0 +1,6 @@
+// Package repro is the root of the input-sensitive profiling reproduction.
+// The public API lives in repro/aprof; the command-line tools live under
+// cmd/; bench_test.go in this directory hosts the benchmark harness that
+// regenerates the paper's tables and figures (see DESIGN.md and
+// EXPERIMENTS.md for the experiment index).
+package repro

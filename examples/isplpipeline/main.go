@@ -1,0 +1,95 @@
+// ISPL pipeline: profile a program written in the Input-Sensitive Profiling
+// Language — a complete compile-to-bytecode pipeline running on the guest
+// machine — rather than a hand-written Go guest program.
+//
+// The program is a two-stage pipeline: a reader thread streams records from
+// the input device into a shared one-slot buffer; the main thread consumes
+// them and computes a running digest. The profiler attributes the consumer's
+// input to thread handoffs, and the reader's to the external device, without
+// the ISPL program declaring anything.
+//
+// Run with: go run ./examples/isplpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/aprof"
+	"repro/internal/ispl"
+	"repro/internal/report"
+)
+
+const program = `
+// Two-stage pipeline over a one-slot buffer.
+var raw[1];
+var slotBuf[1];
+var digest;
+sem full = 0;
+sem empty = 1;
+
+func reader(n) {
+    var i = 0;
+    while (i < n) {
+        read(raw, 0, 1);          // one record from the input device
+        var rec = raw[0] % 1000;  // decode it (the reader's own input)
+        p(empty);
+        slotBuf[0] = rec;         // hand the decoded record to the consumer
+        v(full);
+        i = i + 1;
+    }
+}
+
+func consume() {
+    digest = digest * 31 + slotBuf[0];
+}
+
+func main() {
+    var n = 96;
+    var t = spawn reader(n);
+    var i = 0;
+    while (i < n) {
+        p(full);
+        consume();
+        v(empty);
+        i = i + 1;
+    }
+    join t;
+    print(digest);
+}
+`
+
+func main() {
+	prog, err := ispl.Compile(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := aprof.NewProfiler(aprof.Options{})
+	out, m, err := prog.Run(aprof.Config{Timeslice: 4}, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program printed %v after %d basic blocks on %d threads\n\n",
+		out.Values, m.BBTotal(), m.NumThreads())
+
+	p := prof.Profile()
+	var rows [][]string
+	names := p.RoutineNames()
+	sort.Strings(names)
+	for _, name := range names {
+		a := p.Routines[name].Merged()
+		rows = append(rows, []string{name, fmt.Sprint(a.Calls),
+			fmt.Sprint(a.SumTRMS), fmt.Sprint(a.SumRMS),
+			fmt.Sprint(a.InducedThread), fmt.Sprint(a.InducedExternal)})
+	}
+	report.Table(os.Stdout,
+		[]string{"routine", "calls", "trms", "rms", "thread-induced", "external"}, rows)
+
+	fmt.Println()
+	fmt.Println("The reader's input is external (device records land in its reused decode")
+	fmt.Println("cell); the consumer's slot reads are thread-induced (the reader wrote the")
+	fmt.Println("decoded record). main's rms stays at a handful of cells while its trms")
+	fmt.Println("counts every record that actually flowed through the pipeline.")
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/guest"
+)
+
+// Context-sensitive input-sensitive profiling: instead of aggregating all
+// activations of a routine together, activations are keyed by their calling
+// context — the chain of pending routines that led to them — organized as a
+// calling context tree (CCT). The same routine often has different
+// asymptotic behaviour under different callers (a comparator called from a
+// sort vs. from a single lookup); context sensitivity separates those cost
+// functions. This follows the aprof line's extension of input-sensitive
+// profiling to calling contexts; enable it with Options.ContextSensitive.
+
+// ContextNode is one calling context: the routine at the end of a call
+// chain, with per-thread activation aggregates and child contexts.
+type ContextNode struct {
+	// Routine is the interned routine name of this context's frame.
+	Routine string
+
+	parent   *ContextNode
+	children map[guest.RoutineID]*ContextNode
+
+	// PerThread aggregates the activations observed in exactly this
+	// context (not including descendants' own activations).
+	PerThread map[guest.ThreadID]*Activations
+}
+
+// ContextTree is a calling context tree of profiled activations.
+type ContextTree struct {
+	root  *ContextNode
+	nodes int
+}
+
+func newContextTree() *ContextTree {
+	return &ContextTree{root: &ContextNode{Routine: "<root>"}, nodes: 1}
+}
+
+// Root returns the synthetic root context (thread start).
+func (t *ContextTree) Root() *ContextNode { return t.root }
+
+// NumContexts returns the number of distinct calling contexts observed,
+// excluding the synthetic root.
+func (t *ContextTree) NumContexts() int { return t.nodes - 1 }
+
+func (t *ContextTree) child(n *ContextNode, r guest.RoutineID, name string) *ContextNode {
+	if n.children == nil {
+		n.children = make(map[guest.RoutineID]*ContextNode)
+	}
+	c := n.children[r]
+	if c == nil {
+		c = &ContextNode{Routine: name, parent: n}
+		n.children[r] = c
+		t.nodes++
+	}
+	return c
+}
+
+// Parent returns the caller's context, or nil at the root.
+func (n *ContextNode) Parent() *ContextNode {
+	if n.parent != nil && n.parent.Routine == "<root>" {
+		return nil
+	}
+	return n.parent
+}
+
+// Path returns the calling context as "a > b > c".
+func (n *ContextNode) Path() string {
+	var parts []string
+	for c := n; c != nil && c.Routine != "<root>"; c = c.parent {
+		parts = append(parts, c.Routine)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, " > ")
+}
+
+// Depth returns the number of frames in the context.
+func (n *ContextNode) Depth() int {
+	d := 0
+	for c := n; c != nil && c.Routine != "<root>"; c = c.parent {
+		d++
+	}
+	return d
+}
+
+// Merged combines the context's per-thread aggregates.
+func (n *ContextNode) Merged() *Activations {
+	out := newActivations(0)
+	ids := make([]guest.ThreadID, 0, len(n.PerThread))
+	for id := range n.PerThread {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n.PerThread[id].mergeInto(out)
+	}
+	return out
+}
+
+// Children returns the child contexts sorted by routine name.
+func (n *ContextNode) Children() []*ContextNode {
+	out := make([]*ContextNode, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Routine < out[j].Routine })
+	return out
+}
+
+func (n *ContextNode) record(t guest.ThreadID, f frame, cost uint64) {
+	if n.PerThread == nil {
+		n.PerThread = make(map[guest.ThreadID]*Activations)
+	}
+	a := n.PerThread[t]
+	if a == nil {
+		a = newActivations(t)
+		n.PerThread[t] = a
+	}
+	a.record(f, cost)
+}
+
+// Walk visits every context with recorded activations in depth-first,
+// name-sorted order.
+func (t *ContextTree) Walk(visit func(n *ContextNode)) {
+	var rec func(n *ContextNode)
+	rec = func(n *ContextNode) {
+		if n.Routine != "<root>" && len(n.PerThread) > 0 {
+			visit(n)
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(t.root)
+}
+
+// Contexts returns every context with recorded activations.
+func (t *ContextTree) Contexts() []*ContextNode {
+	var out []*ContextNode
+	t.Walk(func(n *ContextNode) { out = append(out, n) })
+	return out
+}
+
+// Find returns the context reached by the given routine-name path from the
+// root, or nil.
+func (t *ContextTree) Find(path ...string) *ContextNode {
+	n := t.root
+	for _, name := range path {
+		var next *ContextNode
+		for _, c := range n.children {
+			if c.Routine == name {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		n = next
+	}
+	if n == t.root {
+		return nil
+	}
+	return n
+}
+
+// FlattenByRoutine folds the tree back into per-routine aggregates — the
+// consistency bridge to the flat profile: for every routine, the sum of its
+// context aggregates must equal its flat aggregates (tested).
+func (t *ContextTree) FlattenByRoutine() map[string]*Activations {
+	out := make(map[string]*Activations)
+	t.Walk(func(n *ContextNode) {
+		a := out[n.Routine]
+		if a == nil {
+			a = newActivations(0)
+			out[n.Routine] = a
+		}
+		n.Merged().mergeInto(a)
+	})
+	return out
+}
+
+// String summarizes the tree.
+func (t *ContextTree) String() string {
+	return fmt.Sprintf("ContextTree(%d contexts)", t.NumContexts())
+}
+
+// contextTracker maintains each thread's current CCT position. It is owned
+// by the Profiler when Options.ContextSensitive is set.
+type contextTracker struct {
+	tree *ContextTree
+	cur  map[guest.ThreadID]*ContextNode
+}
+
+func newContextTracker() *contextTracker {
+	return &contextTracker{tree: newContextTree(), cur: make(map[guest.ThreadID]*ContextNode)}
+}
+
+func (ct *contextTracker) call(t guest.ThreadID, r guest.RoutineID, name string) {
+	n := ct.cur[t]
+	if n == nil {
+		n = ct.tree.root
+	}
+	ct.cur[t] = ct.tree.child(n, r, name)
+}
+
+func (ct *contextTracker) ret(t guest.ThreadID, f frame, cost uint64) {
+	n := ct.cur[t]
+	if n == nil || n == ct.tree.root {
+		return
+	}
+	n.record(t, f, cost)
+	ct.cur[t] = n.parent
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+)
+
+// contextRun profiles a program that calls the same helper from two
+// different callers with different input sizes.
+func contextRun(t *testing.T) *Profiler {
+	t.Helper()
+	p := New(Options{ContextSensitive: true})
+	m := guest.NewMachine(guest.Config{Tools: []guest.Tool{p}})
+	small := m.Static(4)
+	big := m.Static(64)
+	err := m.Run(func(th *guest.Thread) {
+		sum := func(base guest.Addr, n int) {
+			th.Fn("sum", func() {
+				for i := 0; i < n; i++ {
+					th.Load(base + guest.Addr(i))
+				}
+			})
+		}
+		th.Fn("lookup", func() {
+			sum(small, 4)
+		})
+		th.Fn("fullScan", func() {
+			for r := 0; r < 3; r++ {
+				sum(big, 64)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestContextSeparatesCallers(t *testing.T) {
+	p := contextRun(t)
+	tree := p.ContextTree()
+	if tree == nil {
+		t.Fatal("no context tree despite ContextSensitive")
+	}
+
+	viaLookup := tree.Find("lookup", "sum")
+	viaScan := tree.Find("fullScan", "sum")
+	if viaLookup == nil || viaScan == nil {
+		var paths []string
+		tree.Walk(func(n *ContextNode) { paths = append(paths, n.Path()) })
+		t.Fatalf("missing contexts; have %v", paths)
+	}
+	l, s := viaLookup.Merged(), viaScan.Merged()
+	if l.Calls != 1 || l.SumTRMS != 4 {
+		t.Errorf("lookup>sum: calls=%d trms=%d, want 1, 4", l.Calls, l.SumTRMS)
+	}
+	if s.Calls != 3 || s.SumTRMS != 3*64 {
+		t.Errorf("fullScan>sum: calls=%d trms=%d, want 3, 192", s.Calls, s.SumTRMS)
+	}
+	if viaLookup.Depth() != 2 || viaScan.Path() != "fullScan > sum" {
+		t.Errorf("path/depth wrong: %q depth %d", viaScan.Path(), viaLookup.Depth())
+	}
+	if got := tree.NumContexts(); got != 4 {
+		t.Errorf("NumContexts = %d, want 4 (lookup, fullScan, and sum under each)", got)
+	}
+}
+
+// TestContextFlattenMatchesFlatProfile checks the consistency bridge: per
+// routine, the CCT aggregates must sum to the flat profile's aggregates.
+func TestContextFlattenMatchesFlatProfile(t *testing.T) {
+	p := contextRun(t)
+	flat := p.Profile()
+	folded := p.ContextTree().FlattenByRoutine()
+	for _, name := range flat.RoutineNames() {
+		want := flat.Routines[name].Merged()
+		got := folded[name]
+		if got == nil {
+			t.Errorf("routine %s missing from folded tree", name)
+			continue
+		}
+		if got.Calls != want.Calls || got.SumCost != want.SumCost ||
+			got.SumTRMS != want.SumTRMS || got.SumRMS != want.SumRMS {
+			t.Errorf("%s: folded (calls=%d cost=%d trms=%d rms=%d) != flat (calls=%d cost=%d trms=%d rms=%d)",
+				name, got.Calls, got.SumCost, got.SumTRMS, got.SumRMS,
+				want.Calls, want.SumCost, want.SumTRMS, want.SumRMS)
+		}
+	}
+}
+
+// TestContextTreeMultithreaded checks that contexts are tracked per thread
+// and recursion extends the context chain.
+func TestContextTreeMultithreaded(t *testing.T) {
+	p := New(Options{ContextSensitive: true})
+	m := guest.NewMachine(guest.Config{Timeslice: 3, Tools: []guest.Tool{p}})
+	data := m.Static(32)
+	err := m.Run(func(th *guest.Thread) {
+		var kids []*guest.Thread
+		for w := 0; w < 2; w++ {
+			kids = append(kids, th.Spawn("w", func(c *guest.Thread) {
+				var rec func(d int)
+				rec = func(d int) {
+					c.Fn("rec", func() {
+						c.Load(data + guest.Addr(d))
+						if d < 3 {
+							rec(d + 1)
+						}
+					})
+				}
+				c.Fn("work", func() { rec(0) })
+			}))
+		}
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := p.ContextTree()
+	deepest := tree.Find("work", "rec", "rec", "rec", "rec")
+	if deepest == nil {
+		t.Fatal("recursive context chain not built")
+	}
+	if got := len(deepest.PerThread); got != 2 {
+		t.Errorf("deepest context seen by %d threads, want 2", got)
+	}
+	if deepest.Depth() != 5 {
+		t.Errorf("depth = %d, want 5", deepest.Depth())
+	}
+	if parent := deepest.Parent(); parent == nil || parent.Routine != "rec" {
+		t.Errorf("parent = %v", parent)
+	}
+}
+
+func TestContextTreeNilWithoutOption(t *testing.T) {
+	p := New(Options{})
+	if p.ContextTree() != nil {
+		t.Error("ContextTree non-nil without ContextSensitive")
+	}
+}
+
+func TestContextFindMisses(t *testing.T) {
+	p := contextRun(t)
+	tree := p.ContextTree()
+	if tree.Find("nonexistent") != nil {
+		t.Error("Find returned a node for a bogus path")
+	}
+	if tree.Find() != nil {
+		t.Error("empty Find did not return nil")
+	}
+}

@@ -1,0 +1,397 @@
+// Package core implements the paper's primary contribution: input-sensitive
+// profiling of multithreaded programs. For every routine activation it
+// computes
+//
+//   - the read memory size (rms) of Coppa, Demetrescu, Finocchi (PLDI 2012):
+//     the number of distinct memory cells first accessed by the activation,
+//     or by its completed descendants, with a read operation; and
+//   - the threaded read memory size (trms) of the multithreaded extension:
+//     the number of read operations that are first-accesses or *induced*
+//     first-accesses, where an induced first-access reads a value written by
+//     another thread (thread-induced input) or loaded by the kernel from an
+//     external device (external input) since the activation's subtree last
+//     touched the cell.
+//
+// The implementation follows the paper's read/write timestamping algorithm
+// (Fig. 11): a global counter incremented at routine calls, thread switches
+// and kernel writes; a global shadow memory wts holding the timestamp and
+// provenance of each cell's latest write; per-thread shadow memories ts_t
+// holding each thread's latest access; and per-thread shadow stacks holding
+// partial trms/rms values maintained under the invariant that an
+// activation's metric equals the sum of the partial values from its frame to
+// the top of the stack. Induced first-accesses are recognized in O(1) by the
+// comparison ts_t[l] < wts[l]; plain first-accesses use the PLDI 2012
+// latest-access rule with an O(log depth) ancestor adjustment. Counter
+// overflow is handled by the paper's global renumbering pass (Fig. 13).
+package core
+
+import (
+	"math"
+
+	"repro/internal/guest"
+	"repro/internal/shadow"
+)
+
+// Options configures a Profiler. The zero value enables everything: trms
+// with both thread-induced and external input, plus a parallel rms profile.
+type Options struct {
+	// DisableThreadInduced ignores writes by other guest threads, so reads
+	// of thread-shared data are not induced first-accesses (Fig. 7b's
+	// "external input only" configuration).
+	DisableThreadInduced bool
+
+	// DisableExternal ignores kernel writes, so data loaded from external
+	// devices is not induced input.
+	DisableExternal bool
+
+	// RenumberThreshold makes the global counter renumber timestamps when
+	// it reaches this value. Zero selects the 32-bit overflow margin;
+	// tests use small values to exercise renumbering.
+	RenumberThreshold uint32
+
+	// ContextSensitive additionally keys profiles by calling context,
+	// building a calling context tree (see ContextTree) alongside the flat
+	// per-routine profile. Costs a CCT-node map lookup per call.
+	ContextSensitive bool
+
+	// OnActivation, when non-nil, streams every completed activation's
+	// tuple (routine, thread, trms, rms, cumulative cost) as it is
+	// recorded — the paper's raw profile stream, before histogram
+	// aggregation. Useful for logging tuples to disk or computing custom
+	// statistics online.
+	OnActivation func(routine string, thread guest.ThreadID, trms, rms, cost uint64)
+
+	// RMSOnly reproduces the original PLDI 2012 profiler (aprof-rms): no
+	// global write-timestamp shadow is maintained at all, so no induced
+	// first-accesses are ever recognized and trms degenerates to rms.
+	// Unlike setting both Disable flags, this also removes the global
+	// shadow's time and space costs, which is what the paper's Table 1
+	// compares aprof-trms against.
+	RMSOnly bool
+}
+
+// defaultRenumberThreshold leaves headroom below the 32-bit limit so a
+// renumbering pass can never be outrun by the +1 bumps between checks.
+const defaultRenumberThreshold = math.MaxUint32 - 8
+
+// kernelWriter marks a cell whose latest write was performed by the kernel
+// on behalf of a thread (external input).
+const kernelWriter = math.MaxUint32
+
+// Profiler computes input-sensitive profiles. It implements guest.Tool, so
+// it can be attached to a live machine or driven by a trace replayer.
+type Profiler struct {
+	opts      Options
+	threshold uint32
+
+	env guest.Env
+
+	count uint32
+	// global holds, for every memory cell, the packed timestamp (high 32
+	// bits) and writer provenance (low 32 bits: 0 none, thread id + 1, or
+	// kernelWriter) of the latest write by any thread or by the kernel.
+	global *shadow.Table[uint64]
+
+	threads map[guest.ThreadID]*threadView
+
+	profile   *Profile
+	contexts  *contextTracker // non-nil when Options.ContextSensitive
+	renumbers uint64
+	peakBytes uint64
+}
+
+// threadView is the per-thread profiling state: the thread's shadow memory
+// of latest-access timestamps and its shadow run-time stack.
+type threadView struct {
+	id    guest.ThreadID
+	ts    *shadow.Table[uint32]
+	stack []frame
+}
+
+// frame is one shadow-stack entry for a pending routine activation.
+type frame struct {
+	rtn     guest.RoutineID
+	ts      uint32 // activation timestamp (global counter at call)
+	bbEnter uint64 // thread's basic-block count at call
+
+	// trms and rms are the *partial* metrics of the paper's Invariant 2:
+	// an activation's metric is the sum of partials from its frame to the
+	// stack top. They can be negative transiently on inner frames.
+	trms int64
+	rms  int64
+
+	// inducedThread and inducedExternal count induced first-accesses
+	// performed by this activation's subtree, split by provenance. They
+	// propagate to the parent on return (a routine's induced input
+	// includes its descendants').
+	inducedThread   uint64
+	inducedExternal uint64
+}
+
+// New returns a Profiler with the given options.
+func New(opts Options) *Profiler {
+	threshold := opts.RenumberThreshold
+	if threshold == 0 {
+		threshold = defaultRenumberThreshold
+	}
+	p := &Profiler{
+		opts:      opts,
+		threshold: threshold,
+		global:    shadow.NewTable[uint64](),
+		threads:   make(map[guest.ThreadID]*threadView),
+		profile:   newProfile(),
+	}
+	if opts.ContextSensitive {
+		p.contexts = newContextTracker()
+	}
+	return p
+}
+
+// ContextTree returns the calling context tree, or nil unless the profiler
+// was created with Options.ContextSensitive.
+func (p *Profiler) ContextTree() *ContextTree {
+	if p.contexts == nil {
+		return nil
+	}
+	return p.contexts.tree
+}
+
+// Profile returns the collected profile. It is complete once the run (or
+// replay) has finished.
+func (p *Profiler) Profile() *Profile { return p.profile }
+
+// Renumbers reports how many timestamp-renumbering passes ran.
+func (p *Profiler) Renumbers() uint64 { return p.renumbers }
+
+// GlobalShadowBytes reports the footprint of the global write-timestamp
+// shadow memory.
+func (p *Profiler) GlobalShadowBytes() uint64 { return p.global.FootprintBytes() }
+
+// ThreadShadowBytes reports the cumulative footprint of all live per-thread
+// shadow memories.
+func (p *Profiler) ThreadShadowBytes() uint64 {
+	var total uint64
+	for _, tv := range p.threads {
+		total += tv.ts.FootprintBytes()
+	}
+	return total
+}
+
+func (p *Profiler) view(t guest.ThreadID) *threadView {
+	tv := p.threads[t]
+	if tv == nil {
+		tv = &threadView{id: t, ts: shadow.NewTable[uint32]()}
+		p.threads[t] = tv
+	}
+	return tv
+}
+
+// bump advances the global counter, renumbering all timestamps first if the
+// counter is about to overflow its 32-bit space.
+func (p *Profiler) bump() uint32 {
+	if p.count >= p.threshold {
+		p.renumber()
+	}
+	p.count++
+	return p.count
+}
+
+// Attach implements guest.Tool.
+func (p *Profiler) Attach(env guest.Env) { p.env = env }
+
+// ThreadStart implements guest.Tool.
+func (p *Profiler) ThreadStart(t, parent guest.ThreadID) {
+	p.view(t)
+}
+
+// ThreadExit implements guest.Tool. The thread's shadow memory is released;
+// its profile tuples were recorded at each routine return.
+func (p *Profiler) ThreadExit(t guest.ThreadID) {
+	p.recordPeak()
+	delete(p.threads, t)
+}
+
+// SwitchThread implements guest.Tool: thread switches advance the global
+// counter so that a write by one thread and a subsequent read by another are
+// always separated in timestamp order.
+func (p *Profiler) SwitchThread(from, to guest.ThreadID) {
+	p.bump()
+}
+
+// Call implements guest.Tool.
+func (p *Profiler) Call(t guest.ThreadID, r guest.RoutineID, bb uint64) {
+	ts := p.bump()
+	tv := p.view(t)
+	tv.stack = append(tv.stack, frame{rtn: r, ts: ts, bbEnter: bb})
+	if p.contexts != nil {
+		p.contexts.call(t, r, p.env.RoutineName(r))
+	}
+}
+
+// Return implements guest.Tool: the completed activation's trms, rms and
+// cumulative cost are recorded, and its partial metrics fold into the
+// parent's frame, preserving Invariant 2.
+func (p *Profiler) Return(t guest.ThreadID, r guest.RoutineID, bb uint64) {
+	tv := p.view(t)
+	if len(tv.stack) == 0 {
+		return
+	}
+	f := tv.stack[len(tv.stack)-1]
+	tv.stack = tv.stack[:len(tv.stack)-1]
+
+	cost := bb - f.bbEnter
+	name := p.env.RoutineName(f.rtn)
+	p.profile.record(name, t, f, cost)
+	if p.contexts != nil {
+		p.contexts.ret(t, f, cost)
+	}
+	if p.opts.OnActivation != nil {
+		p.opts.OnActivation(name, t, clampMetric(f.trms), clampMetric(f.rms), cost)
+	}
+
+	if n := len(tv.stack); n > 0 {
+		parent := &tv.stack[n-1]
+		parent.trms += f.trms
+		parent.rms += f.rms
+		parent.inducedThread += f.inducedThread
+		parent.inducedExternal += f.inducedExternal
+	}
+}
+
+// Read implements guest.Tool. This is the algorithm of Fig. 11 extended with
+// the parallel rms computation and the induced-input provenance split.
+func (p *Profiler) Read(t guest.ThreadID, a guest.Addr) {
+	tv := p.view(t)
+	old := *tv.ts.Slot(a)
+
+	var wts, writer uint32
+	if !p.opts.RMSOnly {
+		g := p.global.Peek(a)
+		wts = uint32(g >> 32)
+		writer = uint32(g)
+	}
+
+	if len(tv.stack) > 0 {
+		top := &tv.stack[len(tv.stack)-1]
+
+		induced := old < wts && p.inducedEnabled(writer)
+		if induced {
+			// Induced first-access: new input for the topmost
+			// activation and, by Invariant 2, for every ancestor —
+			// none of them accessed the cell since the foreign write.
+			top.trms++
+			if writer == kernelWriter {
+				top.inducedExternal++
+				p.profile.InducedExternal++
+			} else {
+				top.inducedThread++
+				p.profile.InducedThread++
+			}
+		} else if old == 0 {
+			// First access ever by this thread.
+			top.trms++
+		} else if old < top.ts {
+			// First access by the topmost activation; the cell was
+			// last accessed under some ancestor, whose partial is
+			// decremented so its own total is unchanged.
+			top.trms++
+			if j := findFrame(tv.stack, old); j >= 0 {
+				tv.stack[j].trms--
+			}
+		}
+
+		// Parallel rms: the PLDI 2012 metric, which by definition
+		// ignores foreign writes.
+		if old == 0 {
+			top.rms++
+		} else if old < top.ts {
+			top.rms++
+			if j := findFrame(tv.stack, old); j >= 0 {
+				tv.stack[j].rms--
+			}
+		}
+	}
+
+	tv.ts.Set(a, p.count)
+}
+
+// Write implements guest.Tool: both the thread-local and the global write
+// timestamps move to the current counter value, so the thread's own later
+// reads never appear induced (ts_t[l] == wts[l]).
+func (p *Profiler) Write(t guest.ThreadID, a guest.Addr) {
+	tv := p.view(t)
+	tv.ts.Set(a, p.count)
+	if !p.opts.RMSOnly {
+		*p.global.Slot(a) = uint64(p.count)<<32 | uint64(uint32(t)+1)
+	}
+}
+
+// KernelRead implements guest.Tool: the kernel reading guest memory on the
+// thread's behalf (data sent to a device) counts as a read by the thread, as
+// if the system call were a normal subroutine (Fig. 12).
+func (p *Profiler) KernelRead(t guest.ThreadID, a guest.Addr) {
+	p.Read(t, a)
+}
+
+// KernelWrite implements guest.Tool: a buffer cell filled from an external
+// device gets a fresh global write timestamp larger than every thread-local
+// timestamp, so a subsequent read of the cell — and only an actual read —
+// registers as external input (Fig. 12).
+func (p *Profiler) KernelWrite(t guest.ThreadID, a guest.Addr) {
+	if p.opts.RMSOnly {
+		return
+	}
+	ts := p.bump()
+	*p.global.Slot(a) = uint64(ts)<<32 | uint64(kernelWriter)
+}
+
+// Sync implements guest.Tool (no-op: synchronization carries no input).
+func (p *Profiler) Sync(guest.ThreadID, guest.SyncKind, guest.SyncID) {}
+
+// Alloc implements guest.Tool (no-op).
+func (p *Profiler) Alloc(guest.ThreadID, guest.Addr, int) {}
+
+// Free implements guest.Tool (no-op).
+func (p *Profiler) Free(guest.ThreadID, guest.Addr, int) {}
+
+// Finish implements guest.Tool.
+func (p *Profiler) Finish() { p.recordPeak() }
+
+func (p *Profiler) recordPeak() {
+	if b := p.GlobalShadowBytes() + p.ThreadShadowBytes(); b > p.peakBytes {
+		p.peakBytes = b
+	}
+}
+
+// PeakShadowBytes reports the largest combined footprint of the global and
+// per-thread shadow memories observed during the run, the quantity behind
+// the paper's space-overhead comparison (Table 1, Fig. 14).
+func (p *Profiler) PeakShadowBytes() uint64 {
+	p.recordPeak()
+	return p.peakBytes
+}
+
+func (p *Profiler) inducedEnabled(writer uint32) bool {
+	if writer == kernelWriter {
+		return !p.opts.DisableExternal
+	}
+	return !p.opts.DisableThreadInduced
+}
+
+// findFrame returns the largest index j with stack[j].ts <= ts, or -1. Frame
+// timestamps increase with the index, so binary search applies — the O(log
+// d) step of the paper's analysis.
+func findFrame(stack []frame, ts uint32) int {
+	lo, hi := 0, len(stack)-1
+	j := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if stack[mid].ts <= ts {
+			j = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return j
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+)
+
+func sampleProfile(t *testing.T) *Profile {
+	t.Helper()
+	p := New(Options{})
+	m := guest.NewMachine(guest.Config{Timeslice: 2, Tools: []guest.Tool{p}})
+	cell := m.Static(8)
+	dev := m.NewDevice("d", nil)
+	err := m.Run(func(th *guest.Thread) {
+		k := th.Spawn("w", func(c *guest.Thread) {
+			c.Fn("writer", func() {
+				for i := 0; i < 10; i++ {
+					c.Store(cell+guest.Addr(i%4), uint64(i))
+				}
+			})
+		})
+		th.Fn("reader", func() {
+			for i := 0; i < 10; i++ {
+				th.Load(cell + guest.Addr(i%4))
+				th.ReadDevice(dev, cell+4, 2)
+				th.Load(cell + 4)
+			}
+		})
+		th.Join(k)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Profile()
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := sampleProfile(t)
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"version": 1`, `"reader"`, `"by_trms"`, `"induced_external"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON lacks %q", want)
+		}
+	}
+	restored, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := p.Diff(restored); len(diffs) > 0 {
+		t.Errorf("restored profile differs:\n%v", diffs)
+	}
+}
+
+func TestDumpIsSorted(t *testing.T) {
+	d := sampleProfile(t).Dump()
+	for i := 1; i < len(d.Routines); i++ {
+		if d.Routines[i].Name <= d.Routines[i-1].Name {
+			t.Errorf("routines not sorted: %s after %s", d.Routines[i].Name, d.Routines[i-1].Name)
+		}
+	}
+	for _, rd := range d.Routines {
+		for _, td := range rd.Threads {
+			for i := 1; i < len(td.ByTRMS); i++ {
+				if td.ByTRMS[i].N <= td.ByTRMS[i-1].N {
+					t.Errorf("%s points not sorted by N", rd.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("accepted unknown version")
+	}
+}

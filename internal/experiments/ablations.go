@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func init() {
+	registerExperiment("ablations",
+		"Ablations: naive vs timestamping, renumbering, timeslice, record/replay (DESIGN.md)",
+		runAblations)
+}
+
+// runAblations prints the design-choice comparisons as one table each. The
+// same comparisons exist as testing.B benchmarks; this driver gives the
+// experiment harness a quick textual form.
+func runAblations(cfg Config) error {
+	repeats := cfg.repeats()
+
+	timed := func(f func() error) (float64, error) {
+		best := 0.0
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			el := time.Since(start).Seconds()
+			if r == 0 || el < best {
+				best = el
+			}
+		}
+		return best, nil
+	}
+
+	runWith := func(name string, params workloads.Params, tool guest.Tool) error {
+		_, err := workloads.RunByName(name, params, tool)
+		return err
+	}
+
+	// 1. Naive (Fig. 10) vs timestamping (Fig. 11).
+	params := workloads.Params{Threads: 4, Size: sizeFor(mustSpec("350.md"), cfg)}
+	tsTime, err := timed(func() error { return runWith("350.md", params, core.New(core.Options{})) })
+	if err != nil {
+		return err
+	}
+	nvTime, err := timed(func() error { return runWith("350.md", params, core.NewNaive(core.Options{})) })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "Ablation 1 — naive sets (Fig. 10) vs read/write timestamping (Fig. 11), 350.md:")
+	report.Table(cfg.Out, []string{"algorithm", "time (ms)"}, [][]string{
+		{"timestamping", fmt.Sprintf("%.2f", tsTime*1e3)},
+		{"naive", fmt.Sprintf("%.2f", nvTime*1e3)},
+	})
+	fmt.Fprintln(cfg.Out)
+
+	// 2. Renumbering threshold. mysqld bumps the counter at every call,
+	// thread switch and kernel buffer fill: thousands of bumps per run.
+	fmt.Fprintln(cfg.Out, "Ablation 2 — renumbering threshold (Fig. 13), mysqld:")
+	var renumRows [][]string
+	for _, v := range []struct {
+		label     string
+		threshold uint32
+	}{{"never", 0}, {"every 1024", 1024}, {"every 256", 256}} {
+		var renumbers uint64
+		el, err := timed(func() error {
+			p := core.New(core.Options{RenumberThreshold: v.threshold})
+			if err := runWith("mysqld", workloads.Params{Size: sizeFor(mustSpec("mysqld"), cfg)}, p); err != nil {
+				return err
+			}
+			renumbers = p.Renumbers()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		renumRows = append(renumRows, []string{v.label, fmt.Sprintf("%.2f", el*1e3), fmt.Sprint(renumbers)})
+	}
+	report.Table(cfg.Out, []string{"threshold", "time (ms)", "renumber passes"}, renumRows)
+	fmt.Fprintln(cfg.Out)
+
+	// 3. Scheduler timeslice vs induced-input observation.
+	fmt.Fprintln(cfg.Out, "Ablation 3 — fair-scheduler timeslice, dedup:")
+	var tsRows [][]string
+	for _, slice := range []int{1, 10, 100, 1000} {
+		var induced uint64
+		el, err := timed(func() error {
+			p := core.New(core.Options{})
+			if err := runWith("dedup", workloads.Params{Size: sizeFor(mustSpec("dedup"), cfg), Timeslice: slice}, p); err != nil {
+				return err
+			}
+			induced = p.Profile().InducedThread
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		tsRows = append(tsRows, []string{fmt.Sprint(slice), fmt.Sprintf("%.2f", el*1e3), fmt.Sprint(induced)})
+	}
+	report.Table(cfg.Out, []string{"timeslice (ops)", "time (ms)", "thread-induced accesses"}, tsRows)
+	fmt.Fprintln(cfg.Out)
+
+	// 4. Online vs record+merge+replay.
+	vparams := workloads.Params{Size: sizeFor(mustSpec("vips"), cfg)}
+	onTime, err := timed(func() error { return runWith("vips", vparams, core.New(core.Options{})) })
+	if err != nil {
+		return err
+	}
+	repTime, err := timed(func() error {
+		rec := trace.NewRecorder()
+		if err := runWith("vips", vparams, rec); err != nil {
+			return err
+		}
+		return trace.Replay(rec.Trace(), 0, core.New(core.Options{}))
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "Ablation 4 — online profiling vs record+merge+replay, vips:")
+	report.Table(cfg.Out, []string{"mode", "time (ms)"}, [][]string{
+		{"online", fmt.Sprintf("%.2f", onTime*1e3)},
+		{"record+replay", fmt.Sprintf("%.2f", repTime*1e3)},
+	})
+	fmt.Fprintln(cfg.Out)
+	fmt.Fprintln(cfg.Out, "(profiles are asserted bit-identical across all four ablations by the test suite)")
+	return nil
+}
+
+func mustSpec(name string) workloads.Spec {
+	s, err := workloads.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func init() {
+	registerExperiment("fig15", "Fig. 15: routine profile richness of trms w.r.t. rms", runFig15)
+	registerExperiment("fig16", "Fig. 16: input volume of trms w.r.t. rms", runFig16)
+	registerExperiment("fig17", "Fig. 17: external vs thread-induced input per benchmark", runFig17)
+	registerExperiment("fig18", "Fig. 18: thread-induced input on a routine basis", runFig18)
+	registerExperiment("fig19", "Fig. 19: external input on a routine basis", runFig19)
+}
+
+// representativeBenchmarks mirrors the paper's selection: PARSEC pipeline
+// and data-parallel codes, the database server, and OMP2012 picks.
+var representativeBenchmarks = []string{
+	"dedup", "vips", "fluidanimate", "streamcluster", "bodytrack", "x264", "mysqld",
+	"350.md", "352.nab", "358.botsalgn", "367.imagick", "371.applu331",
+}
+
+// percentiles sampled from each cumulative curve ("x% of routines have
+// value >= y").
+var curvePercents = []float64{1, 2, 5, 10, 25, 50, 100}
+
+func curveTable(cfg Config, title, valueName string,
+	curveOf func(p *core.Profile) []report.CumulativePoint) error {
+	headers := []string{"benchmark"}
+	for _, pc := range curvePercents {
+		headers = append(headers, fmt.Sprintf("%.0f%%", pc))
+	}
+	var rows [][]string
+	for _, bench := range representativeBenchmarks {
+		p, err := profileWorkload(bench, cfg, core.Options{}, workloads.Params{})
+		if err != nil {
+			return err
+		}
+		curve := curveOf(p)
+		row := []string{bench}
+		for _, pc := range curvePercents {
+			row = append(row, fmt.Sprintf("%.2f", report.ValueAtPercent(curve, pc)))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Fprintln(cfg.Out, title)
+	fmt.Fprintf(cfg.Out, "(cell = %s such that x%% of the benchmark's routines have at least that value)\n", valueName)
+	report.Table(cfg.Out, headers, rows)
+	return nil
+}
+
+func runFig15(cfg Config) error {
+	return curveTable(cfg,
+		"Fig. 15 — profile richness (|trms|-|rms|)/|rms| cumulative curves",
+		"richness", report.RichnessCurve)
+}
+
+func runFig16(cfg Config) error {
+	return curveTable(cfg,
+		"Fig. 16 — input volume 1 - sum(rms)/sum(trms) cumulative curves",
+		"input volume", report.VolumeCurve)
+}
+
+func runFig17(cfg Config) error {
+	type row struct {
+		bench               string
+		threadPct, extPct   float64
+		induced, totalReads uint64
+	}
+	var rows []row
+	for _, bench := range append(workloadSuiteNames("omp2012"),
+		"dedup", "vips", "fluidanimate", "streamcluster", "bodytrack", "x264", "mysqld") {
+		p, err := profileWorkload(bench, cfg, core.Options{}, workloads.Params{})
+		if err != nil {
+			return err
+		}
+		tp, ep := report.InducedSplit(p)
+		rows = append(rows, row{bench, tp, ep, p.InducedThread + p.InducedExternal, 0})
+	}
+	// Paper ordering: decreasing thread-induced percentage.
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].threadPct > rows[i].threadPct {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	var table [][]string
+	for _, r := range rows {
+		table = append(table, []string{r.bench,
+			fmt.Sprintf("%.1f%%", r.threadPct),
+			fmt.Sprintf("%.1f%%", r.extPct),
+			fmt.Sprint(r.induced)})
+	}
+	fmt.Fprintln(cfg.Out, "Fig. 17 — induced first-accesses split between thread-induced and external input")
+	fmt.Fprintln(cfg.Out, "(each induced access counted once; benchmarks sorted by decreasing thread share;")
+	fmt.Fprintln(cfg.Out, " paper: the OMP2012 suite clusters at the thread-dominated end)")
+	report.Table(cfg.Out, []string{"benchmark", "thread-induced", "external", "induced accesses"}, table)
+	return nil
+}
+
+func workloadSuiteNames(suite string) []string {
+	var names []string
+	for _, s := range workloads.Suite(suite) {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+func runFig18(cfg Config) error {
+	return curveTable(cfg,
+		"Fig. 18 — per-routine thread-induced input (% of each routine's induced accesses)",
+		"thread-induced %", report.ThreadInducedCurve)
+}
+
+func runFig19(cfg Config) error {
+	return curveTable(cfg,
+		"Fig. 19 — per-routine external input (% of each routine's induced accesses)",
+		"external %", report.ExternalCurve)
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func init() {
+	registerExperiment("table1",
+		"Table 1: time and space overhead of the tools on the SPEC OMP2012-style suite (4 threads)",
+		runTable1)
+	registerExperiment("fig14",
+		"Fig. 14: time and space overhead relative to nulgrind as a function of the thread count",
+		runFig14)
+}
+
+// runTable1 reproduces the paper's Table 1: every OMP2012-style benchmark
+// runs natively and under each tool; the table reports per-tool slowdown
+// (time relative to native) and space overhead (native guest memory plus
+// tool state, relative to native guest memory).
+func runTable1(cfg Config) error {
+	cases := toolCases()
+	suite := workloads.Suite("omp2012")
+	repeats := cfg.repeats()
+
+	headers := []string{"benchmark", "native(ms)"}
+	for _, tc := range cases[1:] {
+		headers = append(headers, tc.name)
+	}
+
+	var timeRows, spaceRows [][]string
+	slowdowns := make([][]float64, len(cases))
+	overheads := make([][]float64, len(cases))
+
+	for _, s := range suite {
+		params := workloads.Params{Threads: 4, Size: overheadSizeFor(s, cfg)}
+		native, err := measure(s, params, cases[0], repeats)
+		if err != nil {
+			return err
+		}
+		trow := []string{s.Name, fmt.Sprintf("%.2f", native.seconds*1e3)}
+		srow := []string{s.Name, fmt.Sprintf("%.1f KB", float64(native.guestB)/1024)}
+		for ti, tc := range cases[1:] {
+			mnt, err := measure(s, params, tc, repeats)
+			if err != nil {
+				return err
+			}
+			slow := mnt.seconds / native.seconds
+			over := float64(native.guestB+mnt.toolBytes) / float64(native.guestB)
+			trow = append(trow, fmt.Sprintf("%.1f", slow))
+			srow = append(srow, fmt.Sprintf("%.1f", over))
+			slowdowns[ti+1] = append(slowdowns[ti+1], slow)
+			overheads[ti+1] = append(overheads[ti+1], over)
+		}
+		timeRows = append(timeRows, trow)
+		spaceRows = append(spaceRows, srow)
+	}
+
+	gmeanT := []string{"geometric mean", ""}
+	gmeanS := []string{"geometric mean", ""}
+	for ti := range cases[1:] {
+		gmeanT = append(gmeanT, fmt.Sprintf("%.1f", geomean(slowdowns[ti+1])))
+		gmeanS = append(gmeanS, fmt.Sprintf("%.1f", geomean(overheads[ti+1])))
+	}
+	timeRows = append(timeRows, gmeanT)
+	spaceRows = append(spaceRows, gmeanS)
+
+	fmt.Fprintln(cfg.Out, "Table 1a — slowdown relative to native guest execution (4 threads)")
+	report.Table(cfg.Out, headers, timeRows)
+	fmt.Fprintln(cfg.Out)
+	fmt.Fprintln(cfg.Out, "Table 1b — space overhead relative to native guest memory (4 threads)")
+	spaceHeaders := append([]string{"benchmark", "native"}, headers[2:]...)
+	report.Table(cfg.Out, spaceHeaders, spaceRows)
+	return nil
+}
+
+// runFig14 sweeps the thread count and reports each tool's average slowdown
+// and space overhead relative to nulgrind, as in the paper's Figure 14.
+func runFig14(cfg Config) error {
+	benchNames := []string{"350.md", "360.ilbdc", "372.smithwa"}
+	threadCounts := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		threadCounts = []int{1, 2, 4}
+	}
+	cases := toolCases()[1:] // relative to nulgrind; skip native
+	repeats := cfg.repeats()
+
+	headers := []string{"threads"}
+	for _, tc := range cases[1:] {
+		headers = append(headers, tc.name)
+	}
+	var timeRows, spaceRows [][]string
+
+	for _, nt := range threadCounts {
+		slow := make(map[string][]float64)
+		over := make(map[string][]float64)
+		for _, name := range benchNames {
+			s, err := workloads.Get(name)
+			if err != nil {
+				return err
+			}
+			params := workloads.Params{Threads: nt, Size: overheadSizeFor(s, cfg)}
+			base, err := measure(s, params, cases[0], repeats) // nulgrind
+			if err != nil {
+				return err
+			}
+			baseSpace := float64(base.guestB)
+			for _, tc := range cases[1:] {
+				mnt, err := measure(s, params, tc, repeats)
+				if err != nil {
+					return err
+				}
+				slow[tc.name] = append(slow[tc.name], mnt.seconds/base.seconds)
+				over[tc.name] = append(over[tc.name], float64(base.guestB+mnt.toolBytes)/baseSpace)
+			}
+		}
+		trow := []string{fmt.Sprint(nt)}
+		srow := []string{fmt.Sprint(nt)}
+		for _, tc := range cases[1:] {
+			trow = append(trow, fmt.Sprintf("%.1f", geomean(slow[tc.name])))
+			srow = append(srow, fmt.Sprintf("%.1f", geomean(over[tc.name])))
+		}
+		timeRows = append(timeRows, trow)
+		spaceRows = append(spaceRows, srow)
+	}
+
+	fmt.Fprintln(cfg.Out, "Fig. 14a — mean slowdown relative to nulgrind vs. thread count")
+	report.Table(cfg.Out, headers, timeRows)
+	fmt.Fprintln(cfg.Out)
+	fmt.Fprintln(cfg.Out, "Fig. 14b — mean space overhead relative to nulgrind-era guest memory vs. thread count")
+	report.Table(cfg.Out, headers, spaceRows)
+	return nil
+}

@@ -1,0 +1,39 @@
+package fit_test
+
+import (
+	"fmt"
+
+	"repro/internal/fit"
+)
+
+// ExampleBest fits a cost plot against the complexity-model basis.
+func ExampleBest() {
+	var pts []fit.Point
+	for n := 4.0; n <= 1024; n *= 2 {
+		pts = append(pts, fit.Point{N: n, Cost: 3*n*n + 10})
+	}
+	best, err := fit.Best(pts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(best.Model.Name)
+	// Output:
+	// O(n^2)
+}
+
+// ExampleFitPowerLaw recovers a free exponent by log-log regression.
+func ExampleFitPowerLaw() {
+	var pts []fit.Point
+	for n := 2.0; n <= 512; n *= 2 {
+		pts = append(pts, fit.Point{N: n, Cost: 5 * n * n * n})
+	}
+	pl, err := fit.FitPowerLaw(pts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("exponent %.1f, coefficient %.1f\n", pl.Exponent, pl.Coeff)
+	// Output:
+	// exponent 3.0, coefficient 5.0
+}

@@ -1,0 +1,90 @@
+package guest
+
+// heap is a simple bump allocator over the guest address space. Addresses
+// are never reused, which keeps every allocation's identity stable for
+// shadow-memory analyses (freed regions stay poisoned for memcheck).
+type heap struct {
+	m    *Machine
+	next Addr
+	size map[Addr]int
+}
+
+// staticBase reserves the low part of the address space for machine-level
+// static allocations (program data); heap blocks start above it.
+const (
+	staticBase Addr = 1 << 10
+	heapBase   Addr = 1 << 32
+)
+
+func newHeap(m *Machine) *heap {
+	return &heap{m: m, next: heapBase, size: make(map[Addr]int)}
+}
+
+func (h *heap) alloc(n int) Addr {
+	if n <= 0 {
+		panic("guest: Alloc of non-positive size")
+	}
+	base := h.next
+	h.next += Addr(n)
+	h.size[base] = n
+	return base
+}
+
+func (h *heap) free(base Addr) int {
+	n, ok := h.size[base]
+	if !ok {
+		panic("guest: Free of unallocated or already-freed address")
+	}
+	delete(h.size, base)
+	return n
+}
+
+// Alloc allocates n fresh memory cells from the guest heap and reports the
+// allocation to tools.
+func (th *Thread) Alloc(n int) Addr {
+	th.step()
+	base := th.m.heap.alloc(n)
+	th.m.emitAlloc(th.id, base, n)
+	return base
+}
+
+// Free releases a heap block previously returned by Alloc.
+func (th *Thread) Free(base Addr) {
+	th.step()
+	n := th.m.heap.free(base)
+	th.m.emitFree(th.id, base, n)
+}
+
+// Static allocates n memory cells outside the guest heap, with no events
+// emitted: the analog of a program's static data segment. It may be called
+// before Run to set up workload inputs.
+func (m *Machine) Static(n int) Addr {
+	if n <= 0 {
+		panic("guest: Static of non-positive size")
+	}
+	if m.staticNext == 0 {
+		m.staticNext = staticBase
+	}
+	base := m.staticNext
+	m.staticNext += Addr(n)
+	if m.staticNext > heapBase {
+		panic("guest: static segment exhausted")
+	}
+	return base
+}
+
+// Preload initializes memory cells without generating events, the analog of
+// a program's initialized data segment. It is intended for pre-run workload
+// setup; reading preloaded cells counts as program input, as it should.
+func (m *Machine) Preload(base Addr, values []uint64) {
+	for i, v := range values {
+		m.mem.store(base+Addr(i), v)
+	}
+}
+
+// Peek reads a memory cell without generating events. It is intended for
+// host-side result verification after a run.
+func (m *Machine) Peek(a Addr) uint64 { return m.mem.load(a) }
+
+// Poke writes a memory cell without generating events (host-side test setup).
+func (m *Machine) Poke(a Addr, v uint64) { m.mem.store(a, v) }

@@ -1,0 +1,54 @@
+package guest
+
+// pageBits selects the page size of the guest memory: pages hold 2^pageBits
+// words. Pages are allocated on demand, so sparse address spaces stay cheap.
+const pageBits = 12
+
+const (
+	pageWords = 1 << pageBits
+	pageMask  = pageWords - 1
+)
+
+// memory is the guest's word-addressed virtual memory.
+type memory struct {
+	pages map[uint64]*page
+	// last caches the most recently touched page, which makes the common
+	// sequential access pattern of guest kernels nearly map-free.
+	lastIdx  uint64
+	lastPage *page
+}
+
+type page struct {
+	words [pageWords]uint64
+}
+
+func newMemory() *memory {
+	return &memory{pages: make(map[uint64]*page)}
+}
+
+func (mem *memory) page(a Addr) *page {
+	idx := uint64(a) >> pageBits
+	if mem.lastPage != nil && mem.lastIdx == idx {
+		return mem.lastPage
+	}
+	p := mem.pages[idx]
+	if p == nil {
+		p = new(page)
+		mem.pages[idx] = p
+	}
+	mem.lastIdx = idx
+	mem.lastPage = p
+	return p
+}
+
+func (mem *memory) load(a Addr) uint64 {
+	return mem.page(a).words[uint64(a)&pageMask]
+}
+
+func (mem *memory) store(a Addr, v uint64) {
+	mem.page(a).words[uint64(a)&pageMask] = v
+}
+
+func (mem *memory) footprint() (pages, words int) {
+	return len(mem.pages), len(mem.pages) * pageWords
+}

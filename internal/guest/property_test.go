@@ -1,0 +1,349 @@
+package guest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSchedulerDeterminism: for random well-formed programs (structured
+// sync, balanced calls), two executions produce identical operation counts,
+// basic-block totals, and final memory states.
+func TestQuickSchedulerDeterminism(t *testing.T) {
+	f := func(seed int64, timeslice8 uint8, threads3 uint8) bool {
+		timeslice := int(timeslice8%31) + 1
+		threads := int(threads3%4) + 1
+		run := func() (uint64, uint64, uint64) {
+			m := NewMachine(Config{Timeslice: timeslice})
+			cells := m.Static(16)
+			mu := m.NewMutex("mu")
+			err := m.Run(func(th *Thread) {
+				var kids []*Thread
+				for w := 0; w < threads; w++ {
+					rng := rand.New(rand.NewSource(seed + int64(w)))
+					kids = append(kids, th.Spawn(fmt.Sprintf("w%d", w), func(c *Thread) {
+						c.Fn("work", func() {
+							for op := 0; op < 60; op++ {
+								cell := cells + Addr(rng.Intn(16))
+								switch rng.Intn(4) {
+								case 0:
+									c.Load(cell)
+								case 1:
+									c.Store(cell, uint64(op))
+								case 2:
+									c.WithLock(mu, func() {
+										c.Store(cell, c.Load(cell)+1)
+									})
+								default:
+									c.Exec(rng.Intn(5) + 1)
+								}
+							}
+						})
+					}))
+				}
+				for _, k := range kids {
+					th.Join(k)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := uint64(0)
+			for i := Addr(0); i < 16; i++ {
+				sum = sum*31 + m.Peek(cells+i)
+			}
+			return m.Ops(), m.BBTotal(), sum
+		}
+		o1, b1, s1 := run()
+		o2, b2, s2 := run()
+		return o1 == o2 && b1 == b2 && s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSemaphoreConservation: random producer/consumer counts with
+// matching totals always complete, and every produced value is consumed.
+func TestQuickSemaphoreConservation(t *testing.T) {
+	f := func(nProd8, nCons8, slice8 uint8) bool {
+		producers := int(nProd8%3) + 1
+		consumers := int(nCons8%3) + 1
+		perProducer := 12
+		total := producers * perProducer
+		// Distribute consumption across consumers.
+		base := total / consumers
+		rem := total % consumers
+
+		m := NewMachine(Config{Timeslice: int(slice8%17) + 1})
+		q := m.NewQueue("q", 3)
+		var consumed uint64
+		err := m.Run(func(th *Thread) {
+			var kids []*Thread
+			for p := 0; p < producers; p++ {
+				p := p
+				kids = append(kids, th.Spawn(fmt.Sprintf("p%d", p), func(c *Thread) {
+					for i := 0; i < perProducer; i++ {
+						c.Put(q, uint64(p*perProducer+i)+1)
+					}
+				}))
+			}
+			for cns := 0; cns < consumers; cns++ {
+				n := base
+				if cns < rem {
+					n++
+				}
+				kids = append(kids, th.Spawn(fmt.Sprintf("c%d", cns), func(c *Thread) {
+					for i := 0; i < n; i++ {
+						v, ok := c.Get(q)
+						if !ok || v == 0 {
+							t.Error("consumer got closed/zero value")
+							return
+						}
+						consumed++
+					}
+				}))
+			}
+			for _, k := range kids {
+				th.Join(k)
+			}
+		})
+		return err == nil && consumed == uint64(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBarrierGenerations: with random worker counts and phases, every
+// worker observes all marks of the previous phase.
+func TestQuickBarrierGenerations(t *testing.T) {
+	f := func(w8, ph8, slice8 uint8) bool {
+		workers := int(w8%5) + 2
+		phases := int(ph8%4) + 2
+		m := NewMachine(Config{Timeslice: int(slice8%7) + 1})
+		bar := m.NewBarrier("b", workers)
+		marks := m.Static(workers * phases)
+		ok := true
+		err := m.Run(func(th *Thread) {
+			var kids []*Thread
+			for w := 0; w < workers; w++ {
+				w := w
+				kids = append(kids, th.Spawn(fmt.Sprintf("w%d", w), func(c *Thread) {
+					for ph := 0; ph < phases; ph++ {
+						if ph > 0 {
+							for i := 0; i < workers; i++ {
+								if c.Load(marks+Addr((ph-1)*workers+i)) != uint64(ph) {
+									ok = false
+								}
+							}
+						}
+						c.Store(marks+Addr(ph*workers+w), uint64(ph+1))
+						c.Arrive(bar)
+					}
+				}))
+			}
+			for _, k := range kids {
+				th.Join(k)
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMemoryIsolation: values stored at distinct addresses never bleed
+// into each other across pages and the heap.
+func TestQuickMemoryIsolation(t *testing.T) {
+	f := func(addrs []uint32, vals []uint16) bool {
+		if len(addrs) == 0 {
+			return true
+		}
+		if len(vals) < len(addrs) {
+			return true
+		}
+		m := NewMachine(Config{})
+		ref := make(map[Addr]uint64)
+		err := m.Run(func(th *Thread) {
+			for i, a32 := range addrs {
+				a := Addr(a32)
+				v := uint64(vals[i]) + 1
+				th.Store(a, v)
+				ref[a] = v
+			}
+		})
+		if err != nil {
+			return false
+		}
+		for a, v := range ref {
+			if m.Peek(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinAlreadyDead: joining a thread that already exited returns
+// immediately (regression guard for the joiner bookkeeping).
+func TestJoinAlreadyDead(t *testing.T) {
+	m := NewMachine(Config{})
+	err := m.Run(func(th *Thread) {
+		k := th.Spawn("quick", func(c *Thread) { c.Exec(1) })
+		// Let the child run to completion first.
+		for i := 0; i < 10; i++ {
+			th.Yield()
+		}
+		th.Join(k) // child already dead
+		th.Join(k) // double join is fine
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCondBroadcastWakesAll ensures no waiter is lost on broadcast.
+func TestCondBroadcastWakesAll(t *testing.T) {
+	m := NewMachine(Config{Timeslice: 1})
+	mu := m.NewMutex("mu")
+	cond := m.NewCond("cv")
+	flag := m.Static(1)
+	woken := m.Static(1)
+	const waiters = 5
+	err := m.Run(func(th *Thread) {
+		var kids []*Thread
+		for w := 0; w < waiters; w++ {
+			kids = append(kids, th.Spawn(fmt.Sprintf("w%d", w), func(c *Thread) {
+				c.Lock(mu)
+				for c.Load(flag) == 0 {
+					c.Wait(cond, mu)
+				}
+				c.Store(woken, c.Load(woken)+1)
+				c.Unlock(mu)
+			}))
+		}
+		// Give waiters time to park.
+		for i := 0; i < 50; i++ {
+			th.Yield()
+		}
+		th.Lock(mu)
+		th.Store(flag, 1)
+		th.Broadcast(cond)
+		th.Unlock(mu)
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(woken); got != waiters {
+		t.Errorf("woken = %d, want %d", got, waiters)
+	}
+}
+
+// TestSeededSchedulingDeterministicPerSeed: the same seed reproduces the
+// same interleaving; different seeds (usually) differ.
+func TestSeededSchedulingDeterministicPerSeed(t *testing.T) {
+	signature := func(seed int64) string {
+		rec := &recorder{}
+		m := NewMachine(Config{Timeslice: 2, SchedSeed: seed, Tools: []Tool{rec}})
+		cells := m.Static(8)
+		err := m.Run(func(th *Thread) {
+			var kids []*Thread
+			for w := 0; w < 3; w++ {
+				base := cells + Addr(w)
+				kids = append(kids, th.Spawn(fmt.Sprintf("w%d", w), func(c *Thread) {
+					for i := 0; i < 20; i++ {
+						c.Store(base, uint64(i))
+						c.Load(base)
+					}
+				}))
+			}
+			for _, k := range kids {
+				th.Join(k)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(rec.events, "\n")
+	}
+	if signature(7) != signature(7) {
+		t.Error("same seed produced different interleavings")
+	}
+	diverged := false
+	for seed := int64(1); seed <= 8; seed++ {
+		if signature(seed) != signature(seed+100) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("8 seed pairs all produced identical interleavings")
+	}
+}
+
+func TestRWLockReadersShareWritersExclude(t *testing.T) {
+	m := NewMachine(Config{Timeslice: 1})
+	rw := m.NewRWLock("data")
+	data := m.Static(1)
+	concurrent := m.Static(1) // max readers observed inside the lock
+	inside := 0
+	err := m.Run(func(th *Thread) {
+		var kids []*Thread
+		for r := 0; r < 3; r++ {
+			kids = append(kids, th.Spawn(fmt.Sprintf("r%d", r), func(c *Thread) {
+				for i := 0; i < 10; i++ {
+					c.RLock(rw)
+					inside++
+					if uint64(inside) > c.Load(concurrent) {
+						c.Store(concurrent, uint64(inside))
+					}
+					c.Load(data)
+					inside--
+					c.RUnlock(rw)
+				}
+			}))
+		}
+		kids = append(kids, th.Spawn("w", func(c *Thread) {
+			for i := 0; i < 10; i++ {
+				c.WLock(rw)
+				if inside != 0 {
+					t.Error("writer entered with readers inside")
+				}
+				c.Store(data, uint64(i))
+				c.WUnlock(rw)
+			}
+		}))
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(concurrent); got < 2 {
+		t.Errorf("max concurrent readers = %d, want >= 2 (readers never overlapped)", got)
+	}
+}
+
+func TestRWLockMisuse(t *testing.T) {
+	m := NewMachine(Config{})
+	rw := m.NewRWLock("x")
+	if err := m.Run(func(th *Thread) { th.RUnlock(rw) }); err == nil {
+		t.Error("RUnlock without RLock succeeded")
+	}
+	m2 := NewMachine(Config{})
+	rw2 := m2.NewRWLock("y")
+	if err := m2.Run(func(th *Thread) { th.WUnlock(rw2) }); err == nil {
+		t.Error("WUnlock without WLock succeeded")
+	}
+}

@@ -1,0 +1,80 @@
+package guest
+
+// Queue is a bounded FIFO whose payload and control cells live in guest
+// memory, so passing values between threads produces the shared-memory
+// traffic the trms metric is designed to observe (the producer–consumer
+// pattern of the paper's Figure 2).
+type Queue struct {
+	mu       *Mutex
+	notEmpty *Cond
+	notFull  *Cond
+
+	buf  Addr // capacity payload cells
+	head Addr // control cell: next slot to read
+	tail Addr // control cell: next slot to write
+	size Addr // control cell: current element count
+	cap  uint64
+
+	closed bool
+}
+
+// NewQueue returns a queue with the given capacity. The payload buffer and
+// control cells are allocated from machine static memory.
+func (m *Machine) NewQueue(name string, capacity int) *Queue {
+	if capacity <= 0 {
+		panic("guest: queue capacity must be positive")
+	}
+	base := m.Static(capacity + 3)
+	return &Queue{
+		mu:       m.NewMutex("queue:" + name),
+		notEmpty: m.NewCond("queue-notempty:" + name),
+		notFull:  m.NewCond("queue-notfull:" + name),
+		buf:      base,
+		head:     base + Addr(capacity),
+		tail:     base + Addr(capacity) + 1,
+		size:     base + Addr(capacity) + 2,
+		cap:      uint64(capacity),
+	}
+}
+
+// Put appends v, blocking while the queue is full.
+func (th *Thread) Put(q *Queue, v uint64) {
+	th.Lock(q.mu)
+	for th.Load(q.size) == q.cap {
+		th.Wait(q.notFull, q.mu)
+	}
+	tail := th.Load(q.tail)
+	th.Store(q.buf+Addr(tail), v)
+	th.Store(q.tail, (tail+1)%q.cap)
+	th.Store(q.size, th.Load(q.size)+1)
+	th.Signal(q.notEmpty)
+	th.Unlock(q.mu)
+}
+
+// Get removes and returns the oldest element. It blocks while the queue is
+// empty; if the queue is closed and drained, ok is false.
+func (th *Thread) Get(q *Queue) (v uint64, ok bool) {
+	th.Lock(q.mu)
+	for th.Load(q.size) == 0 && !q.closed {
+		th.Wait(q.notEmpty, q.mu)
+	}
+	if th.Load(q.size) == 0 {
+		th.Unlock(q.mu)
+		return 0, false
+	}
+	head := th.Load(q.head)
+	v = th.Load(q.buf + Addr(head))
+	th.Store(q.head, (head+1)%q.cap)
+	th.Store(q.size, th.Load(q.size)-1)
+	th.Signal(q.notFull)
+	th.Unlock(q.mu)
+	return v, true
+}
+
+// Close marks the queue closed; Get returns ok=false once it drains.
+func (th *Thread) Close(q *Queue) {
+	th.Lock(q.mu)
+	q.closed = true
+	th.Broadcast(q.notEmpty)
+	th.Unlock(q.mu)
+}

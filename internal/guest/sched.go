@@ -1,0 +1,120 @@
+package guest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// errAborted is the panic value used to unwind guest goroutines after the
+// run has been aborted (deadlock or guest panic).
+var errAborted = errors.New("guest: run aborted")
+
+type threadState uint8
+
+const (
+	threadNew threadState = iota
+	threadRunnable
+	threadRunning
+	threadBlocked
+	threadDone
+)
+
+// scheduler serializes guest threads. Exactly one thread executes at a time;
+// runnable threads wait in a FIFO queue, which yields round-robin rotation —
+// the analog of Valgrind's fair thread scheduler.
+type scheduler struct {
+	runnable []*Thread
+	live     int
+	done     chan struct{}
+
+	// rng, when non-nil, randomizes which runnable thread runs next
+	// (Config.SchedSeed); nil selects strict round-robin.
+	rng *rand.Rand
+
+	// exitMu protects live-count bookkeeping on the abort path, where
+	// several unwinding goroutines may exit concurrently. In normal
+	// execution there is no contention: only one guest thread runs.
+	exitMu sync.Mutex
+}
+
+func (s *scheduler) setRunning(th *Thread) {
+	th.state = threadRunning
+}
+
+func (s *scheduler) enqueue(th *Thread) {
+	th.state = threadRunnable
+	th.blockedOn = ""
+	s.runnable = append(s.runnable, th)
+}
+
+// pick removes and returns the next runnable thread, or nil if none exists.
+// Round-robin (FIFO) by default; a seeded machine picks uniformly among the
+// runnable threads, exploring a different legal interleaving per seed.
+func (s *scheduler) pick() *Thread {
+	if len(s.runnable) == 0 {
+		return nil
+	}
+	i := 0
+	if s.rng != nil {
+		i = s.rng.Intn(len(s.runnable))
+	}
+	th := s.runnable[i]
+	copy(s.runnable[i:], s.runnable[i+1:])
+	s.runnable = s.runnable[:len(s.runnable)-1]
+	return th
+}
+
+// handoff transfers control from one guest thread to another, reporting the
+// switch to attached tools.
+func (m *Machine) handoff(from, to *Thread) {
+	to.state = threadRunning
+	m.running = to.id
+	m.emitSwitch(from.id, to.id)
+	to.resume <- struct{}{}
+}
+
+// yield rotates the scheduler if other threads are runnable. The current
+// thread is requeued and parks until rescheduled.
+func (th *Thread) yield() {
+	m := th.m
+	th.slice = m.cfg.Timeslice
+	if len(m.sched.runnable) == 0 {
+		return
+	}
+	m.sched.enqueue(th)
+	next := m.sched.pick()
+	m.handoff(th, next)
+	<-th.resume
+	th.checkAborted()
+}
+
+// block parks the current thread on a synchronization condition described by
+// why. Another thread (or device completion) must re-enqueue it via wake.
+// block detects deadlock: if no other thread is runnable, the run aborts.
+func (th *Thread) block(why string) {
+	m := th.m
+	th.state = threadBlocked
+	th.blockedOn = why
+	next := m.sched.pick()
+	if next == nil {
+		m.abort(fmt.Errorf("guest: deadlock: thread %s(#%d) blocked on %s with no runnable threads; %s",
+			th.name, th.id, why, m.deadlockState()), th)
+		panic(errAborted)
+	}
+	m.handoff(th, next)
+	<-th.resume
+	th.checkAborted()
+}
+
+// wake makes a blocked thread runnable again.
+func (m *Machine) wake(th *Thread) {
+	m.sched.enqueue(th)
+}
+
+func (th *Thread) checkAborted() {
+	if th.m.aborted != nil {
+		panic(errAborted)
+	}
+}

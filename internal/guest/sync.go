@@ -1,0 +1,270 @@
+package guest
+
+// Synchronization primitives for guest threads. They are implemented inside
+// the machine (not over guest memory ops) but report acquire/release events
+// to tools, mirroring how Valgrind tools intercept pthread primitives.
+
+// Sem is a counting semaphore.
+type Sem struct {
+	m       *Machine
+	id      SyncID
+	name    string
+	count   int
+	waiters []*Thread
+}
+
+// NewSem returns a semaphore with the given initial count.
+func (m *Machine) NewSem(name string, count int) *Sem {
+	if count < 0 {
+		panic("guest: negative semaphore count")
+	}
+	return &Sem{m: m, id: m.newSyncID("sem:" + name), name: name, count: count}
+}
+
+// P performs the wait (down) operation on s, blocking while its count is 0.
+func (th *Thread) P(s *Sem) {
+	th.step()
+	for s.count == 0 {
+		s.waiters = append(s.waiters, th)
+		th.block("sem:" + s.name)
+	}
+	s.count--
+	th.m.emitSync(th.id, SyncAcquire, s.id)
+}
+
+// V performs the signal (up) operation on s.
+func (th *Thread) V(s *Sem) {
+	th.step()
+	th.m.emitSync(th.id, SyncRelease, s.id)
+	s.count++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		copy(s.waiters, s.waiters[1:])
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		th.m.wake(w)
+	}
+}
+
+// Mutex is a mutual-exclusion lock.
+type Mutex struct {
+	m       *Machine
+	id      SyncID
+	name    string
+	owner   *Thread
+	waiters []*Thread
+}
+
+// NewMutex returns an unlocked mutex.
+func (m *Machine) NewMutex(name string) *Mutex {
+	return &Mutex{m: m, id: m.newSyncID("mutex:" + name), name: name}
+}
+
+// Lock acquires mu, blocking while another thread holds it.
+func (th *Thread) Lock(mu *Mutex) {
+	th.step()
+	th.lockSlow(mu)
+}
+
+func (th *Thread) lockSlow(mu *Mutex) {
+	if mu.owner == th {
+		panic("guest: recursive Lock of mutex " + mu.name)
+	}
+	for mu.owner != nil {
+		mu.waiters = append(mu.waiters, th)
+		th.block("mutex:" + mu.name)
+	}
+	mu.owner = th
+	th.m.emitSync(th.id, SyncAcquire, mu.id)
+}
+
+// Unlock releases mu, which must be held by the calling thread.
+func (th *Thread) Unlock(mu *Mutex) {
+	th.step()
+	th.unlockSlow(mu)
+}
+
+func (th *Thread) unlockSlow(mu *Mutex) {
+	if mu.owner != th {
+		panic("guest: Unlock of mutex " + mu.name + " not held by caller")
+	}
+	th.m.emitSync(th.id, SyncRelease, mu.id)
+	mu.owner = nil
+	if len(mu.waiters) > 0 {
+		w := mu.waiters[0]
+		copy(mu.waiters, mu.waiters[1:])
+		mu.waiters = mu.waiters[:len(mu.waiters)-1]
+		th.m.wake(w)
+	}
+}
+
+// WithLock runs body while holding mu.
+func (th *Thread) WithLock(mu *Mutex, body func()) {
+	th.Lock(mu)
+	body()
+	th.Unlock(mu)
+}
+
+// Cond is a condition variable with Mesa semantics: Wait may wake spuriously
+// with respect to the condition, so callers re-check in a loop.
+type Cond struct {
+	m       *Machine
+	id      SyncID
+	name    string
+	waiters []*Thread
+}
+
+// NewCond returns a condition variable.
+func (m *Machine) NewCond(name string) *Cond {
+	return &Cond{m: m, id: m.newSyncID("cond:" + name), name: name}
+}
+
+// Wait atomically releases mu and parks on c; once woken it re-acquires mu
+// before returning.
+func (th *Thread) Wait(c *Cond, mu *Mutex) {
+	th.step()
+	th.unlockSlow(mu)
+	c.waiters = append(c.waiters, th)
+	th.block("cond:" + c.name)
+	th.m.emitSync(th.id, SyncAcquire, c.id)
+	th.lockSlow(mu)
+}
+
+// Signal wakes one waiter of c, if any.
+func (th *Thread) Signal(c *Cond) {
+	th.step()
+	th.m.emitSync(th.id, SyncRelease, c.id)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
+		th.m.wake(w)
+	}
+}
+
+// Broadcast wakes every waiter of c.
+func (th *Thread) Broadcast(c *Cond) {
+	th.step()
+	th.m.emitSync(th.id, SyncRelease, c.id)
+	for _, w := range c.waiters {
+		th.m.wake(w)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Barrier blocks groups of n threads until all have arrived.
+type Barrier struct {
+	m       *Machine
+	id      SyncID
+	name    string
+	n       int
+	arrived int
+	gen     uint64
+	waiters []*Thread
+}
+
+// NewBarrier returns a barrier for groups of n threads.
+func (m *Machine) NewBarrier(name string, n int) *Barrier {
+	if n <= 0 {
+		panic("guest: barrier size must be positive")
+	}
+	return &Barrier{m: m, id: m.newSyncID("barrier:" + name), name: name, n: n}
+}
+
+// Arrive blocks until n threads (including the caller) have arrived at the
+// barrier's current generation.
+func (th *Thread) Arrive(b *Barrier) {
+	th.step()
+	th.m.emitSync(th.id, SyncRelease, b.id)
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		for _, w := range b.waiters {
+			th.m.wake(w)
+		}
+		b.waiters = b.waiters[:0]
+		th.m.emitSync(th.id, SyncAcquire, b.id)
+		return
+	}
+	gen := b.gen
+	for b.gen == gen {
+		b.waiters = append(b.waiters, th)
+		th.block("barrier:" + b.name)
+	}
+	th.m.emitSync(th.id, SyncAcquire, b.id)
+}
+
+// RWLock is a readers-writer lock: any number of readers or one writer.
+// For happens-before analyses, write-unlock releases and every lock
+// operation acquires; read-unlock also releases, which over-approximates
+// ordering between readers (harmless: concurrent reads cannot race).
+type RWLock struct {
+	m       *Machine
+	id      SyncID
+	name    string
+	readers int
+	writer  *Thread
+	waiters []*Thread
+}
+
+// NewRWLock returns an unlocked readers-writer lock.
+func (m *Machine) NewRWLock(name string) *RWLock {
+	return &RWLock{m: m, id: m.newSyncID("rwlock:" + name), name: name}
+}
+
+// RLock acquires the lock for reading, blocking while a writer holds it.
+func (th *Thread) RLock(rw *RWLock) {
+	th.step()
+	for rw.writer != nil {
+		rw.waiters = append(rw.waiters, th)
+		th.block("rwlock-r:" + rw.name)
+	}
+	rw.readers++
+	th.m.emitSync(th.id, SyncAcquire, rw.id)
+}
+
+// RUnlock releases a read hold.
+func (th *Thread) RUnlock(rw *RWLock) {
+	th.step()
+	if rw.readers <= 0 {
+		panic("guest: RUnlock of rwlock " + rw.name + " with no readers")
+	}
+	th.m.emitSync(th.id, SyncRelease, rw.id)
+	rw.readers--
+	if rw.readers == 0 {
+		rw.wakeAll(th)
+	}
+}
+
+// WLock acquires the lock for writing, blocking while readers or another
+// writer hold it.
+func (th *Thread) WLock(rw *RWLock) {
+	th.step()
+	if rw.writer == th {
+		panic("guest: recursive WLock of rwlock " + rw.name)
+	}
+	for rw.writer != nil || rw.readers > 0 {
+		rw.waiters = append(rw.waiters, th)
+		th.block("rwlock-w:" + rw.name)
+	}
+	rw.writer = th
+	th.m.emitSync(th.id, SyncAcquire, rw.id)
+}
+
+// WUnlock releases the write hold.
+func (th *Thread) WUnlock(rw *RWLock) {
+	th.step()
+	if rw.writer != th {
+		panic("guest: WUnlock of rwlock " + rw.name + " not held by caller")
+	}
+	th.m.emitSync(th.id, SyncRelease, rw.id)
+	rw.writer = nil
+	rw.wakeAll(th)
+}
+
+func (rw *RWLock) wakeAll(th *Thread) {
+	for _, w := range rw.waiters {
+		th.m.wake(w)
+	}
+	rw.waiters = rw.waiters[:0]
+}

@@ -1,0 +1,200 @@
+package guest
+
+// Env gives tools access to the interned names of the event stream they
+// observe. A live Machine implements Env; a trace replayer provides one from
+// the recorded name tables, so tools work identically online and offline.
+type Env interface {
+	// RoutineName resolves an interned routine id.
+	RoutineName(RoutineID) string
+	// SyncName resolves a synchronization-object id.
+	SyncName(SyncID) string
+	// NumRoutines and NumSyncs bound the id spaces seen so far.
+	NumRoutines() int
+	NumSyncs() int
+	// Now returns the current event timestamp: a value that increases
+	// monotonically across the event stream (the machine's operation
+	// counter online, the recorded timestamp during replay).
+	Now() uint64
+}
+
+// Tool is the analysis-tool callback interface, the analog of a Valgrind
+// tool's instrumentation hooks. The machine invokes the hooks synchronously,
+// in guest execution order; because guest threads are serialized, hooks never
+// run concurrently.
+//
+// The bb arguments of Call and Return carry the calling thread's cumulative
+// basic-block count at the instant of the event, so tools can compute
+// per-activation cumulative costs without tracking every block.
+type Tool interface {
+	// Attach is invoked once before execution starts.
+	Attach(env Env)
+
+	// Call reports that thread t activated routine r.
+	Call(t ThreadID, r RoutineID, bb uint64)
+	// Return reports that thread t completed its topmost activation of r.
+	Return(t ThreadID, r RoutineID, bb uint64)
+
+	// Read and Write report ordinary memory accesses by thread t.
+	Read(t ThreadID, a Addr)
+	Write(t ThreadID, a Addr)
+
+	// KernelRead reports that the kernel read memory cell a on behalf of
+	// thread t (the thread sent the cell's data to an external device).
+	// KernelWrite reports that the kernel wrote cell a on behalf of thread
+	// t (the thread loaded external data into memory).
+	KernelRead(t ThreadID, a Addr)
+	KernelWrite(t ThreadID, a Addr)
+
+	// SwitchThread reports a scheduler handoff between two guest threads.
+	SwitchThread(from, to ThreadID)
+
+	// ThreadStart and ThreadExit bracket a guest thread's lifetime.
+	// ThreadStart(t, parent) happens after parent's spawning operation;
+	// parent is 0 for the main thread.
+	ThreadStart(t, parent ThreadID)
+	ThreadExit(t ThreadID)
+
+	// Sync reports a synchronization event on object s: release events
+	// publish thread t's progress to s, acquire events import it.
+	Sync(t ThreadID, kind SyncKind, s SyncID)
+
+	// Alloc and Free report guest heap activity.
+	Alloc(t ThreadID, base Addr, n int)
+	Free(t ThreadID, base Addr, n int)
+
+	// Finish is invoked once after the last guest thread exits.
+	Finish()
+}
+
+// BaseTool is a Tool with no-op hooks, intended for embedding so tools only
+// implement the events they care about.
+type BaseTool struct{}
+
+// Attach implements Tool.
+func (BaseTool) Attach(Env) {}
+
+// Call implements Tool.
+func (BaseTool) Call(ThreadID, RoutineID, uint64) {}
+
+// Return implements Tool.
+func (BaseTool) Return(ThreadID, RoutineID, uint64) {}
+
+// Read implements Tool.
+func (BaseTool) Read(ThreadID, Addr) {}
+
+// Write implements Tool.
+func (BaseTool) Write(ThreadID, Addr) {}
+
+// KernelRead implements Tool.
+func (BaseTool) KernelRead(ThreadID, Addr) {}
+
+// KernelWrite implements Tool.
+func (BaseTool) KernelWrite(ThreadID, Addr) {}
+
+// SwitchThread implements Tool.
+func (BaseTool) SwitchThread(ThreadID, ThreadID) {}
+
+// ThreadStart implements Tool.
+func (BaseTool) ThreadStart(ThreadID, ThreadID) {}
+
+// ThreadExit implements Tool.
+func (BaseTool) ThreadExit(ThreadID) {}
+
+// Sync implements Tool.
+func (BaseTool) Sync(ThreadID, SyncKind, SyncID) {}
+
+// Alloc implements Tool.
+func (BaseTool) Alloc(ThreadID, Addr, int) {}
+
+// Free implements Tool.
+func (BaseTool) Free(ThreadID, Addr, int) {}
+
+// Finish implements Tool.
+func (BaseTool) Finish() {}
+
+// Event dispatch helpers. Each guest operation funnels through exactly one of
+// these, which also advance the machine's operation counter.
+
+func (m *Machine) emitCall(t ThreadID, r RoutineID, bb uint64) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.Call(t, r, bb)
+	}
+}
+
+func (m *Machine) emitReturn(t ThreadID, r RoutineID, bb uint64) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.Return(t, r, bb)
+	}
+}
+
+func (m *Machine) emitRead(t ThreadID, a Addr) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.Read(t, a)
+	}
+}
+
+func (m *Machine) emitWrite(t ThreadID, a Addr) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.Write(t, a)
+	}
+}
+
+func (m *Machine) emitKernelRead(t ThreadID, a Addr) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.KernelRead(t, a)
+	}
+}
+
+func (m *Machine) emitKernelWrite(t ThreadID, a Addr) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.KernelWrite(t, a)
+	}
+}
+
+func (m *Machine) emitSwitch(from, to ThreadID) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.SwitchThread(from, to)
+	}
+}
+
+func (m *Machine) emitThreadStart(t, parent ThreadID) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.ThreadStart(t, parent)
+	}
+}
+
+func (m *Machine) emitThreadExit(t ThreadID) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.ThreadExit(t)
+	}
+}
+
+func (m *Machine) emitSync(t ThreadID, kind SyncKind, s SyncID) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.Sync(t, kind, s)
+	}
+}
+
+func (m *Machine) emitAlloc(t ThreadID, base Addr, n int) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.Alloc(t, base, n)
+	}
+}
+
+func (m *Machine) emitFree(t ThreadID, base Addr, n int) {
+	m.ops++
+	for _, tl := range m.tools {
+		tl.Free(t, base, n)
+	}
+}

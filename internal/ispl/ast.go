@@ -1,0 +1,211 @@
+package ispl
+
+// Abstract syntax tree. Every node carries its source position for error
+// reporting through resolution and compilation.
+
+// File is a parsed ISPL source file.
+type File struct {
+	Vars  []*VarDecl
+	Sems  []*SemDecl
+	Locks []*LockDecl
+	Funcs []*FuncDecl
+}
+
+// VarDecl declares a global scalar (Size == 0) or array.
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Size int // cells; 0 means scalar (1 cell)
+}
+
+// SemDecl declares a counting semaphore with an initial count.
+type SemDecl struct {
+	Pos  Pos
+	Name string
+	Init uint64
+}
+
+// LockDecl declares a mutex.
+type LockDecl struct {
+	Pos  Pos
+	Name string
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   *Block
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtPos() Pos }
+
+// Block is a brace-delimited statement list with its own local scope.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// LocalDecl declares a function-local scalar, optionally initialized.
+type LocalDecl struct {
+	Pos  Pos
+	Name string
+	Init Expr // nil: zero
+}
+
+// Assign writes a scalar (Index == nil) or an array element.
+type Assign struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalar targets
+	Value Expr
+}
+
+// If is a conditional with an optional else block.
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else *Block // nil if absent
+}
+
+// While is a pre-tested loop.
+type While struct {
+	Pos  Pos
+	Cond Expr
+	Body *Block
+}
+
+// Return exits the current function with an optional value (default 0).
+type Return struct {
+	Pos   Pos
+	Value Expr // nil: return 0
+}
+
+// Print reports a value to the host.
+type Print struct {
+	Pos Pos
+	Arg Expr
+}
+
+// SemOp is p(sem) or v(sem).
+type SemOp struct {
+	Pos  Pos
+	IsP  bool
+	Name string
+}
+
+// LockOp is acquire(lock) or release(lock).
+type LockOp struct {
+	Pos       Pos
+	IsAcquire bool
+	Name      string
+}
+
+// Join waits for a spawned thread handle.
+type Join struct {
+	Pos    Pos
+	Handle Expr
+}
+
+// Read fills array[off..off+n) from the program's input device (a kernel
+// write per cell). Write sends array[off..off+n) to the output device.
+type Read struct {
+	Pos    Pos
+	Array  string
+	Off, N Expr
+}
+
+// Write sends array cells to the output device (kernel reads).
+type Write struct {
+	Pos    Pos
+	Array  string
+	Off, N Expr
+}
+
+// Assert aborts the run with a positioned error if its condition is zero.
+type Assert struct {
+	Pos  Pos
+	Cond Expr
+}
+
+// ExprStmt evaluates an expression for its effects (a call).
+type ExprStmt struct {
+	Pos Pos
+	E   Expr
+}
+
+func (s *Block) stmtPos() Pos     { return s.Pos }
+func (s *LocalDecl) stmtPos() Pos { return s.Pos }
+func (s *Assign) stmtPos() Pos    { return s.Pos }
+func (s *If) stmtPos() Pos        { return s.Pos }
+func (s *While) stmtPos() Pos     { return s.Pos }
+func (s *Return) stmtPos() Pos    { return s.Pos }
+func (s *Print) stmtPos() Pos     { return s.Pos }
+func (s *SemOp) stmtPos() Pos     { return s.Pos }
+func (s *LockOp) stmtPos() Pos    { return s.Pos }
+func (s *Join) stmtPos() Pos      { return s.Pos }
+func (s *Read) stmtPos() Pos      { return s.Pos }
+func (s *Write) stmtPos() Pos     { return s.Pos }
+func (s *Assert) stmtPos() Pos    { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos  { return s.Pos }
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprPos() Pos }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Pos Pos
+	V   uint64
+}
+
+// VarRef reads a scalar variable (global or local).
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// BinaryExpr applies a binary operator; && and || short-circuit.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   tokenKind
+	L, R Expr
+}
+
+// UnaryExpr applies unary - or !.
+type UnaryExpr struct {
+	Pos Pos
+	Op  tokenKind
+	E   Expr
+}
+
+// CallExpr calls a function and yields its return value.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// SpawnExpr starts a function on a new thread and yields a join handle.
+type SpawnExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (e *NumLit) exprPos() Pos     { return e.Pos }
+func (e *VarRef) exprPos() Pos     { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }
+func (e *SpawnExpr) exprPos() Pos  { return e.Pos }

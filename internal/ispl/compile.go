@@ -1,0 +1,682 @@
+package ispl
+
+import "fmt"
+
+// Bytecode. Each instruction carries its source position so runtime errors
+// (division by zero, out-of-bounds indexing, stack overflow) point at code.
+
+type opcode uint8
+
+const (
+	opConst       opcode = iota // push imm
+	opLoadLocal                 // push locals[a]
+	opStoreLocal                // locals[a] = pop
+	opLoadGlobal                // push globals[a]
+	opStoreGlobal               // globals[a] = pop
+	opLoadIndex                 // idx = pop; push globals[a + idx] (bounds b)
+	opStoreIndex                // v = pop; idx = pop; globals[a+idx] = v (bounds b)
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opMod
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opNot
+	opNeg
+	opJump  // pc = a
+	opJumpZ // if pop == 0 { pc = a }
+	opCall  // call funcs[a]; args on stack; push result
+	opSpawn // spawn funcs[a]; args on stack; push handle
+	opJoin  // join handle = pop
+	opRet   // return pop
+	opPrint // print pop
+	opSemP  // p(sems[a])
+	opSemV  // v(sems[a])
+	opLockAcq
+	opLockRel
+	opRead   // n = pop; off = pop; device -> globals[a+off .. +n) (bounds b)
+	opWrite  // n = pop; off = pop; globals[a+off .. +n) -> device
+	opPop    // discard top
+	opAssert // abort the run if pop == 0
+)
+
+var opNames = [...]string{
+	opConst: "const", opLoadLocal: "loadl", opStoreLocal: "storel",
+	opLoadGlobal: "loadg", opStoreGlobal: "storeg",
+	opLoadIndex: "loadidx", opStoreIndex: "storeidx",
+	opAdd: "add", opSub: "sub", opMul: "mul", opDiv: "div", opMod: "mod",
+	opEq: "eq", opNe: "ne", opLt: "lt", opLe: "le", opGt: "gt", opGe: "ge",
+	opNot: "not", opNeg: "neg", opJump: "jump", opJumpZ: "jumpz",
+	opCall: "call", opSpawn: "spawn", opJoin: "join", opRet: "ret",
+	opPrint: "print", opSemP: "semp", opSemV: "semv",
+	opLockAcq: "acquire", opLockRel: "release",
+	opRead: "read", opWrite: "write", opPop: "pop", opAssert: "assert",
+}
+
+// instr is one bytecode instruction.
+type instr struct {
+	op  opcode
+	a   int    // slot / global offset / jump target / object index
+	b   int    // array bound for indexed ops
+	imm uint64 // literal for opConst
+	pos Pos
+}
+
+func (in instr) String() string {
+	return fmt.Sprintf("%-8s a=%d b=%d imm=%d", opNames[in.op], in.a, in.b, in.imm)
+}
+
+// compiledFunc is one compiled function.
+type compiledFunc struct {
+	name    string
+	arity   int
+	nlocals int
+	code    []instr
+}
+
+// globalInfo records one global's layout in the globals segment.
+type globalInfo struct {
+	name   string
+	offset int
+	size   int // cells (1 for scalars)
+	array  bool
+}
+
+// Program is a compiled ISPL program, ready to Build onto a guest machine.
+type Program struct {
+	funcs   []*compiledFunc
+	mainIdx int
+
+	globals     []globalInfo
+	globalCells int
+
+	sems  []SemDecl
+	locks []string
+
+	// StackCells is the per-thread guest stack for locals; Compile sets
+	// the default, callers may raise it before Build for deep recursion.
+	StackCells int
+
+	// StepBudget, when positive, bounds the total number of bytecode
+	// instructions a run may execute (across all threads); exceeding it is
+	// a runtime error. Zero means unlimited. Used to bound adversarial or
+	// fuzzed programs.
+	StepBudget int64
+}
+
+// Disassemble renders a function's bytecode (for tests and debugging).
+func (p *Program) Disassemble(fn string) string {
+	for _, f := range p.funcs {
+		if f.name == fn {
+			out := fmt.Sprintf("func %s (arity %d, locals %d)\n", f.name, f.arity, f.nlocals)
+			for i, in := range f.code {
+				out += fmt.Sprintf("  %3d: %s\n", i, in)
+			}
+			return out
+		}
+	}
+	return fmt.Sprintf("func %s: not compiled\n", fn)
+}
+
+// Functions lists the compiled function names.
+func (p *Program) Functions() []string {
+	var out []string
+	for _, f := range p.funcs {
+		out = append(out, f.name)
+	}
+	return out
+}
+
+// Compile parses, resolves and compiles ISPL source.
+func Compile(src string) (*Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return compileFile(file)
+}
+
+// symbol kinds for resolution.
+type symbolKind uint8
+
+const (
+	symScalar symbolKind = iota
+	symArray
+	symSem
+	symLock
+	symFunc
+	symLocal
+)
+
+func (k symbolKind) String() string {
+	switch k {
+	case symScalar:
+		return "global scalar"
+	case symArray:
+		return "global array"
+	case symSem:
+		return "semaphore"
+	case symLock:
+		return "lock"
+	case symFunc:
+		return "function"
+	case symLocal:
+		return "local variable"
+	default:
+		return "symbol"
+	}
+}
+
+type symbol struct {
+	kind  symbolKind
+	index int // global offset / sem index / lock index / func index / local slot
+	size  int // array size
+}
+
+type compiler struct {
+	prog    *Program
+	globals map[string]symbol
+	funcIdx map[string]int
+}
+
+func compileFile(f *File) (*Program, error) {
+	c := &compiler{
+		prog:    &Program{mainIdx: -1, StackCells: 1 << 14},
+		globals: make(map[string]symbol),
+		funcIdx: make(map[string]int),
+	}
+
+	declare := func(pos Pos, name string, s symbol) error {
+		if prev, dup := c.globals[name]; dup {
+			return errf(pos, "%s %q redeclares a %s", s.kind, name, prev.kind)
+		}
+		c.globals[name] = s
+		return nil
+	}
+
+	for _, d := range f.Vars {
+		size := d.Size
+		kind := symArray
+		if size == 0 {
+			size = 1
+			kind = symScalar
+		}
+		if err := declare(d.Pos, d.Name, symbol{kind: kind, index: c.prog.globalCells, size: size}); err != nil {
+			return nil, err
+		}
+		c.prog.globals = append(c.prog.globals, globalInfo{
+			name: d.Name, offset: c.prog.globalCells, size: size, array: kind == symArray,
+		})
+		c.prog.globalCells += size
+	}
+	for _, d := range f.Sems {
+		if err := declare(d.Pos, d.Name, symbol{kind: symSem, index: len(c.prog.sems)}); err != nil {
+			return nil, err
+		}
+		c.prog.sems = append(c.prog.sems, *d)
+	}
+	for _, d := range f.Locks {
+		if err := declare(d.Pos, d.Name, symbol{kind: symLock, index: len(c.prog.locks)}); err != nil {
+			return nil, err
+		}
+		c.prog.locks = append(c.prog.locks, d.Name)
+	}
+	for _, d := range f.Funcs {
+		if err := declare(d.Pos, d.Name, symbol{kind: symFunc, index: len(c.prog.funcs)}); err != nil {
+			return nil, err
+		}
+		c.funcIdx[d.Name] = len(c.prog.funcs)
+		c.prog.funcs = append(c.prog.funcs, &compiledFunc{name: d.Name, arity: len(d.Params)})
+	}
+
+	for i, d := range f.Funcs {
+		fc := &funcCompiler{c: c, fn: c.prog.funcs[i], decl: d, slots: make(map[string]int)}
+		if err := fc.compile(); err != nil {
+			return nil, err
+		}
+	}
+
+	mainIdx, ok := c.funcIdx["main"]
+	if !ok {
+		return nil, errf(Pos{Line: 1, Col: 1}, "program has no 'func main()'")
+	}
+	if c.prog.funcs[mainIdx].arity != 0 {
+		return nil, errf(f.Funcs[slotOfMain(f)].Pos, "'main' must take no parameters")
+	}
+	c.prog.mainIdx = mainIdx
+	return c.prog, nil
+}
+
+func slotOfMain(f *File) int {
+	for i, d := range f.Funcs {
+		if d.Name == "main" {
+			return i
+		}
+	}
+	return 0
+}
+
+// funcCompiler compiles one function body.
+type funcCompiler struct {
+	c     *compiler
+	fn    *compiledFunc
+	decl  *FuncDecl
+	slots map[string]int // visible locals: name -> slot
+	// scopes stacks the names introduced per block for scoped shadowing.
+	scopes [][]shadowed
+}
+
+type shadowed struct {
+	name string
+	prev int
+	had  bool
+}
+
+func (fc *funcCompiler) emit(in instr) int {
+	fc.fn.code = append(fc.fn.code, in)
+	return len(fc.fn.code) - 1
+}
+
+func (fc *funcCompiler) patch(at int, target int) {
+	fc.fn.code[at].a = target
+}
+
+func (fc *funcCompiler) here() int { return len(fc.fn.code) }
+
+func (fc *funcCompiler) pushScope() { fc.scopes = append(fc.scopes, nil) }
+
+func (fc *funcCompiler) popScope() {
+	top := fc.scopes[len(fc.scopes)-1]
+	fc.scopes = fc.scopes[:len(fc.scopes)-1]
+	for i := len(top) - 1; i >= 0; i-- {
+		if top[i].had {
+			fc.slots[top[i].name] = top[i].prev
+		} else {
+			delete(fc.slots, top[i].name)
+		}
+	}
+}
+
+func (fc *funcCompiler) declareLocal(pos Pos, name string) (int, error) {
+	if len(fc.scopes) == 0 {
+		return 0, errf(pos, "internal: local declared outside a scope")
+	}
+	top := &fc.scopes[len(fc.scopes)-1]
+	for _, sh := range *top {
+		if sh.name == name {
+			return 0, errf(pos, "local %q redeclared in the same block", name)
+		}
+	}
+	prev, had := fc.slots[name]
+	*top = append(*top, shadowed{name: name, prev: prev, had: had})
+	slot := fc.fn.nlocals
+	fc.fn.nlocals++
+	fc.slots[name] = slot
+	return slot, nil
+}
+
+func (fc *funcCompiler) compile() error {
+	fc.pushScope()
+	for _, p := range fc.decl.Params {
+		if _, err := fc.declareLocal(fc.decl.Pos, p); err != nil {
+			return err
+		}
+	}
+	if err := fc.blockInCurrentScope(fc.decl.Body); err != nil {
+		return err
+	}
+	fc.popScope()
+	// Implicit "return 0" falls off the end of every function.
+	fc.emit(instr{op: opConst, imm: 0, pos: fc.decl.Pos})
+	fc.emit(instr{op: opRet, pos: fc.decl.Pos})
+	return nil
+}
+
+func (fc *funcCompiler) block(b *Block) error {
+	fc.pushScope()
+	err := fc.blockInCurrentScope(b)
+	fc.popScope()
+	return err
+}
+
+func (fc *funcCompiler) blockInCurrentScope(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lookup resolves a name: locals shadow globals.
+func (fc *funcCompiler) lookup(pos Pos, name string) (symbol, error) {
+	if slot, ok := fc.slots[name]; ok {
+		return symbol{kind: symLocal, index: slot}, nil
+	}
+	if s, ok := fc.c.globals[name]; ok {
+		return s, nil
+	}
+	return symbol{}, errf(pos, "undefined name %q", name)
+}
+
+func (fc *funcCompiler) lookupKind(pos Pos, name string, want symbolKind, use string) (symbol, error) {
+	s, err := fc.lookup(pos, name)
+	if err != nil {
+		return symbol{}, err
+	}
+	if s.kind != want {
+		return symbol{}, errf(pos, "%s requires a %s, but %q is a %s", use, want, name, s.kind)
+	}
+	return s, nil
+}
+
+func (fc *funcCompiler) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		return fc.block(s)
+
+	case *LocalDecl:
+		if s.Init != nil {
+			if err := fc.expr(s.Init); err != nil {
+				return err
+			}
+		} else {
+			fc.emit(instr{op: opConst, imm: 0, pos: s.Pos})
+		}
+		slot, err := fc.declareLocal(s.Pos, s.Name)
+		if err != nil {
+			return err
+		}
+		fc.emit(instr{op: opStoreLocal, a: slot, pos: s.Pos})
+		return nil
+
+	case *Assign:
+		sym, err := fc.lookup(s.Pos, s.Name)
+		if err != nil {
+			return err
+		}
+		if s.Index == nil {
+			if err := fc.expr(s.Value); err != nil {
+				return err
+			}
+			switch sym.kind {
+			case symLocal:
+				fc.emit(instr{op: opStoreLocal, a: sym.index, pos: s.Pos})
+			case symScalar:
+				fc.emit(instr{op: opStoreGlobal, a: sym.index, pos: s.Pos})
+			default:
+				return errf(s.Pos, "cannot assign to %s %q", sym.kind, s.Name)
+			}
+			return nil
+		}
+		if sym.kind != symArray {
+			return errf(s.Pos, "indexed assignment requires a global array, but %q is a %s", s.Name, sym.kind)
+		}
+		if err := fc.expr(s.Index); err != nil {
+			return err
+		}
+		if err := fc.expr(s.Value); err != nil {
+			return err
+		}
+		fc.emit(instr{op: opStoreIndex, a: sym.index, b: sym.size, pos: s.Pos})
+		return nil
+
+	case *If:
+		if err := fc.expr(s.Cond); err != nil {
+			return err
+		}
+		jz := fc.emit(instr{op: opJumpZ, pos: s.Pos})
+		if err := fc.block(s.Then); err != nil {
+			return err
+		}
+		if s.Else == nil {
+			fc.patch(jz, fc.here())
+			return nil
+		}
+		jend := fc.emit(instr{op: opJump, pos: s.Pos})
+		fc.patch(jz, fc.here())
+		if err := fc.block(s.Else); err != nil {
+			return err
+		}
+		fc.patch(jend, fc.here())
+		return nil
+
+	case *While:
+		top := fc.here()
+		if err := fc.expr(s.Cond); err != nil {
+			return err
+		}
+		jz := fc.emit(instr{op: opJumpZ, pos: s.Pos})
+		if err := fc.block(s.Body); err != nil {
+			return err
+		}
+		fc.emit(instr{op: opJump, a: top, pos: s.Pos})
+		fc.patch(jz, fc.here())
+		return nil
+
+	case *Return:
+		if s.Value != nil {
+			if err := fc.expr(s.Value); err != nil {
+				return err
+			}
+		} else {
+			fc.emit(instr{op: opConst, imm: 0, pos: s.Pos})
+		}
+		fc.emit(instr{op: opRet, pos: s.Pos})
+		return nil
+
+	case *Print:
+		if err := fc.expr(s.Arg); err != nil {
+			return err
+		}
+		fc.emit(instr{op: opPrint, pos: s.Pos})
+		return nil
+
+	case *SemOp:
+		sym, err := fc.lookupKind(s.Pos, s.Name, symSem, "p/v")
+		if err != nil {
+			return err
+		}
+		op := opSemV
+		if s.IsP {
+			op = opSemP
+		}
+		fc.emit(instr{op: op, a: sym.index, pos: s.Pos})
+		return nil
+
+	case *LockOp:
+		sym, err := fc.lookupKind(s.Pos, s.Name, symLock, "acquire/release")
+		if err != nil {
+			return err
+		}
+		op := opLockRel
+		if s.IsAcquire {
+			op = opLockAcq
+		}
+		fc.emit(instr{op: op, a: sym.index, pos: s.Pos})
+		return nil
+
+	case *Join:
+		if err := fc.expr(s.Handle); err != nil {
+			return err
+		}
+		fc.emit(instr{op: opJoin, pos: s.Pos})
+		return nil
+
+	case *Read, *Write:
+		var arr string
+		var off, n Expr
+		var op opcode
+		var pos Pos
+		if r, ok := s.(*Read); ok {
+			arr, off, n, op, pos = r.Array, r.Off, r.N, opRead, r.Pos
+		} else {
+			w := s.(*Write)
+			arr, off, n, op, pos = w.Array, w.Off, w.N, opWrite, w.Pos
+		}
+		sym, err := fc.lookupKind(pos, arr, symArray, "read/write")
+		if err != nil {
+			return err
+		}
+		if err := fc.expr(off); err != nil {
+			return err
+		}
+		if err := fc.expr(n); err != nil {
+			return err
+		}
+		fc.emit(instr{op: op, a: sym.index, b: sym.size, pos: pos})
+		return nil
+
+	case *Assert:
+		if err := fc.expr(s.Cond); err != nil {
+			return err
+		}
+		fc.emit(instr{op: opAssert, pos: s.Pos})
+		return nil
+
+	case *ExprStmt:
+		if err := fc.expr(s.E); err != nil {
+			return err
+		}
+		fc.emit(instr{op: opPop, pos: s.Pos})
+		return nil
+
+	default:
+		return errf(s.stmtPos(), "internal: unknown statement %T", s)
+	}
+}
+
+func (fc *funcCompiler) expr(e Expr) error {
+	switch e := e.(type) {
+	case *NumLit:
+		fc.emit(instr{op: opConst, imm: e.V, pos: e.Pos})
+		return nil
+
+	case *VarRef:
+		sym, err := fc.lookup(e.Pos, e.Name)
+		if err != nil {
+			return err
+		}
+		switch sym.kind {
+		case symLocal:
+			fc.emit(instr{op: opLoadLocal, a: sym.index, pos: e.Pos})
+		case symScalar:
+			fc.emit(instr{op: opLoadGlobal, a: sym.index, pos: e.Pos})
+		case symArray:
+			return errf(e.Pos, "array %q used without an index", e.Name)
+		default:
+			return errf(e.Pos, "%s %q cannot be used as a value", sym.kind, e.Name)
+		}
+		return nil
+
+	case *IndexExpr:
+		sym, err := fc.lookupKind(e.Pos, e.Name, symArray, "indexing")
+		if err != nil {
+			return err
+		}
+		if err := fc.expr(e.Index); err != nil {
+			return err
+		}
+		fc.emit(instr{op: opLoadIndex, a: sym.index, b: sym.size, pos: e.Pos})
+		return nil
+
+	case *BinaryExpr:
+		// Short-circuit logical operators compile to jumps.
+		if e.Op == tokAndAnd || e.Op == tokOrOr {
+			if err := fc.expr(e.L); err != nil {
+				return err
+			}
+			fc.emit(instr{op: opNot, pos: e.Pos})
+			fc.emit(instr{op: opNot, pos: e.Pos}) // normalize to 0/1
+			if e.Op == tokAndAnd {
+				// if L == 0 -> result 0 without evaluating R
+				jz := fc.emit(instr{op: opJumpZ, pos: e.Pos})
+				if err := fc.expr(e.R); err != nil {
+					return err
+				}
+				fc.emit(instr{op: opNot, pos: e.Pos})
+				fc.emit(instr{op: opNot, pos: e.Pos})
+				jend := fc.emit(instr{op: opJump, pos: e.Pos})
+				fc.patch(jz, fc.here())
+				fc.emit(instr{op: opConst, imm: 0, pos: e.Pos})
+				fc.patch(jend, fc.here())
+				return nil
+			}
+			// ||: if L != 0 -> 1 without evaluating R.
+			jz := fc.emit(instr{op: opJumpZ, pos: e.Pos})
+			fc.emit(instr{op: opConst, imm: 1, pos: e.Pos})
+			jend := fc.emit(instr{op: opJump, pos: e.Pos})
+			fc.patch(jz, fc.here())
+			if err := fc.expr(e.R); err != nil {
+				return err
+			}
+			fc.emit(instr{op: opNot, pos: e.Pos})
+			fc.emit(instr{op: opNot, pos: e.Pos})
+			fc.patch(jend, fc.here())
+			return nil
+		}
+		if err := fc.expr(e.L); err != nil {
+			return err
+		}
+		if err := fc.expr(e.R); err != nil {
+			return err
+		}
+		ops := map[tokenKind]opcode{
+			tokPlus: opAdd, tokMinus: opSub, tokStar: opMul, tokSlash: opDiv,
+			tokPercent: opMod, tokEq: opEq, tokNe: opNe, tokLt: opLt,
+			tokLe: opLe, tokGt: opGt, tokGe: opGe,
+		}
+		op, ok := ops[e.Op]
+		if !ok {
+			return errf(e.Pos, "internal: unknown binary operator %s", e.Op)
+		}
+		fc.emit(instr{op: op, pos: e.Pos})
+		return nil
+
+	case *UnaryExpr:
+		if err := fc.expr(e.E); err != nil {
+			return err
+		}
+		if e.Op == tokMinus {
+			fc.emit(instr{op: opNeg, pos: e.Pos})
+		} else {
+			fc.emit(instr{op: opNot, pos: e.Pos})
+		}
+		return nil
+
+	case *CallExpr, *SpawnExpr:
+		var name string
+		var args []Expr
+		var op opcode
+		var pos Pos
+		if c, ok := e.(*CallExpr); ok {
+			name, args, op, pos = c.Name, c.Args, opCall, c.Pos
+		} else {
+			sp := e.(*SpawnExpr)
+			name, args, op, pos = sp.Name, sp.Args, opSpawn, sp.Pos
+		}
+		idx, ok := fc.c.funcIdx[name]
+		if !ok {
+			return errf(pos, "call of undefined function %q", name)
+		}
+		fn := fc.c.prog.funcs[idx]
+		if len(args) != fn.arity {
+			return errf(pos, "function %q takes %d argument(s), given %d", name, fn.arity, len(args))
+		}
+		for _, a := range args {
+			if err := fc.expr(a); err != nil {
+				return err
+			}
+		}
+		fc.emit(instr{op: op, a: idx, pos: pos})
+		return nil
+
+	default:
+		return errf(e.exprPos(), "internal: unknown expression %T", e)
+	}
+}

@@ -1,0 +1,43 @@
+package ispl
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+)
+
+// FuzzCompile exercises the lexer/parser/resolver/compiler with arbitrary
+// inputs: any outcome but a panic is acceptable. Valid programs that compile
+// are additionally run briefly (bounded by the VM's own guards).
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() {}",
+		"var a[4]; func main() { a[0] = 1; print(a[0]); }",
+		"sem s = 1; lock l; func main() { p(s); v(s); acquire(l); release(l); }",
+		"func f(x) { return x * x; } func main() { print(f(9)); }",
+		"func main() { for (var i = 0; i < 4; i = i + 1) { print(i); } }",
+		"var a[8]; func main() { read(a, 0, 8); write(a, 0, 8); }",
+		"func w() {} func main() { var t = spawn w(); join t; }",
+		"func main() { if (1 && 0 || !1) { print(1); } else { print(2); } }",
+		"/* comment */ func main() { // line\n print(0x1F); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		prog, err := Compile(src)
+		if err != nil || prog == nil {
+			return
+		}
+		// Compiled: run it with a small stack and step budget; runtime
+		// errors surface as machine errors, never as host panics, and
+		// infinite loops hit the budget.
+		prog.StackCells = 512
+		prog.StepBudget = 20000
+		_, _, _ = prog.Run(guest.Config{Timeslice: 3})
+	})
+}

@@ -1,0 +1,543 @@
+package ispl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+)
+
+// run compiles and executes src, failing the test on any error.
+func run(t *testing.T, src string, tools ...guest.Tool) *Output {
+	t.Helper()
+	out, _, err := RunSource(src, guest.Config{Timeslice: 5}, tools...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+// expectPrints asserts the program prints exactly want.
+func expectPrints(t *testing.T, src string, want ...uint64) {
+	t.Helper()
+	out := run(t, src)
+	if len(out.Values) != len(want) {
+		t.Fatalf("printed %v, want %v", out.Values, want)
+	}
+	for i := range want {
+		if out.Values[i] != want[i] {
+			t.Fatalf("printed %v, want %v", out.Values, want)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexAll("func f(x) { return x + 0x10; } // comment\n/* block */ var a[3];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]tokenKind, 0, len(toks))
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokenKind{tokFunc, tokIdent, tokLParen, tokIdent, tokRParen, tokLBrace,
+		tokReturn, tokIdent, tokPlus, tokNumber, tokSemicolon, tokRBrace,
+		tokVar, tokIdent, tokLBracket, tokNumber, tokRBracket, tokSemicolon, tokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	if toks[9].num != 0x10 {
+		t.Errorf("hex literal = %d, want 16", toks[9].num)
+	}
+}
+
+func TestLexerPositionsAndErrors(t *testing.T) {
+	toks, err := lexAll("var x;\n  foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := toks[3].pos; p.Line != 2 || p.Col != 3 {
+		t.Errorf("foo at %v, want 2:3", p)
+	}
+	if _, err := lexAll("var @;"); err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("bad char error = %v", err)
+	}
+	if _, err := lexAll("/* never closed"); err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Errorf("unterminated comment error = %v", err)
+	}
+	if _, err := lexAll("var x = 99999999999999999999999999;"); err == nil {
+		t.Error("overflowing literal accepted")
+	}
+}
+
+func TestParseErrorsArePositioned(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"func f( { }", "expected"},
+		{"var ;", "identifier"},
+		{"func f() { if x { } }", "'('"},
+		{"func f() { return 1 }", "';'"},
+		{"blah", "declaration"},
+		{"func f() { 1 + ; }", "statement"},
+		{"func f() { x = ; }", "expression"},
+		{"var a[0];", "out of range"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q parsed without error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q lacks %q", c.src, err, c.frag)
+		}
+		var e *Error
+		if !asError(err, &e) || e.Pos.Line == 0 {
+			t.Errorf("%q: error not positioned: %v", c.src, err)
+		}
+	}
+}
+
+func asError(err error, out **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*out = e
+	}
+	return ok
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"func f() {}", "no 'func main()'"},
+		{"func main(x) {}", "no parameters"},
+		{"func main() { x = 1; }", "undefined name"},
+		{"func main() { var x = 1; var x = 2; }", "redeclared"},
+		{"var a[4]; func main() { a = 1; }", "cannot assign"},
+		{"var x; func main() { x[0] = 1; }", "requires a global array"},
+		{"var a[4]; func main() { print(a); }", "without an index"},
+		{"func f(x) { return x; } func main() { f(1, 2); }", "takes 1 argument"},
+		{"func main() { g(); }", "undefined function"},
+		{"func main() { p(x); }", "undefined name"},
+		{"var x; func main() { p(x); }", "requires a semaphore"},
+		{"lock l; func main() { p(l); }", "requires a semaphore"},
+		{"sem s = 1; func main() { acquire(s); }", "requires a lock"},
+		{"var x; var x; func main() {}", "redeclares"},
+		{"var a[4]; func main() { read(a, 0, 1); write(b, 0, 1); }", "undefined name"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("%q compiled without error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q lacks %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	expectPrints(t, `
+		func main() {
+			print(2 + 3 * 4);       // precedence
+			print((2 + 3) * 4);
+			print(10 / 3);
+			print(10 % 3);
+			print(7 - 9 + 2);       // wrapping: 0
+			print(-1 / 0xFFFFFFFFFFFFFFFF); // (2^64-1)/(2^64-1)
+			if (1 < 2) { print(100); } else { print(200); }
+			if (2 < 1) { print(100); } else { print(200); }
+			if (1 == 1 && 2 >= 2) { print(300); }
+			if (0 || 1) { print(400); }
+			if (!0) { print(500); }
+		}`,
+		14, 20, 3, 1, 0, 1, 100, 200, 300, 400, 500)
+}
+
+func TestShortCircuit(t *testing.T) {
+	// boom() would divide by zero; short-circuiting must skip it.
+	expectPrints(t, `
+		var calls;
+		func boom() { calls = calls + 1; return 1 / 0; }
+		func main() {
+			if (0 && boom()) { print(1); }
+			if (1 || boom()) { print(2); }
+			print(calls);
+		}`,
+		2, 0)
+}
+
+func TestWhileAndFunctions(t *testing.T) {
+	expectPrints(t, `
+		func fib(n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		func main() {
+			var i = 0;
+			var sum = 0;
+			while (i < 5) { sum = sum + i; i = i + 1; }
+			print(sum);
+			print(fib(10));
+		}`,
+		10, 55)
+}
+
+func TestGlobalsArraysAndScoping(t *testing.T) {
+	expectPrints(t, `
+		var a[8];
+		var total;
+		func fill(n) {
+			var i = 0;
+			while (i < n) { a[i] = i * i; i = i + 1; }
+		}
+		func main() {
+			fill(8);
+			var i = 0;
+			while (i < 8) { total = total + a[i]; i = i + 1; }
+			print(total);
+			var x = 1;
+			{ var x = 2; print(x); }
+			print(x);
+		}`,
+		140, 2, 1)
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"func main() { print(1 / 0); }", "division by zero"},
+		{"func main() { print(1 % 0); }", "modulo by zero"},
+		{"var a[4]; func main() { a[4] = 1; }", "out of bounds"},
+		{"var a[4]; func main() { print(a[9]); }", "out of bounds"},
+		{"var a[4]; func main() { read(a, 2, 3); }", "out of bounds"},
+		{"func f() { f(); } func main() { f(); }", "stack overflow"},
+		{"func main() { join 3; }", "invalid thread handle"},
+	}
+	for _, c := range cases {
+		_, _, err := RunSource(c.src, guest.Config{})
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: err = %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestDeviceIO(t *testing.T) {
+	p, err := Compile(`
+		var buf[4];
+		func main() {
+			read(buf, 0, 4);
+			print(buf[0] + buf[1] + buf[2] + buf[3]);
+			write(buf, 0, 2);
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := guest.NewMachine(guest.Config{})
+	body, out := p.BuildWithInput(m, func(i uint64) uint64 { return i + 1 })
+	if err := m.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Values) != 1 || out.Values[0] != 1+2+3+4 {
+		t.Errorf("printed %v, want [10]", out.Values)
+	}
+}
+
+func TestSpawnJoinAndLocks(t *testing.T) {
+	expectPrints(t, `
+		var counter;
+		lock mu;
+		func worker(n) {
+			var i = 0;
+			while (i < n) {
+				acquire(mu);
+				counter = counter + 1;
+				release(mu);
+				i = i + 1;
+			}
+		}
+		func main() {
+			var t1 = spawn worker(25);
+			var t2 = spawn worker(25);
+			var t3 = spawn worker(25);
+			join t1;
+			join t2;
+			join t3;
+			print(counter);
+		}`,
+		75)
+}
+
+func TestProducerConsumerSemaphores(t *testing.T) {
+	expectPrints(t, `
+		var cell;
+		var total;
+		sem items = 0;
+		sem slots = 1;
+		func producer(n) {
+			var i = 1;
+			while (i <= n) {
+				p(slots);
+				cell = i;
+				v(items);
+				i = i + 1;
+			}
+		}
+		func main() {
+			var t = spawn producer(10);
+			var i = 0;
+			while (i < 10) {
+				p(items);
+				total = total + cell;
+				v(slots);
+				i = i + 1;
+			}
+			join t;
+			print(total);
+		}`,
+		55)
+}
+
+// TestProfiledISPLProducerConsumer closes the loop: an ISPL program profiled
+// by the trms profiler reproduces the paper's Figure 2 numbers.
+func TestProfiledISPLProducerConsumer(t *testing.T) {
+	prof := core.New(core.Options{})
+	src := `
+		var cell;
+		var total;
+		sem items = 0;
+		sem slots = 1;
+		func consume() { total = total + cell; }
+		func producer(n) {
+			var i = 1;
+			while (i <= n) { p(slots); cell = i; v(items); i = i + 1; }
+		}
+		func main() {
+			var t = spawn producer(16);
+			var i = 0;
+			while (i < 16) { p(items); consume(); v(slots); i = i + 1; }
+			join t;
+		}`
+	if _, _, err := RunSource(src, guest.Config{Timeslice: 3}, prof); err != nil {
+		t.Fatal(err)
+	}
+	p := prof.Profile()
+	consume := p.Routine("consume")
+	if consume == nil {
+		t.Fatalf("consume not profiled: %v", p.RoutineNames())
+	}
+	a := consume.Merged()
+	if a.Calls != 16 {
+		t.Errorf("consume calls = %d, want 16", a.Calls)
+	}
+	// Every consume() reads the freshly produced cell: one thread-induced
+	// access per activation.
+	if a.InducedThread != 16 {
+		t.Errorf("consume thread-induced = %d, want 16", a.InducedThread)
+	}
+	main := p.Routine("main").Merged()
+	if main.InducedThread < 16 {
+		t.Errorf("main thread-induced = %d, want >= 16", main.InducedThread)
+	}
+}
+
+// TestProfiledISPLMatchesNaive runs an ISPL program under both profiler
+// implementations.
+func TestProfiledISPLMatchesNaive(t *testing.T) {
+	fast := core.New(core.Options{})
+	naive := core.NewNaive(core.Options{})
+	src := `
+		var a[16];
+		var acc;
+		lock mu;
+		func scan(n) {
+			var i = 0;
+			var s = 0;
+			while (i < n) { s = s + a[i]; i = i + 1; }
+			acquire(mu); acc = acc + s; release(mu);
+			return s;
+		}
+		func filler(rounds) {
+			var r = 0;
+			while (r < rounds) {
+				var i = 0;
+				while (i < 16) { a[i] = a[i] + r; i = i + 1; }
+				r = r + 1;
+			}
+		}
+		func main() {
+			read(a, 0, 16);
+			var t = spawn filler(4);
+			var i = 2;
+			while (i <= 16) { scan(i); i = i + 2; }
+			join t;
+		}`
+	if _, _, err := RunSource(src, guest.Config{Timeslice: 2}, fast, naive); err != nil {
+		t.Fatal(err)
+	}
+	if diffs := fast.Profile().Diff(naive.Profile()); len(diffs) > 0 {
+		t.Errorf("ISPL profile disagreement:\n%v", diffs)
+	}
+}
+
+func TestDisassembleAndFunctions(t *testing.T) {
+	p, err := Compile(`func main() { print(1 + 2); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p.Disassemble("main")
+	for _, frag := range []string{"func main", "const", "add", "print", "ret"} {
+		if !strings.Contains(dis, frag) {
+			t.Errorf("disassembly lacks %q:\n%s", frag, dis)
+		}
+	}
+	if fns := p.Functions(); len(fns) != 1 || fns[0] != "main" {
+		t.Errorf("Functions = %v", fns)
+	}
+	if !strings.Contains(p.Disassemble("nope"), "not compiled") {
+		t.Error("Disassemble of unknown function")
+	}
+}
+
+// TestISPLQuicksortAsymptotics profiles an ISPL quicksort and checks the
+// cost-vs-input relation is superlinear (n log n to n^2), demonstrating the
+// full pipeline: source -> bytecode -> guest events -> profile -> fit.
+func TestISPLQuicksortAsymptotics(t *testing.T) {
+	prof := core.New(core.Options{})
+	src := `
+		var a[128];
+		func partition(lo, hi) {
+			var pivot = a[hi];
+			var i = lo;
+			var j = lo;
+			while (j < hi) {
+				if (a[j] < pivot) {
+					var tmp = a[i]; a[i] = a[j]; a[j] = tmp;
+					i = i + 1;
+				}
+				j = j + 1;
+			}
+			var tmp2 = a[i]; a[i] = a[hi]; a[hi] = tmp2;
+			return i;
+		}
+		func quicksort(lo, hi) {
+			if (lo >= hi) { return 0; }
+			var mid = partition(lo, hi);
+			if (mid > lo) { quicksort(lo, mid - 1); }
+			quicksort(mid + 1, hi);
+			return 0;
+		}
+		func sortN(n) {
+			// The array arrives from the input device: genuine external
+			// input (a self-filled array would not count as input at all).
+			read(a, 0, n);
+			quicksort(0, n - 1);
+		}
+		func main() {
+			var n = 8;
+			while (n <= 128) { sortN(n); n = n * 2; }
+		}`
+	if _, _, err := RunSource(src, guest.Config{}, prof); err != nil {
+		t.Fatal(err)
+	}
+	rp := prof.Profile().Routine("sortN")
+	if rp == nil {
+		t.Fatal("sortN not profiled")
+	}
+	if got := len(rp.Merged().ByTRMS); got != 5 {
+		t.Fatalf("sortN has %d distinct input sizes, want 5", got)
+	}
+}
+
+func TestForLoops(t *testing.T) {
+	expectPrints(t, `
+		var a[8];
+		func main() {
+			var sum = 0;
+			for (var i = 0; i < 8; i = i + 1) {
+				a[i] = i * i;
+			}
+			for (var i = 0; i < 8; i = i + 1) {
+				sum = sum + a[i];
+			}
+			print(sum);
+			// Empty clauses: while-style for with manual control.
+			var j = 0;
+			for (; j < 3;) { j = j + 1; }
+			print(j);
+			// Init reuses an outer variable; scoped loop vars don't leak.
+			for (j = 10; j > 7; j = j - 1) {}
+			print(j);
+		}`,
+		140, 3, 7)
+}
+
+func TestForScoping(t *testing.T) {
+	// The loop variable is scoped to the loop; redeclaring outside is fine.
+	expectPrints(t, `
+		func main() {
+			for (var i = 0; i < 2; i = i + 1) {}
+			var i = 42;
+			print(i);
+		}`,
+		42)
+}
+
+func TestForErrors(t *testing.T) {
+	for _, src := range []string{
+		"func main() { for () {} }",
+		"func main() { for (;;) print(1); }", // body must be a block
+		"func main() { for (1; 1; 1) {} }",   // init must be decl/assign
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%q compiled", src)
+		}
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	prog, err := Compile("func main() { for (;;) {} }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.StepBudget = 1000
+	_, _, err = prog.Run(guest.Config{})
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("err = %v, want step-budget error", err)
+	}
+	// A budget generous enough for the program is invisible.
+	ok, err2 := Compile("func main() { print(1); }")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	ok.StepBudget = 1000
+	if _, _, err := ok.Run(guest.Config{}); err != nil {
+		t.Errorf("budgeted small program failed: %v", err)
+	}
+}
+
+func TestAssert(t *testing.T) {
+	expectPrints(t, `
+		func main() {
+			assert(1 == 1);
+			assert(2 > 1 && 3 != 4);
+			print(1);
+		}`, 1)
+	_, _, err := RunSource("func main() { assert(1 == 2); }", guest.Config{})
+	if err == nil || !strings.Contains(err.Error(), "assertion failed") {
+		t.Errorf("err = %v, want assertion failure", err)
+	}
+}

@@ -1,0 +1,203 @@
+package ispl
+
+import (
+	"strconv"
+	"unicode"
+)
+
+// lexer turns ISPL source into tokens. It supports // line comments and
+// /* block */ comments, decimal and hexadecimal (0x) literals.
+type lexer struct {
+	src  []rune
+	i    int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peek() rune {
+	if lx.i >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.i]
+}
+
+func (lx *lexer) peek2() rune {
+	if lx.i+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.i+1]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.i]
+	lx.i++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.i < len(lx.src) {
+		switch {
+		case unicode.IsSpace(lx.peek()):
+			lx.advance()
+		case lx.peek() == '/' && lx.peek2() == '/':
+			for lx.i < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case lx.peek() == '/' && lx.peek2() == '*':
+			open := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.i < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(open, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := lx.pos()
+	if lx.i >= len(lx.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	r := lx.peek()
+	switch {
+	case unicode.IsDigit(r):
+		start := lx.i
+		for lx.i < len(lx.src) && (isAlnum(lx.peek())) {
+			lx.advance()
+		}
+		text := string(lx.src[start:lx.i])
+		n, err := strconv.ParseUint(text, 0, 64)
+		if err != nil {
+			return token{}, errf(pos, "invalid number literal %q", text)
+		}
+		return token{kind: tokNumber, text: text, num: n, pos: pos}, nil
+
+	case unicode.IsLetter(r) || r == '_':
+		start := lx.i
+		for lx.i < len(lx.src) && (isAlnum(lx.peek()) || lx.peek() == '_') {
+			lx.advance()
+		}
+		text := string(lx.src[start:lx.i])
+		if kw, ok := keywords[text]; ok {
+			return token{kind: kw, text: text, pos: pos}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: pos}, nil
+	}
+
+	two := func(k tokenKind) (token, error) {
+		lx.advance()
+		lx.advance()
+		return token{kind: k, pos: pos}, nil
+	}
+	one := func(k tokenKind) (token, error) {
+		lx.advance()
+		return token{kind: k, pos: pos}, nil
+	}
+	switch r {
+	case '(':
+		return one(tokLParen)
+	case ')':
+		return one(tokRParen)
+	case '{':
+		return one(tokLBrace)
+	case '}':
+		return one(tokRBrace)
+	case '[':
+		return one(tokLBracket)
+	case ']':
+		return one(tokRBracket)
+	case ',':
+		return one(tokComma)
+	case ';':
+		return one(tokSemicolon)
+	case '+':
+		return one(tokPlus)
+	case '-':
+		return one(tokMinus)
+	case '*':
+		return one(tokStar)
+	case '/':
+		return one(tokSlash)
+	case '%':
+		return one(tokPercent)
+	case '=':
+		if lx.peek2() == '=' {
+			return two(tokEq)
+		}
+		return one(tokAssign)
+	case '!':
+		if lx.peek2() == '=' {
+			return two(tokNe)
+		}
+		return one(tokNot)
+	case '<':
+		if lx.peek2() == '=' {
+			return two(tokLe)
+		}
+		return one(tokLt)
+	case '>':
+		if lx.peek2() == '=' {
+			return two(tokGe)
+		}
+		return one(tokGt)
+	case '&':
+		if lx.peek2() == '&' {
+			return two(tokAndAnd)
+		}
+	case '|':
+		if lx.peek2() == '|' {
+			return two(tokOrOr)
+		}
+	}
+	return token{}, errf(pos, "unexpected character %q", string(r))
+}
+
+func isAlnum(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lexAll tokenizes the whole source (including the trailing EOF token).
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

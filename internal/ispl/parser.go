@@ -1,0 +1,653 @@
+package ispl
+
+import "fmt"
+
+// parser is a recursive-descent parser with one token of lookahead and
+// precedence-climbing expression parsing.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse turns ISPL source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) peek() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokenKind) bool {
+	if p.cur().kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, errf(p.cur().pos, "expected %s, found %s", k, p.describe(p.cur()))
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) describe(t token) string {
+	if t.kind == tokIdent || t.kind == tokNumber {
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+	return t.kind.String()
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().kind != tokEOF {
+		switch p.cur().kind {
+		case tokVar:
+			d, err := p.globalVar()
+			if err != nil {
+				return nil, err
+			}
+			f.Vars = append(f.Vars, d)
+		case tokSem:
+			d, err := p.semDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Sems = append(f.Sems, d)
+		case tokLock:
+			d, err := p.lockDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Locks = append(f.Locks, d)
+		case tokFunc:
+			d, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, d)
+		default:
+			return nil, errf(p.cur().pos, "expected declaration ('var', 'sem', 'lock' or 'func'), found %s", p.describe(p.cur()))
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) globalVar() (*VarDecl, error) {
+	pos := p.advance().pos // var
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Pos: pos, Name: name.text}
+	if p.accept(tokLBracket) {
+		size, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		if size.num == 0 || size.num > 1<<28 {
+			return nil, errf(size.pos, "array size %d out of range [1, 2^28]", size.num)
+		}
+		d.Size = int(size.num)
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) semDecl() (*SemDecl, error) {
+	pos := p.advance().pos // sem
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	init, err := p.expect(tokNumber)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return nil, err
+	}
+	return &SemDecl{Pos: pos, Name: name.text, Init: init.num}, nil
+}
+
+func (p *parser) lockDecl() (*LockDecl, error) {
+	pos := p.advance().pos // lock
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return nil, err
+	}
+	return &LockDecl{Pos: pos, Name: name.text}, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	pos := p.advance().pos // func
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	d := &FuncDecl{Pos: pos, Name: name.text}
+	if p.cur().kind != tokRParen {
+		for {
+			param, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			d.Params = append(d.Params, param.text)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	d.Body, err = p.block()
+	return d, err
+}
+
+func (p *parser) block() (*Block, error) {
+	open, err := p.expect(tokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: open.pos}
+	for p.cur().kind != tokRBrace {
+		if p.cur().kind == tokEOF {
+			return nil, errf(open.pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+func (p *parser) semicolon() error {
+	_, err := p.expect(tokSemicolon)
+	return err
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().kind {
+	case tokVar:
+		pos := p.advance().pos
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d := &LocalDecl{Pos: pos, Name: name.text}
+		if p.accept(tokAssign) {
+			if d.Init, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		return d, p.semicolon()
+
+	case tokIf:
+		pos := p.advance().pos
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &If{Pos: pos, Cond: cond, Then: then}
+		if p.accept(tokElse) {
+			if p.cur().kind == tokIf {
+				// else-if chains: wrap the nested if in a block.
+				nested, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				s.Else = &Block{Pos: nested.stmtPos(), Stmts: []Stmt{nested}}
+			} else if s.Else, err = p.block(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+
+	case tokWhile:
+		pos := p.advance().pos
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Pos: pos, Cond: cond, Body: body}, nil
+
+	case tokFor:
+		return p.forStmt()
+
+	case tokReturn:
+		pos := p.advance().pos
+		s := &Return{Pos: pos}
+		if p.cur().kind != tokSemicolon {
+			var err error
+			if s.Value, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		return s, p.semicolon()
+
+	case tokPrint:
+		pos := p.advance().pos
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &Print{Pos: pos, Arg: arg}, p.semicolon()
+
+	case tokP, tokV:
+		isP := p.cur().kind == tokP
+		pos := p.advance().pos
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &SemOp{Pos: pos, IsP: isP, Name: name.text}, p.semicolon()
+
+	case tokAcquire, tokRelease:
+		isAcq := p.cur().kind == tokAcquire
+		pos := p.advance().pos
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &LockOp{Pos: pos, IsAcquire: isAcq, Name: name.text}, p.semicolon()
+
+	case tokJoin:
+		pos := p.advance().pos
+		h, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Join{Pos: pos, Handle: h}, p.semicolon()
+
+	case tokAssert:
+		pos := p.advance().pos
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &Assert{Pos: pos, Cond: cond}, p.semicolon()
+
+	case tokRead, tokWrite:
+		isRead := p.cur().kind == tokRead
+		pos := p.advance().pos
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		arr, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		off, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		n, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if isRead {
+			return &Read{Pos: pos, Array: arr.text, Off: off, N: n}, p.semicolon()
+		}
+		return &Write{Pos: pos, Array: arr.text, Off: off, N: n}, p.semicolon()
+
+	case tokLBrace:
+		return p.block()
+
+	case tokIdent:
+		// Assignment (x = e; or x[i] = e;) or an expression statement.
+		name := p.cur()
+		switch p.peek().kind {
+		case tokAssign:
+			p.advance()
+			p.advance()
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Pos: name.pos, Name: name.text, Value: v}, p.semicolon()
+		case tokLBracket:
+			// Could be x[i] = e; — parse the index, then decide.
+			p.advance()
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokAssign); err != nil {
+				return nil, err
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Pos: name.pos, Name: name.text, Index: idx, Value: v}, p.semicolon()
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: name.pos, E: e}, p.semicolon()
+
+	default:
+		return nil, errf(p.cur().pos, "expected statement, found %s", p.describe(p.cur()))
+	}
+}
+
+// forStmt parses for (init; cond; step) { ... } and desugars it to
+// { init; while (cond) { body... step } }. Each clause may be empty; an
+// empty condition means "run forever" (constant 1).
+func (p *parser) forStmt() (Stmt, error) {
+	pos := p.advance().pos // for
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var init Stmt
+	if p.cur().kind != tokSemicolon {
+		var err error
+		if init, err = p.simpleStmt(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return nil, err
+	}
+	var cond Expr = &NumLit{Pos: pos, V: 1}
+	if p.cur().kind != tokSemicolon {
+		var err error
+		if cond, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return nil, err
+	}
+	var step Stmt
+	if p.cur().kind != tokRParen {
+		var err error
+		if step, err = p.simpleStmt(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if step != nil {
+		body.Stmts = append(body.Stmts, step)
+	}
+	loop := &While{Pos: pos, Cond: cond, Body: body}
+	outer := &Block{Pos: pos}
+	if init != nil {
+		outer.Stmts = append(outer.Stmts, init)
+	}
+	outer.Stmts = append(outer.Stmts, loop)
+	return outer, nil
+}
+
+// simpleStmt parses the statement forms allowed in for-clauses — a local
+// declaration or an assignment — without a trailing semicolon.
+func (p *parser) simpleStmt() (Stmt, error) {
+	switch p.cur().kind {
+	case tokVar:
+		pos := p.advance().pos
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d := &LocalDecl{Pos: pos, Name: name.text}
+		if p.accept(tokAssign) {
+			if d.Init, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	case tokIdent:
+		name := p.advance()
+		if p.accept(tokLBracket) {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokAssign); err != nil {
+				return nil, err
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Pos: name.pos, Name: name.text, Index: idx, Value: v}, nil
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Pos: name.pos, Name: name.text, Value: v}, nil
+	default:
+		return nil, errf(p.cur().pos, "expected a declaration or assignment in for-clause, found %s", p.describe(p.cur()))
+	}
+}
+
+// Binary operator precedence (higher binds tighter).
+func precedence(k tokenKind) int {
+	switch k {
+	case tokOrOr:
+		return 1
+	case tokAndAnd:
+		return 2
+	case tokEq, tokNe:
+		return 3
+	case tokLt, tokLe, tokGt, tokGe:
+		return 4
+	case tokPlus, tokMinus:
+		return 5
+	case tokStar, tokSlash, tokPercent:
+		return 6
+	default:
+		return 0
+	}
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec := precedence(op.kind)
+		if prec < minPrec {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Pos: op.pos, Op: op.kind, L: left, R: right}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().kind {
+	case tokMinus, tokNot:
+		op := p.advance()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: op.pos, Op: op.kind, E: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch t := p.cur(); t.kind {
+	case tokNumber:
+		p.advance()
+		return &NumLit{Pos: t.pos, V: t.num}, nil
+
+	case tokLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokRParen)
+		return e, err
+
+	case tokSpawn:
+		p.advance()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &SpawnExpr{Pos: t.pos, Name: name.text, Args: args}, nil
+
+	case tokIdent:
+		p.advance()
+		switch p.cur().kind {
+		case tokLParen:
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Pos: t.pos, Name: t.text, Args: args}, nil
+		case tokLBracket:
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			_, err = p.expect(tokRBracket)
+			return &IndexExpr{Pos: t.pos, Name: t.text, Index: idx}, err
+		}
+		return &VarRef{Pos: t.pos, Name: t.text}, nil
+
+	default:
+		return nil, errf(t.pos, "expected expression, found %s", p.describe(t))
+	}
+}
+
+func (p *parser) callArgs() ([]Expr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.cur().kind != tokRParen {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+	}
+	_, err := p.expect(tokRParen)
+	return args, err
+}

@@ -1,0 +1,158 @@
+// Package ispl implements the Input-Sensitive Profiling Language: a small
+// concurrent imperative language compiled to bytecode and executed on the
+// guest machine, so that whole programs — not just hand-written Go guest
+// closures — can be run under the profiler and the other tools. The package
+// provides the full pipeline: lexer, recursive-descent parser, resolver
+// (symbol tables, arity and kind checking), bytecode compiler, and a stack
+// VM whose every variable access, call, synchronization and I/O operation
+// surfaces as guest events.
+//
+// The language: uint64 values; global scalars and arrays; functions with
+// parameters and block-scoped locals (locals live in guest memory, so stack
+// traffic is profiled, as under Valgrind); if/while/for control flow; the usual
+// arithmetic, comparison and logical operators (&& and || short-circuit);
+// spawn/join structured concurrency; counting semaphores (p/v) and locks;
+// device I/O via read()/write(); and print() for host-visible results.
+//
+//	var buf[8];
+//	sem items = 0;
+//	sem slots = 8;
+//
+//	func producer(n) {
+//	    var i = 0;
+//	    while (i < n) {
+//	        p(slots);
+//	        buf[i % 8] = i * i;
+//	        v(items);
+//	        i = i + 1;
+//	    }
+//	}
+//
+//	func main() {
+//	    var t = spawn producer(100);
+//	    var total = 0;
+//	    var i = 0;
+//	    while (i < 100) {
+//	        p(items);
+//	        total = total + buf[i % 8];
+//	        v(slots);
+//	        i = i + 1;
+//	    }
+//	    join t;
+//	    print(total);
+//	}
+package ispl
+
+import "fmt"
+
+// tokenKind enumerates the lexical token types.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokIdent
+
+	// Keywords.
+	tokVar
+	tokFunc
+	tokSem
+	tokLock
+	tokIf
+	tokElse
+	tokWhile
+	tokFor
+	tokReturn
+	tokSpawn
+	tokJoin
+	tokPrint
+	tokRead
+	tokWrite
+	tokAcquire
+	tokRelease
+	tokAssert
+	tokP
+	tokV
+
+	// Punctuation and operators.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemicolon
+	tokAssign
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAndAnd
+	tokOrOr
+	tokNot
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF: "end of file", tokNumber: "number", tokIdent: "identifier",
+	tokVar: "'var'", tokFunc: "'func'", tokSem: "'sem'", tokLock: "'lock'",
+	tokIf: "'if'", tokElse: "'else'", tokWhile: "'while'", tokFor: "'for'", tokReturn: "'return'",
+	tokSpawn: "'spawn'", tokJoin: "'join'", tokPrint: "'print'",
+	tokRead: "'read'", tokWrite: "'write'",
+	tokAcquire: "'acquire'", tokRelease: "'release'", tokAssert: "'assert'", tokP: "'p'", tokV: "'v'",
+	tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokLBracket: "'['", tokRBracket: "']'", tokComma: "','", tokSemicolon: "';'",
+	tokAssign: "'='", tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'",
+	tokSlash: "'/'", tokPercent: "'%'", tokEq: "'=='", tokNe: "'!='",
+	tokLt: "'<'", tokLe: "'<='", tokGt: "'>'", tokGe: "'>='",
+	tokAndAnd: "'&&'", tokOrOr: "'||'", tokNot: "'!'",
+}
+
+func (k tokenKind) String() string {
+	if n, ok := tokenNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]tokenKind{
+	"var": tokVar, "func": tokFunc, "sem": tokSem, "lock": tokLock,
+	"if": tokIf, "else": tokElse, "while": tokWhile, "for": tokFor, "return": tokReturn,
+	"spawn": tokSpawn, "join": tokJoin, "print": tokPrint,
+	"read": tokRead, "write": tokWrite,
+	"acquire": tokAcquire, "release": tokRelease, "assert": tokAssert, "p": tokP, "v": tokV,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// token is one lexical token.
+type token struct {
+	kind tokenKind
+	text string
+	num  uint64
+	pos  Pos
+}
+
+// Error is a positioned compilation error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("ispl: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,316 @@
+package ispl
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+)
+
+// Output collects the values printed by a program run, in execution order.
+type Output struct {
+	Values []uint64
+}
+
+// runtime is the per-run VM state shared by all guest threads of a program.
+// The guest machine serializes threads, so no host-side locking is needed.
+type runtime struct {
+	prog *Program
+	m    *guest.Machine
+
+	globalsBase guest.Addr
+	sems        []*guest.Sem
+	locks       []*guest.Mutex
+	in, out     *guest.Device
+
+	output  *Output
+	handles []*guest.Thread
+
+	steps int64 // bytecode instructions executed, for StepBudget
+
+	stacks map[guest.ThreadID]*threadStack
+}
+
+// threadStack is one guest thread's locals stack: a guest-memory region so
+// every local variable access is a profiled memory event, as under Valgrind.
+type threadStack struct {
+	base  guest.Addr
+	sp    int
+	depth int
+}
+
+// maxCallDepth bounds activation nesting independently of locals usage, so
+// runaway recursion of local-free functions still fails cleanly.
+const maxCallDepth = 4096
+
+// Build instantiates the program on a machine: globals, semaphores, locks
+// and the input/output devices are created, and the returned body runs main.
+// The machine must not have been run yet.
+func (p *Program) Build(m *guest.Machine) (func(*guest.Thread), *Output) {
+	return p.BuildWithInput(m, nil)
+}
+
+// BuildWithInput is Build with a custom input-device stream: gen(i) yields
+// the i-th word read(); nil selects the machine's default deterministic
+// stream.
+func (p *Program) BuildWithInput(m *guest.Machine, gen func(i uint64) uint64) (func(*guest.Thread), *Output) {
+	rt := &runtime{
+		prog:   p,
+		m:      m,
+		in:     m.NewDevice("ispl-input", gen),
+		out:    m.NewDevice("ispl-output", nil),
+		output: &Output{},
+		stacks: make(map[guest.ThreadID]*threadStack),
+	}
+	if p.globalCells > 0 {
+		rt.globalsBase = m.Static(p.globalCells)
+	}
+	for _, s := range p.sems {
+		rt.sems = append(rt.sems, m.NewSem(s.Name, int(s.Init)))
+	}
+	for _, name := range p.locks {
+		rt.locks = append(rt.locks, m.NewMutex(name))
+	}
+	return func(th *guest.Thread) {
+		rt.exec(th, p.funcs[p.mainIdx], nil)
+	}, rt.output
+}
+
+// Run compiles nothing: it executes an already-compiled program on a fresh
+// machine with the given tools and returns the printed output, the output
+// device summary, and the machine.
+func (p *Program) Run(cfg guest.Config, tools ...guest.Tool) (*Output, *guest.Machine, error) {
+	cfg.Tools = append(cfg.Tools, tools...)
+	m := guest.NewMachine(cfg)
+	body, out := p.Build(m)
+	if err := m.Run(body); err != nil {
+		return nil, m, err
+	}
+	return out, m, nil
+}
+
+// RunSource compiles and runs ISPL source on a fresh machine.
+func RunSource(src string, cfg guest.Config, tools ...guest.Tool) (*Output, *guest.Machine, error) {
+	p, err := Compile(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.Run(cfg, tools...)
+}
+
+func (rt *runtime) stack(th *guest.Thread) *threadStack {
+	st := rt.stacks[th.ID()]
+	if st == nil {
+		st = &threadStack{base: th.Alloc(rt.prog.StackCells)}
+		rt.stacks[th.ID()] = st
+	}
+	return st
+}
+
+// fail aborts the run with a positioned runtime error; the guest machine
+// converts the panic into the run's error.
+func fail(pos Pos, format string, args ...any) {
+	panic(&Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// exec interprets one activation of fn on th. Operand values live on a host
+// stack (registers); locals live in guest memory.
+func (rt *runtime) exec(th *guest.Thread, fn *compiledFunc, args []uint64) uint64 {
+	th.Call(fn.name)
+
+	st := rt.stack(th)
+	if st.sp+fn.nlocals > rt.prog.StackCells || st.depth >= maxCallDepth {
+		fail(fn.code[0].pos, "stack overflow in %q (deeper than %d cells / %d activations)",
+			fn.name, rt.prog.StackCells, maxCallDepth)
+	}
+	frame := st.base + guest.Addr(st.sp)
+	st.sp += fn.nlocals
+	st.depth++
+	defer func() { st.sp -= fn.nlocals; st.depth-- }()
+
+	for i, a := range args {
+		th.Store(frame+guest.Addr(i), a)
+	}
+
+	var stack []uint64
+	push := func(v uint64) { stack = append(stack, v) }
+	pop := func() uint64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	pc := 0
+	for {
+		in := fn.code[pc]
+		pc++
+		rt.steps++
+		if rt.prog.StepBudget > 0 && rt.steps > rt.prog.StepBudget {
+			fail(in.pos, "step budget of %d instructions exceeded", rt.prog.StepBudget)
+		}
+		switch in.op {
+		case opConst:
+			th.Exec(1)
+			push(in.imm)
+		case opLoadLocal:
+			push(th.Load(frame + guest.Addr(in.a)))
+		case opStoreLocal:
+			th.Store(frame+guest.Addr(in.a), pop())
+		case opLoadGlobal:
+			push(th.Load(rt.globalsBase + guest.Addr(in.a)))
+		case opStoreGlobal:
+			th.Store(rt.globalsBase+guest.Addr(in.a), pop())
+		case opLoadIndex:
+			idx := pop()
+			if idx >= uint64(in.b) {
+				fail(in.pos, "index %d out of bounds for array of %d cells", idx, in.b)
+			}
+			push(th.Load(rt.globalsBase + guest.Addr(in.a) + guest.Addr(idx)))
+		case opStoreIndex:
+			v := pop()
+			idx := pop()
+			if idx >= uint64(in.b) {
+				fail(in.pos, "index %d out of bounds for array of %d cells", idx, in.b)
+			}
+			th.Store(rt.globalsBase+guest.Addr(in.a)+guest.Addr(idx), v)
+
+		case opAdd, opSub, opMul, opDiv, opMod, opEq, opNe, opLt, opLe, opGt, opGe:
+			th.Exec(1)
+			b := pop()
+			a := pop()
+			push(binop(in, a, b))
+		case opNot:
+			th.Exec(1)
+			if pop() == 0 {
+				push(1)
+			} else {
+				push(0)
+			}
+		case opNeg:
+			th.Exec(1)
+			push(-pop())
+
+		case opJump:
+			th.Exec(1)
+			pc = in.a
+		case opJumpZ:
+			th.Exec(1)
+			if pop() == 0 {
+				pc = in.a
+			}
+
+		case opCall:
+			callee := rt.prog.funcs[in.a]
+			args := popN(&stack, callee.arity)
+			push(rt.exec(th, callee, args))
+		case opSpawn:
+			callee := rt.prog.funcs[in.a]
+			args := popN(&stack, callee.arity)
+			child := th.Spawn(fmt.Sprintf("ispl-%s-%d", callee.name, len(rt.handles)+1),
+				func(c *guest.Thread) {
+					rt.exec(c, callee, args)
+				})
+			rt.handles = append(rt.handles, child)
+			push(uint64(len(rt.handles)))
+		case opJoin:
+			h := pop()
+			if h == 0 || h > uint64(len(rt.handles)) {
+				fail(in.pos, "join of invalid thread handle %d", h)
+			}
+			th.Join(rt.handles[h-1])
+		case opRet:
+			v := pop()
+			th.Return()
+			return v
+
+		case opPrint:
+			th.Exec(1)
+			rt.output.Values = append(rt.output.Values, pop())
+
+		case opSemP:
+			th.P(rt.sems[in.a])
+		case opSemV:
+			th.V(rt.sems[in.a])
+		case opLockAcq:
+			th.Lock(rt.locks[in.a])
+		case opLockRel:
+			th.Unlock(rt.locks[in.a])
+
+		case opRead, opWrite:
+			n := pop()
+			off := pop()
+			if off > uint64(in.b) || n > uint64(in.b)-off {
+				fail(in.pos, "read/write range [%d, %d+%d) out of bounds for array of %d cells", off, off, n, in.b)
+			}
+			base := rt.globalsBase + guest.Addr(in.a) + guest.Addr(off)
+			if in.op == opRead {
+				th.ReadDevice(rt.in, base, int(n))
+			} else {
+				th.WriteDevice(rt.out, base, int(n))
+			}
+
+		case opPop:
+			th.Exec(1)
+			pop()
+
+		case opAssert:
+			th.Exec(1)
+			if pop() == 0 {
+				fail(in.pos, "assertion failed")
+			}
+
+		default:
+			fail(in.pos, "internal: unknown opcode %d", in.op)
+		}
+	}
+}
+
+func binop(in instr, a, b uint64) uint64 {
+	switch in.op {
+	case opAdd:
+		return a + b
+	case opSub:
+		return a - b
+	case opMul:
+		return a * b
+	case opDiv:
+		if b == 0 {
+			fail(in.pos, "division by zero")
+		}
+		return a / b
+	case opMod:
+		if b == 0 {
+			fail(in.pos, "modulo by zero")
+		}
+		return a % b
+	case opEq:
+		return b2u(a == b)
+	case opNe:
+		return b2u(a != b)
+	case opLt:
+		return b2u(a < b)
+	case opLe:
+		return b2u(a <= b)
+	case opGt:
+		return b2u(a > b)
+	case opGe:
+		return b2u(a >= b)
+	default:
+		fail(in.pos, "internal: binop on %d", in.op)
+		return 0
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func popN(stack *[]uint64, n int) []uint64 {
+	s := *stack
+	args := make([]uint64, n)
+	copy(args, s[len(s)-n:])
+	*stack = s[:len(s)-n]
+	return args
+}

@@ -1,0 +1,201 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fit"
+)
+
+// Profile comparison for performance-regression detection: the use case the
+// PLDI 2012 paper motivates input-sensitive profiling with. Two profiles of
+// the same program (an old and a new version, or two configurations) are
+// compared routine by routine — not just by total cost, which depends on the
+// workload, but by the *cost function*: the fitted growth class and the
+// cost-per-input-unit, which transfer across workload sizes.
+
+// RoutineDelta describes how one routine changed between two profiles.
+type RoutineDelta struct {
+	Name string
+
+	// Presence.
+	OnlyInOld, OnlyInNew bool
+
+	// Activation aggregates.
+	OldCalls, NewCalls uint64
+	OldCost, NewCost   uint64
+
+	// CostRatio is NewCost/OldCost (1 = unchanged). Valid when both > 0.
+	CostRatio float64
+
+	// CostPerUnit compares cost normalized by total trms — cost per input
+	// cell — which is meaningful across different workload sizes.
+	OldCostPerUnit, NewCostPerUnit float64
+
+	// Fitted growth: the power-law exponents of the worst-case cost
+	// against trms, when enough points exist (NaN otherwise), with
+	// jackknife standard errors (0 when too few points to estimate).
+	OldExponent, NewExponent     float64
+	OldExponentSE, NewExponentSE float64
+
+	// Verdict classifies the change.
+	Verdict Verdict
+}
+
+// Verdict classifies a routine's change between two profiles.
+type Verdict uint8
+
+// Verdicts, from worst to best.
+const (
+	VerdictAsymptoticRegression Verdict = iota // growth class got steeper
+	VerdictCostRegression                      // same growth, more cost per input
+	VerdictUnchanged
+	VerdictImprovement
+	VerdictAdded
+	VerdictRemoved
+	VerdictInsufficientData
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAsymptoticRegression:
+		return "ASYMPTOTIC REGRESSION"
+	case VerdictCostRegression:
+		return "cost regression"
+	case VerdictUnchanged:
+		return "unchanged"
+	case VerdictImprovement:
+		return "improvement"
+	case VerdictAdded:
+		return "added"
+	case VerdictRemoved:
+		return "removed"
+	case VerdictInsufficientData:
+		return "insufficient data"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// CompareOptions tunes the regression classification.
+type CompareOptions struct {
+	// ExponentTolerance is the fitted-exponent increase treated as an
+	// asymptotic regression (default 0.3).
+	ExponentTolerance float64
+	// CostTolerance is the relative cost-per-unit increase treated as a
+	// cost regression (default 0.25 = +25%).
+	CostTolerance float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.ExponentTolerance == 0 {
+		o.ExponentTolerance = 0.3
+	}
+	if o.CostTolerance == 0 {
+		o.CostTolerance = 0.25
+	}
+	return o
+}
+
+// CompareProfiles diffs two profiles routine by routine, worst verdicts
+// first.
+func CompareProfiles(oldP, newP *core.Profile, opts CompareOptions) []RoutineDelta {
+	opts = opts.withDefaults()
+	names := map[string]bool{}
+	for n := range oldP.Routines {
+		names[n] = true
+	}
+	for n := range newP.Routines {
+		names[n] = true
+	}
+
+	var out []RoutineDelta
+	for name := range names {
+		d := RoutineDelta{Name: name, OldExponent: math.NaN(), NewExponent: math.NaN()}
+		op, np := oldP.Routines[name], newP.Routines[name]
+		switch {
+		case op == nil:
+			d.OnlyInNew = true
+			d.Verdict = VerdictAdded
+			a := np.Merged()
+			d.NewCalls, d.NewCost = a.Calls, a.SumCost
+		case np == nil:
+			d.OnlyInOld = true
+			d.Verdict = VerdictRemoved
+			a := op.Merged()
+			d.OldCalls, d.OldCost = a.Calls, a.SumCost
+		default:
+			oa, na := op.Merged(), np.Merged()
+			d.OldCalls, d.NewCalls = oa.Calls, na.Calls
+			d.OldCost, d.NewCost = oa.SumCost, na.SumCost
+			if oa.SumCost > 0 {
+				d.CostRatio = float64(na.SumCost) / float64(oa.SumCost)
+			}
+			if oa.SumTRMS > 0 {
+				d.OldCostPerUnit = float64(oa.SumCost) / float64(oa.SumTRMS)
+			}
+			if na.SumTRMS > 0 {
+				d.NewCostPerUnit = float64(na.SumCost) / float64(na.SumTRMS)
+			}
+			if ci, err := fit.FitPowerLawCI(WorstCase(oa.ByTRMS)); err == nil {
+				d.OldExponent, d.OldExponentSE = ci.Exponent, ci.ExponentStderr
+			} else if pl, err := fit.FitPowerLaw(WorstCase(oa.ByTRMS)); err == nil {
+				d.OldExponent = pl.Exponent
+			}
+			if ci, err := fit.FitPowerLawCI(WorstCase(na.ByTRMS)); err == nil {
+				d.NewExponent, d.NewExponentSE = ci.Exponent, ci.ExponentStderr
+			} else if pl, err := fit.FitPowerLaw(WorstCase(na.ByTRMS)); err == nil {
+				d.NewExponent = pl.Exponent
+			}
+			d.Verdict = classify(d, opts)
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Verdict != out[j].Verdict {
+			return out[i].Verdict < out[j].Verdict
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func classify(d RoutineDelta, opts CompareOptions) Verdict {
+	haveExp := !math.IsNaN(d.OldExponent) && !math.IsNaN(d.NewExponent)
+	// The exponent gap must clear both the configured tolerance and the
+	// fits' own jackknife uncertainty: a jump driven by one fragile point
+	// is not a finding.
+	margin := math.Max(opts.ExponentTolerance, 2*(d.OldExponentSE+d.NewExponentSE))
+	if haveExp && d.NewExponent > d.OldExponent+margin {
+		return VerdictAsymptoticRegression
+	}
+	haveUnit := d.OldCostPerUnit > 0 && d.NewCostPerUnit > 0
+	if haveUnit {
+		rel := d.NewCostPerUnit/d.OldCostPerUnit - 1
+		switch {
+		case rel > opts.CostTolerance:
+			return VerdictCostRegression
+		case rel < -opts.CostTolerance:
+			return VerdictImprovement
+		default:
+			return VerdictUnchanged
+		}
+	}
+	if !haveExp && !haveUnit {
+		return VerdictInsufficientData
+	}
+	return VerdictUnchanged
+}
+
+// Regressions filters the deltas to the two regression classes.
+func Regressions(deltas []RoutineDelta) []RoutineDelta {
+	var out []RoutineDelta
+	for _, d := range deltas {
+		if d.Verdict == VerdictAsymptoticRegression || d.Verdict == VerdictCostRegression {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package report
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+)
+
+// profileOf profiles a parametrized guest program: routine "work" scans n
+// device-provided cells per activation with extra per-cell compute, and
+// routine "algo" costs cost(n) basic blocks for input n.
+func profileOf(t *testing.T, perCell int, costFn func(n int) int) *core.Profile {
+	t.Helper()
+	p := core.New(core.Options{})
+	m := guest.NewMachine(guest.Config{Tools: []guest.Tool{p}})
+	buf := m.Static(256)
+	dev := m.NewDevice("d", nil)
+	err := m.Run(func(th *guest.Thread) {
+		for n := 8; n <= 256; n *= 2 {
+			th.Fn("work", func() {
+				th.ReadDevice(dev, buf, n)
+				for i := 0; i < n; i++ {
+					th.Load(buf + guest.Addr(i))
+					th.Exec(perCell)
+				}
+			})
+			th.Fn("algo", func() {
+				th.ReadDevice(dev, buf, n)
+				for i := 0; i < n; i++ {
+					th.Load(buf + guest.Addr(i))
+				}
+				th.Exec(costFn(n))
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Profile()
+}
+
+func deltaFor(t *testing.T, deltas []RoutineDelta, name string) RoutineDelta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s in %+v", name, deltas)
+	return RoutineDelta{}
+}
+
+func TestCompareDetectsAsymptoticRegression(t *testing.T) {
+	linear := profileOf(t, 1, func(n int) int { return 10 * n })
+	quadratic := profileOf(t, 1, func(n int) int { return n * n / 2 })
+	deltas := CompareProfiles(linear, quadratic, CompareOptions{})
+	algo := deltaFor(t, deltas, "algo")
+	if algo.Verdict != VerdictAsymptoticRegression {
+		t.Errorf("algo verdict = %s (exponents %.2f -> %.2f), want asymptotic regression",
+			algo.Verdict, algo.OldExponent, algo.NewExponent)
+	}
+	// The unchanged routine must not be flagged.
+	work := deltaFor(t, deltas, "work")
+	if work.Verdict != VerdictUnchanged {
+		t.Errorf("work verdict = %s, want unchanged", work.Verdict)
+	}
+	// Regressions come first in the ordering.
+	if deltas[0].Name != "algo" {
+		t.Errorf("worst-first ordering: %v first", deltas[0].Name)
+	}
+	if got := Regressions(deltas); len(got) != 1 || got[0].Name != "algo" {
+		t.Errorf("Regressions = %+v", got)
+	}
+}
+
+func TestCompareDetectsConstantFactorRegression(t *testing.T) {
+	before := profileOf(t, 1, func(n int) int { return 10 * n })
+	after := profileOf(t, 4, func(n int) int { return 10 * n }) // 4x per-cell work
+	deltas := CompareProfiles(before, after, CompareOptions{})
+	work := deltaFor(t, deltas, "work")
+	if work.Verdict != VerdictCostRegression {
+		t.Errorf("work verdict = %s (cost/unit %.2f -> %.2f), want cost regression",
+			work.Verdict, work.OldCostPerUnit, work.NewCostPerUnit)
+	}
+	// Same growth class: not an asymptotic regression.
+	if math.Abs(work.NewExponent-work.OldExponent) > 0.3 {
+		t.Errorf("exponents diverged: %.2f -> %.2f", work.OldExponent, work.NewExponent)
+	}
+}
+
+func TestCompareDetectsImprovementAndIdentity(t *testing.T) {
+	heavy := profileOf(t, 4, func(n int) int { return 10 * n })
+	light := profileOf(t, 1, func(n int) int { return 10 * n })
+	deltas := CompareProfiles(heavy, light, CompareOptions{})
+	if d := deltaFor(t, deltas, "work"); d.Verdict != VerdictImprovement {
+		t.Errorf("verdict = %s, want improvement", d.Verdict)
+	}
+	same := CompareProfiles(light, light, CompareOptions{})
+	for _, d := range same {
+		if d.Verdict != VerdictUnchanged {
+			t.Errorf("%s verdict = %s on identical profiles", d.Name, d.Verdict)
+		}
+	}
+}
+
+func TestCompareAddedRemoved(t *testing.T) {
+	withBoth := profileOf(t, 1, func(n int) int { return n })
+
+	only := core.New(core.Options{})
+	m := guest.NewMachine(guest.Config{Tools: []guest.Tool{only}})
+	if err := m.Run(func(th *guest.Thread) {
+		th.Fn("newcomer", func() { th.Exec(10) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deltas := CompareProfiles(withBoth, only.Profile(), CompareOptions{})
+	if d := deltaFor(t, deltas, "newcomer"); d.Verdict != VerdictAdded {
+		t.Errorf("newcomer = %s, want added", d.Verdict)
+	}
+	if d := deltaFor(t, deltas, "work"); d.Verdict != VerdictRemoved {
+		t.Errorf("work = %s, want removed", d.Verdict)
+	}
+}
+
+// TestFragileFitDoesNotTriggerRegression: when the new profile's exponent is
+// driven by a single unstable point, the jackknife margin suppresses the
+// asymptotic-regression verdict.
+func TestFragileFitDoesNotTriggerRegression(t *testing.T) {
+	// Old: clean linear. New: clean linear except one far outlier
+	// activation that drags the raw exponent up.
+	mkProfile := func(outlier bool) *core.Profile {
+		p := core.New(core.Options{})
+		m := guest.NewMachine(guest.Config{Tools: []guest.Tool{p}})
+		buf := m.Static(4096)
+		dev := m.NewDevice("d", nil)
+		err := m.Run(func(th *guest.Thread) {
+			for n := 8; n <= 64; n *= 2 {
+				th.Fn("work", func() {
+					th.ReadDevice(dev, buf, n)
+					for i := 0; i < n; i++ {
+						th.Load(buf + guest.Addr(i))
+					}
+				})
+			}
+			if outlier {
+				// One large-input activation with hugely inflated cost.
+				th.Fn("work", func() {
+					th.ReadDevice(dev, buf, 128)
+					for i := 0; i < 128; i++ {
+						th.Load(buf + guest.Addr(i))
+					}
+					th.Exec(200000)
+				})
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Profile()
+	}
+	oldP := mkProfile(false)
+	newP := mkProfile(true)
+	deltas := CompareProfiles(oldP, newP, CompareOptions{})
+	d := deltaFor(t, deltas, "work")
+	if d.NewExponentSE < 0.2 {
+		t.Fatalf("outlier fit stderr = %.3f; test premise broken (raw exponent %.2f)",
+			d.NewExponentSE, d.NewExponent)
+	}
+	if d.Verdict == VerdictAsymptoticRegression {
+		t.Errorf("fragile single-point exponent jump (%.2f±%.2f -> %.2f±%.2f) flagged as asymptotic regression",
+			d.OldExponent, d.OldExponentSE, d.NewExponent, d.NewExponentSE)
+	}
+}

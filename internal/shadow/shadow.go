@@ -1,0 +1,199 @@
+// Package shadow provides the three-level shadow memory used by the
+// profiler, mirroring the organization described in Section 5 of the paper:
+// a primary table indexes 2048 secondary tables, each covering a gigabyte
+// range of the address space through 16 K chunk slots, and each chunk shadows
+// a contiguous run of 16 K memory cells with one 32-bit value per cell.
+// Chunks are allocated on first touch, so only address ranges a thread
+// actually accesses consume shadow space — the property the paper relies on
+// to keep per-thread shadow memories cheap for embarrassingly parallel
+// programs.
+package shadow
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+)
+
+// Shadow geometry. An address decomposes into primary index (high bits),
+// secondary index, and chunk offset (low bits). The paper's chunks shadow
+// 64 KB of address space at 4-byte granularity — 16 K timestamps per chunk —
+// a secondary table of 16 K chunk slots covers 1 GB, and the primary table
+// holds 2048 secondaries.
+const (
+	ChunkBits = 14 // cells per chunk: 16 K
+	secBits   = 14 // chunks per secondary: 16 K
+	priBits   = 11 // secondaries in the primary table: 2048
+
+	ChunkSize = 1 << ChunkBits
+	secSize   = 1 << secBits
+	priSize   = 1 << priBits
+
+	// MaxAddrBits is the width of the shadowed address space.
+	MaxAddrBits = ChunkBits + secBits + priBits
+)
+
+// Table is a three-level shadow memory mapping guest addresses to values of
+// type T. The zero value of T means "no shadow state": lookups of untouched
+// addresses return it without allocating.
+type Table[T comparable] struct {
+	primary [priSize]*secondary[T]
+
+	secondaries int
+	chunks      int
+
+	// lastChunk caches the most recently touched chunk for the sequential
+	// access patterns that dominate guest programs.
+	lastBase  uint64
+	lastChunk *chunk[T]
+}
+
+type secondary[T comparable] struct {
+	chunks [secSize]*chunk[T]
+}
+
+type chunk[T comparable] struct {
+	vals [ChunkSize]T
+}
+
+// NewTable returns an empty shadow table.
+func NewTable[T comparable]() *Table[T] {
+	return &Table[T]{lastBase: ^uint64(0)}
+}
+
+func (t *Table[T]) index(a guest.Addr) (pi, si, off uint64) {
+	u := uint64(a)
+	if u>>MaxAddrBits != 0 {
+		panic(fmt.Sprintf("shadow: address %#x outside the %d-bit shadowed space", u, MaxAddrBits))
+	}
+	return u >> (ChunkBits + secBits), (u >> ChunkBits) & (secSize - 1), u & (ChunkSize - 1)
+}
+
+// chunkFor returns the chunk shadowing a, allocating it if needed.
+func (t *Table[T]) chunkFor(a guest.Addr) *chunk[T] {
+	base := uint64(a) >> ChunkBits
+	if t.lastChunk != nil && t.lastBase == base {
+		return t.lastChunk
+	}
+	pi, si, _ := t.index(a)
+	sec := t.primary[pi]
+	if sec == nil {
+		sec = new(secondary[T])
+		t.primary[pi] = sec
+		t.secondaries++
+	}
+	ch := sec.chunks[si]
+	if ch == nil {
+		ch = new(chunk[T])
+		sec.chunks[si] = ch
+		t.chunks++
+	}
+	t.lastBase = base
+	t.lastChunk = ch
+	return ch
+}
+
+// Slot returns a pointer to the shadow cell for a, allocating shadow space
+// on first touch. Use it for read-modify-write sequences.
+func (t *Table[T]) Slot(a guest.Addr) *T {
+	return &t.chunkFor(a).vals[uint64(a)&(ChunkSize-1)]
+}
+
+// Set stores v in the shadow cell for a.
+func (t *Table[T]) Set(a guest.Addr, v T) {
+	t.chunkFor(a).vals[uint64(a)&(ChunkSize-1)] = v
+}
+
+// Get returns the shadow cell for a, allocating on first touch. Prefer Peek
+// on read-only paths.
+func (t *Table[T]) Get(a guest.Addr) T {
+	return t.chunkFor(a).vals[uint64(a)&(ChunkSize-1)]
+}
+
+// Peek returns the shadow cell for a without allocating: untouched addresses
+// yield the zero value.
+func (t *Table[T]) Peek(a guest.Addr) T {
+	base := uint64(a) >> ChunkBits
+	if t.lastChunk != nil && t.lastBase == base {
+		return t.lastChunk.vals[uint64(a)&(ChunkSize-1)]
+	}
+	pi, si, off := t.index(a)
+	sec := t.primary[pi]
+	if sec == nil {
+		var zero T
+		return zero
+	}
+	ch := sec.chunks[si]
+	if ch == nil {
+		var zero T
+		return zero
+	}
+	t.lastBase = base
+	t.lastChunk = ch
+	return ch.vals[off]
+}
+
+// RangeChunks calls f for every allocated chunk with the address of its first
+// cell and a mutable view of its values. Iteration order is ascending by
+// address. f may rewrite values in place (used by timestamp renumbering).
+func (t *Table[T]) RangeChunks(f func(base guest.Addr, vals *[ChunkSize]T)) {
+	for pi := 0; pi < priSize; pi++ {
+		sec := t.primary[pi]
+		if sec == nil {
+			continue
+		}
+		for si := 0; si < secSize; si++ {
+			ch := sec.chunks[si]
+			if ch == nil {
+				continue
+			}
+			base := guest.Addr(uint64(pi)<<(ChunkBits+secBits) | uint64(si)<<ChunkBits)
+			f(base, &ch.vals)
+		}
+	}
+}
+
+// Range calls f for every shadow cell holding a non-zero value, in ascending
+// address order.
+func (t *Table[T]) Range(f func(a guest.Addr, v T)) {
+	var zero T
+	t.RangeChunks(func(base guest.Addr, vals *[ChunkSize]T) {
+		for off := range vals {
+			if vals[off] != zero {
+				f(base+guest.Addr(off), vals[off])
+			}
+		}
+	})
+}
+
+// Chunks returns the number of allocated chunks.
+func (t *Table[T]) Chunks() int { return t.chunks }
+
+// FootprintBytes reports the memory consumed by the table's allocated shadow
+// chunks — the component that scales with the memory the program touches.
+// The fixed-size index tables (IndexBytes) are reported separately: at the
+// paper's MB-to-GB workload scales they are noise, while at this
+// reproduction's KB scales they would drown the signal.
+func (t *Table[T]) FootprintBytes() uint64 {
+	var v T
+	elem := uint64(sizeOf(v))
+	return uint64(t.chunks) * ChunkSize * elem
+}
+
+// IndexBytes reports the memory consumed by the secondary index tables.
+func (t *Table[T]) IndexBytes() uint64 {
+	return uint64(t.secondaries) * secSize * 8
+}
+
+func sizeOf(v any) int {
+	switch v.(type) {
+	case uint8, int8:
+		return 1
+	case uint16, int16:
+		return 2
+	case uint32, int32, float32:
+		return 4
+	default:
+		return 8
+	}
+}

@@ -1,0 +1,146 @@
+package tools
+
+import (
+	"sort"
+
+	"repro/internal/guest"
+)
+
+// Callgrind builds a dynamic call graph with inclusive and exclusive
+// basic-block costs per routine and per call edge, the analysis performed by
+// Valgrind's callgrind (without cache simulation). Function calls and
+// returns are instrumented; individual memory accesses are not, matching the
+// paper's description of callgrind's cost profile.
+type Callgrind struct {
+	guest.BaseTool
+	env guest.Env
+
+	stacks map[guest.ThreadID][]cgFrame
+	nodes  map[guest.RoutineID]*CallNode
+	edges  map[[2]guest.RoutineID]*CallEdge
+}
+
+type cgFrame struct {
+	rtn       guest.RoutineID
+	bbEnter   uint64
+	childCost uint64
+}
+
+// CallNode aggregates one routine's costs over all threads.
+type CallNode struct {
+	Name      string
+	Calls     uint64
+	Inclusive uint64 // cumulative basic blocks, including descendants
+	Exclusive uint64 // basic blocks excluding descendants
+}
+
+// CallEdge aggregates one caller→callee edge.
+type CallEdge struct {
+	Caller, Callee string
+	Calls          uint64
+	Inclusive      uint64
+}
+
+// NewCallgrind returns a Callgrind tool.
+func NewCallgrind() *Callgrind {
+	return &Callgrind{
+		stacks: make(map[guest.ThreadID][]cgFrame),
+		nodes:  make(map[guest.RoutineID]*CallNode),
+		edges:  make(map[[2]guest.RoutineID]*CallEdge),
+	}
+}
+
+// Attach implements guest.Tool.
+func (cg *Callgrind) Attach(env guest.Env) { cg.env = env }
+
+// Call implements guest.Tool.
+func (cg *Callgrind) Call(t guest.ThreadID, r guest.RoutineID, bb uint64) {
+	cg.stacks[t] = append(cg.stacks[t], cgFrame{rtn: r, bbEnter: bb})
+}
+
+// Return implements guest.Tool.
+func (cg *Callgrind) Return(t guest.ThreadID, r guest.RoutineID, bb uint64) {
+	stack := cg.stacks[t]
+	if len(stack) == 0 {
+		return
+	}
+	f := stack[len(stack)-1]
+	cg.stacks[t] = stack[:len(stack)-1]
+
+	inclusive := bb - f.bbEnter
+	node := cg.nodes[f.rtn]
+	if node == nil {
+		node = &CallNode{Name: cg.env.RoutineName(f.rtn)}
+		cg.nodes[f.rtn] = node
+	}
+	node.Calls++
+	node.Inclusive += inclusive
+	node.Exclusive += inclusive - f.childCost
+
+	if n := len(cg.stacks[t]); n > 0 {
+		parent := &cg.stacks[t][n-1]
+		parent.childCost += inclusive
+		key := [2]guest.RoutineID{parent.rtn, f.rtn}
+		e := cg.edges[key]
+		if e == nil {
+			e = &CallEdge{Caller: cg.env.RoutineName(parent.rtn), Callee: node.Name}
+			cg.edges[key] = e
+		}
+		e.Calls++
+		e.Inclusive += inclusive
+	}
+}
+
+// Nodes returns the call-graph nodes sorted by decreasing inclusive cost.
+func (cg *Callgrind) Nodes() []*CallNode {
+	out := make([]*CallNode, 0, len(cg.nodes))
+	for _, n := range cg.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Inclusive != out[j].Inclusive {
+			return out[i].Inclusive > out[j].Inclusive
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Edges returns the call edges sorted by decreasing inclusive cost.
+func (cg *Callgrind) Edges() []*CallEdge {
+	out := make([]*CallEdge, 0, len(cg.edges))
+	for _, e := range cg.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Inclusive != out[j].Inclusive {
+			return out[i].Inclusive > out[j].Inclusive
+		}
+		if out[i].Caller != out[j].Caller {
+			return out[i].Caller < out[j].Caller
+		}
+		return out[i].Callee < out[j].Callee
+	})
+	return out
+}
+
+// FootprintBytes estimates the call-graph storage: node and edge records
+// plus stack frames.
+func (cg *Callgrind) FootprintBytes() uint64 {
+	const nodeBytes, edgeBytes, frameBytes = 96, 112, 32
+	total := uint64(len(cg.nodes))*nodeBytes + uint64(len(cg.edges))*edgeBytes
+	for _, s := range cg.stacks {
+		total += uint64(len(s)) * frameBytes
+	}
+	return total
+}
+
+// Node returns the call-graph node for the named routine, or nil.
+func (cg *Callgrind) Node(name string) *CallNode {
+	for _, n := range cg.nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package tools implements analogs of the Valgrind tools the paper compares
+// against (Table 1): nulgrind (no analysis), memcheck (memory-error
+// detection over shadow state bits), callgrind (call-graph profiling), and
+// helgrind (happens-before data-race detection with vector clocks). All of
+// them consume the same guest event stream as the input-sensitive profiler,
+// so their relative per-event analysis costs can be compared the way the
+// paper compares tool slowdowns over a shared instrumentation substrate.
+package tools
+
+import "repro/internal/guest"
+
+// Nulgrind performs no analysis: it measures the bare cost of event
+// dispatch, the baseline the paper normalizes tool overheads against.
+type Nulgrind struct {
+	guest.BaseTool
+	events uint64
+}
+
+// NewNulgrind returns a Nulgrind tool.
+func NewNulgrind() *Nulgrind { return &Nulgrind{} }
+
+// Events returns the number of memory-access events observed (the counter
+// exists so the dispatch loop cannot be optimized away).
+func (n *Nulgrind) Events() uint64 { return n.events }
+
+// Read implements guest.Tool.
+func (n *Nulgrind) Read(guest.ThreadID, guest.Addr) { n.events++ }
+
+// Write implements guest.Tool.
+func (n *Nulgrind) Write(guest.ThreadID, guest.Addr) { n.events++ }
+
+// Call implements guest.Tool.
+func (n *Nulgrind) Call(guest.ThreadID, guest.RoutineID, uint64) { n.events++ }
+
+// Return implements guest.Tool.
+func (n *Nulgrind) Return(guest.ThreadID, guest.RoutineID, uint64) { n.events++ }

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/guest"
+)
+
+// Binary trace format:
+//
+//	magic "ISPTRACE" | version byte |
+//	routine table: uvarint count, then uvarint length + bytes per name
+//	sync table:    same layout
+//	threads:       uvarint count, then per thread:
+//	                 uvarint thread id (uint32 image)
+//	                 uvarint event count, then per event:
+//	                   uvarint timestamp delta | kind byte | uvarint arg | uvarint aux
+//
+// Timestamps are delta-encoded within each thread's stream, which keeps
+// typical events at 4-6 bytes.
+
+var magic = [8]byte{'I', 'S', 'P', 'T', 'R', 'A', 'C', 'E'}
+
+const formatVersion = 1
+
+// Encode writes the trace in the binary format.
+func (tr *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return err
+	}
+	writeStrings := func(ss []string) error {
+		writeUvarint(bw, uint64(len(ss)))
+		for _, s := range ss {
+			writeUvarint(bw, uint64(len(s)))
+			if _, err := bw.WriteString(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeStrings(tr.Routines); err != nil {
+		return err
+	}
+	if err := writeStrings(tr.Syncs); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(tr.Threads)))
+	for i := range tr.Threads {
+		tt := &tr.Threads[i]
+		writeUvarint(bw, uint64(uint32(tt.ID)))
+		writeUvarint(bw, uint64(len(tt.Events)))
+		prev := uint64(0)
+		for _, e := range tt.Events {
+			writeUvarint(bw, e.TS-prev)
+			prev = e.TS
+			if err := bw.WriteByte(byte(e.Kind)); err != nil {
+				return err
+			}
+			writeUvarint(bw, e.Arg)
+			writeUvarint(bw, e.Aux)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace in the binary format.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d", ver)
+	}
+	readStrings := func() ([]string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<24 {
+			return nil, fmt.Errorf("trace: implausible name-table size %d", n)
+		}
+		ss := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			l, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if l > 1<<16 {
+				return nil, fmt.Errorf("trace: implausible name length %d", l)
+			}
+			buf := make([]byte, l)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			ss = append(ss, string(buf))
+		}
+		return ss, nil
+	}
+	tr := &Trace{}
+	if tr.Routines, err = readStrings(); err != nil {
+		return nil, fmt.Errorf("trace: routine table: %w", err)
+	}
+	if tr.Syncs, err = readStrings(); err != nil {
+		return nil, fmt.Errorf("trace: sync table: %w", err)
+	}
+	nThreads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nThreads > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible thread count %d", nThreads)
+	}
+	for i := uint64(0); i < nThreads; i++ {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		nEvents, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		tt := ThreadTrace{ID: threadIDFromWire(id)}
+		tt.Events = make([]Event, 0, min(nEvents, 1<<20))
+		prev := uint64(0)
+		for j := uint64(0); j < nEvents; j++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d event %d: %w", id, j, err)
+			}
+			prev += delta
+			kb, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if Kind(kb) >= numKinds {
+				return nil, fmt.Errorf("trace: invalid event kind %d", kb)
+			}
+			arg, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			aux, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			tt.Events = append(tt.Events, Event{
+				TS:     prev,
+				Thread: tt.ID,
+				Kind:   Kind(kb),
+				Arg:    arg,
+				Aux:    aux,
+			})
+		}
+		tr.Threads = append(tr.Threads, tt)
+	}
+	return tr, nil
+}
+
+func threadIDFromWire(v uint64) guest.ThreadID { return guest.ThreadID(int32(uint32(v))) }
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n]) //nolint:errcheck // flushed error surfaces at Flush
+}

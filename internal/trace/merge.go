@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Merge interleaves the per-thread traces into one totally ordered trace,
+// following Section 4 of the paper: events are ordered by timestamp; if two
+// or more operations issued by different threads carry the same timestamp,
+// ties are broken arbitrarily — here by a thread priority permutation drawn
+// from tieSeed, so different seeds exercise different legal interleavings —
+// and switchThread events are inserted between any two consecutive
+// operations performed by different threads.
+func Merge(tr *Trace, tieSeed int64) []Event {
+	prio := make(map[int]int, len(tr.Threads))
+	perm := rand.New(rand.NewSource(tieSeed)).Perm(len(tr.Threads))
+	for i, p := range perm {
+		prio[i] = p
+	}
+
+	h := &mergeHeap{}
+	for i := range tr.Threads {
+		if len(tr.Threads[i].Events) > 0 {
+			h.items = append(h.items, mergeItem{tt: &tr.Threads[i], prio: prio[i]})
+		}
+	}
+	heap.Init(h)
+
+	merged := make([]Event, 0, tr.NumEvents()+tr.NumEvents()/8)
+	haveLast := false
+	var last Event
+	for h.Len() > 0 {
+		it := &h.items[0]
+		e := it.tt.Events[it.next]
+		it.next++
+		if it.next == len(it.tt.Events) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+
+		if haveLast && last.Thread != e.Thread {
+			merged = append(merged, Event{
+				TS:     e.TS,
+				Thread: last.Thread,
+				Kind:   KindSwitch,
+				Arg:    uint64(uint32(e.Thread)),
+			})
+		}
+		merged = append(merged, e)
+		last, haveLast = e, true
+	}
+	return merged
+}
+
+type mergeItem struct {
+	tt   *ThreadTrace
+	next int
+	prio int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	ea, eb := a.tt.Events[a.next], b.tt.Events[b.next]
+	if ea.TS != eb.TS {
+		return ea.TS < eb.TS
+	}
+	return a.prio < b.prio
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *mergeHeap) Push(x any) { h.items = append(h.items, x.(mergeItem)) }
+
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/guest"
+)
+
+// TestQuickEncodeDecodeRoundTrip: arbitrary well-formed traces survive the
+// binary codec bit-exactly.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(names []string, raw []struct {
+		Tid   uint8
+		Kind  uint8
+		Delta uint16
+		Arg   uint32
+		Aux   uint16
+	}) bool {
+		tr := &Trace{}
+		for _, n := range names {
+			if len(n) > 1<<10 {
+				n = n[:1<<10]
+			}
+			tr.Routines = append(tr.Routines, n)
+			tr.Syncs = append(tr.Syncs, n+"-sync")
+		}
+		perTh := make(map[guest.ThreadID]*ThreadTrace)
+		var order []guest.ThreadID
+		clock := make(map[guest.ThreadID]uint64)
+		for _, r := range raw {
+			tid := guest.ThreadID(r.Tid%5) + 1
+			tt := perTh[tid]
+			if tt == nil {
+				tt = &ThreadTrace{ID: tid}
+				perTh[tid] = tt
+				order = append(order, tid)
+			}
+			clock[tid] += uint64(r.Delta)
+			tt.Events = append(tt.Events, Event{
+				TS:     clock[tid],
+				Thread: tid,
+				Kind:   Kind(r.Kind % uint8(numKinds)),
+				Arg:    uint64(r.Arg),
+				Aux:    uint64(r.Aux),
+			})
+		}
+		for _, tid := range order {
+			tr.Threads = append(tr.Threads, *perTh[tid])
+		}
+
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Routines) != len(tr.Routines) || len(got.Threads) != len(tr.Threads) {
+			return false
+		}
+		for i := range tr.Routines {
+			if got.Routines[i] != tr.Routines[i] || got.Syncs[i] != tr.Syncs[i] {
+				return false
+			}
+		}
+		for i := range tr.Threads {
+			a, b := tr.Threads[i], got.Threads[i]
+			if a.ID != b.ID || len(a.Events) != len(b.Events) {
+				return false
+			}
+			for j := range a.Events {
+				if a.Events[j] != b.Events[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeIsStablePartition: merging preserves each thread's event
+// subsequence exactly, for any tie seed.
+func TestQuickMergeIsStablePartition(t *testing.T) {
+	f := func(raw []struct {
+		Tid   uint8
+		Delta uint8
+	}, seed int64) bool {
+		tr := &Trace{Routines: []string{"r"}}
+		perTh := make(map[guest.ThreadID]*ThreadTrace)
+		var order []guest.ThreadID
+		clock := make(map[guest.ThreadID]uint64)
+		for i, r := range raw {
+			tid := guest.ThreadID(r.Tid%4) + 1
+			tt := perTh[tid]
+			if tt == nil {
+				tt = &ThreadTrace{ID: tid}
+				perTh[tid] = tt
+				order = append(order, tid)
+			}
+			clock[tid] += uint64(r.Delta)
+			tt.Events = append(tt.Events, Event{TS: clock[tid], Thread: tid, Kind: KindRead, Arg: uint64(i)})
+		}
+		for _, tid := range order {
+			tr.Threads = append(tr.Threads, *perTh[tid])
+		}
+
+		merged := Merge(tr, seed)
+		// Project the merged trace back per thread and compare.
+		got := make(map[guest.ThreadID][]Event)
+		var prevTS uint64
+		for _, e := range merged {
+			if e.TS < prevTS {
+				return false // total order violated
+			}
+			prevTS = e.TS
+			if e.Kind == KindSwitch {
+				continue
+			}
+			got[e.Thread] = append(got[e.Thread], e)
+		}
+		for tid, tt := range perTh {
+			if len(got[tid]) != len(tt.Events) {
+				return false
+			}
+			for j := range tt.Events {
+				if got[tid][j] != tt.Events[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

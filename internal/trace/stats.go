@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/guest"
+)
+
+// Stats summarizes a trace: event-kind histogram, per-thread volumes, and
+// the time span, for quick inspection before replaying.
+type Stats struct {
+	Events  int
+	Threads int
+	Span    uint64 // last timestamp - first timestamp
+
+	// ByKind counts events per kind.
+	ByKind map[Kind]int
+
+	// PerThread lists per-thread volumes in thread order.
+	PerThread []ThreadStats
+}
+
+// ThreadStats is one thread's share of the trace.
+type ThreadStats struct {
+	ID              guest.ThreadID
+	Events          int
+	Reads, Writes   int
+	KernelIO        int
+	Calls           int
+	FirstTS, LastTS uint64
+}
+
+// ComputeStats scans the trace once.
+func ComputeStats(tr *Trace) Stats {
+	st := Stats{
+		Events:  tr.NumEvents(),
+		Threads: len(tr.Threads),
+		ByKind:  make(map[Kind]int),
+	}
+	var minTS, maxTS uint64
+	first := true
+	for i := range tr.Threads {
+		tt := &tr.Threads[i]
+		ts := ThreadStats{ID: tt.ID, Events: len(tt.Events)}
+		for j, e := range tt.Events {
+			st.ByKind[e.Kind]++
+			switch e.Kind {
+			case KindRead:
+				ts.Reads++
+			case KindWrite:
+				ts.Writes++
+			case KindKernelRead, KindKernelWrite:
+				ts.KernelIO++
+			case KindCall:
+				ts.Calls++
+			}
+			if j == 0 {
+				ts.FirstTS = e.TS
+			}
+			ts.LastTS = e.TS
+		}
+		if len(tt.Events) > 0 {
+			if first || ts.FirstTS < minTS {
+				minTS = ts.FirstTS
+			}
+			if first || ts.LastTS > maxTS {
+				maxTS = ts.LastTS
+			}
+			first = false
+		}
+		st.PerThread = append(st.PerThread, ts)
+	}
+	if !first {
+		st.Span = maxTS - minTS
+	}
+	sort.Slice(st.PerThread, func(i, j int) bool { return st.PerThread[i].ID < st.PerThread[j].ID })
+	return st
+}

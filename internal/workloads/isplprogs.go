@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/ispl"
+)
+
+// ISPL-language workloads: whole programs compiled by the ISPL pipeline and
+// executed on the guest machine, exercising the profiler through the VM the
+// way the original aprof is exercised through Valgrind-translated binaries.
+// Program sources are templates instantiated with the Size parameter.
+
+func init() {
+	register(Spec{Name: "ispl-quicksort", Suite: "ispl", DefaultThreads: 1, DefaultSize: 128,
+		Description: "ISPL quicksort over device-provided arrays of doubling sizes",
+		Build:       buildISPL(isplQuicksort)})
+	register(Spec{Name: "ispl-pipeline", Suite: "ispl", DefaultThreads: 2, DefaultSize: 96,
+		Description: "ISPL reader/consumer pipeline over a one-slot buffer (Fig. 2 in ISPL)",
+		Build:       buildISPL(isplPipeline)})
+	register(Spec{Name: "ispl-mapreduce", Suite: "ispl", DefaultThreads: 4, DefaultSize: 64,
+		Description: "ISPL map/reduce: spawned mappers over shared input, locked reduction",
+		Build:       buildISPL(isplMapReduce)})
+}
+
+// buildISPL compiles the template at Build time; compilation errors are
+// programming errors in the embedded sources and panic loudly.
+func buildISPL(template func(p Params) string) func(*guest.Machine, Params) func(*guest.Thread) {
+	return func(m *guest.Machine, p Params) func(*guest.Thread) {
+		prog, err := ispl.Compile(template(p))
+		if err != nil {
+			panic(fmt.Sprintf("workloads: embedded ISPL program failed to compile: %v", err))
+		}
+		body, _ := prog.Build(m)
+		return body
+	}
+}
+
+func isplQuicksort(p Params) string {
+	return fmt.Sprintf(`
+		var a[%d];
+		func partition(lo, hi) {
+			var pivot = a[hi];
+			var i = lo;
+			var j = lo;
+			while (j < hi) {
+				if (a[j] < pivot) {
+					var tmp = a[i]; a[i] = a[j]; a[j] = tmp;
+					i = i + 1;
+				}
+				j = j + 1;
+			}
+			var tmp2 = a[i]; a[i] = a[hi]; a[hi] = tmp2;
+			return i;
+		}
+		func quicksort(lo, hi) {
+			if (lo >= hi) { return 0; }
+			var mid = partition(lo, hi);
+			if (mid > lo) { quicksort(lo, mid - 1); }
+			quicksort(mid + 1, hi);
+			return 0;
+		}
+		func sortN(n) {
+			read(a, 0, n);
+			quicksort(0, n - 1);
+			return a[0];
+		}
+		func main() {
+			var n = 8;
+			var acc = 0;
+			while (n <= %d) {
+				acc = acc + sortN(n);
+				n = n * 2;
+			}
+			print(acc);
+		}`, p.Size, p.Size)
+}
+
+func isplPipeline(p Params) string {
+	return fmt.Sprintf(`
+		var raw[1];
+		var slotBuf[1];
+		var digest;
+		sem full = 0;
+		sem empty = 1;
+
+		func reader(n) {
+			var i = 0;
+			while (i < n) {
+				read(raw, 0, 1);
+				var rec = raw[0] %% 1000;
+				p(empty);
+				slotBuf[0] = rec;
+				v(full);
+				i = i + 1;
+			}
+		}
+		func consume() {
+			digest = digest * 31 + slotBuf[0];
+		}
+		func main() {
+			var n = %d;
+			var t = spawn reader(n);
+			var i = 0;
+			while (i < n) {
+				p(full);
+				consume();
+				v(empty);
+				i = i + 1;
+			}
+			join t;
+			print(digest);
+		}`, p.Size)
+}
+
+func isplMapReduce(p Params) string {
+	mappers := p.Threads
+	if mappers < 1 {
+		mappers = 1
+	}
+	return fmt.Sprintf(`
+		var input[%d];
+		var partial[%d];
+		var handles[%d];
+		var total;
+		lock mu;
+
+		func mapper(id, lo, hi) {
+			var s = 0;
+			var i = lo;
+			while (i < hi) {
+				s = s + input[i] %% 4093;
+				i = i + 1;
+			}
+			partial[id] = s;
+			acquire(mu);
+			total = total + s;
+			release(mu);
+		}
+		func main() {
+			var n = %d;
+			read(input, 0, n);
+			var chunk = n / %d;
+			var id = 0;
+			while (id < %d) {
+				var lo = id * chunk;
+				var hi = lo + chunk;
+				if (id == %d - 1) { hi = n; }
+				handles[id] = spawn mapper(id, lo, hi);
+				id = id + 1;
+			}
+			id = 0;
+			while (id < %d) {
+				join handles[id];
+				id = id + 1;
+			}
+			print(total);
+		}`, p.Size, mappers, mappers, p.Size, mappers, mappers, mappers, mappers)
+}

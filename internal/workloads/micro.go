@@ -1,0 +1,132 @@
+package workloads
+
+import "repro/internal/guest"
+
+// The paper's synthetic examples (Section 2), registered as runnable
+// workloads so the CLI and the experiment harness can reproduce Figures 1a,
+// 1b, 2 and 3 directly.
+
+func init() {
+	register(Spec{
+		Name:           "fig1a",
+		Suite:          "micro",
+		Description:    "Figure 1a: f reads x, another thread overwrites x, f reads x again (rms=1, trms=2)",
+		DefaultThreads: 2,
+		DefaultSize:    1,
+		Build:          buildFig1a,
+	})
+	register(Spec{
+		Name:           "fig1b",
+		Suite:          "micro",
+		Description:    "Figure 1b: induced first-access via subroutine h (trms_f=2, trms_h=1)",
+		DefaultThreads: 2,
+		DefaultSize:    1,
+		Build:          buildFig1b,
+	})
+	register(Spec{
+		Name:           "producer-consumer",
+		Suite:          "micro",
+		Description:    "Figure 2: semaphore producer-consumer over one cell (rms=1, trms=n)",
+		DefaultThreads: 2,
+		DefaultSize:    64,
+		Build:          buildProducerConsumer,
+	})
+	register(Spec{
+		Name:           "external-read",
+		Suite:          "micro",
+		Description:    "Figure 3: buffered reads from a device, half the buffer processed (rms=1, trms=n)",
+		DefaultThreads: 1,
+		DefaultSize:    64,
+		Build:          buildExternalRead,
+	})
+}
+
+func buildFig1a(m *guest.Machine, p Params) func(*guest.Thread) {
+	x := m.Static(1)
+	ready := m.NewSem("ready", 0)
+	ack := m.NewSem("ack", 0)
+	return func(th *guest.Thread) {
+		t2 := th.Spawn("T2", func(g *guest.Thread) {
+			g.Fn("g", func() {
+				g.P(ready)
+				g.Store(x, 99)
+				g.V(ack)
+			})
+		})
+		th.Fn("f", func() {
+			th.Load(x)
+			th.V(ready)
+			th.P(ack)
+			th.Load(x)
+		})
+		th.Join(t2)
+	}
+}
+
+func buildFig1b(m *guest.Machine, p Params) func(*guest.Thread) {
+	x := m.Static(1)
+	ready := m.NewSem("ready", 0)
+	ack := m.NewSem("ack", 0)
+	return func(th *guest.Thread) {
+		t2 := th.Spawn("T2", func(g *guest.Thread) {
+			g.Fn("g", func() {
+				g.P(ready)
+				g.Store(x, 99)
+				g.V(ack)
+			})
+		})
+		th.Fn("f", func() {
+			th.Load(x)
+			th.V(ready)
+			th.P(ack)
+			th.Fn("h", func() { th.Load(x) })
+			th.Load(x)
+		})
+		th.Join(t2)
+	}
+}
+
+func buildProducerConsumer(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := uint64(p.Size)
+	x := m.Static(1)
+	empty := m.NewSem("empty", 1)
+	full := m.NewSem("full", 0)
+	return func(th *guest.Thread) {
+		prod := th.Spawn("producer", func(pr *guest.Thread) {
+			pr.Fn("producer", func() {
+				for i := uint64(1); i <= n; i++ {
+					pr.P(empty)
+					pr.Fn("produceData", func() { pr.Store(x, i) })
+					pr.V(full)
+				}
+			})
+		})
+		cons := th.Spawn("consumer", func(c *guest.Thread) {
+			c.Fn("consumer", func() {
+				for i := uint64(0); i < n; i++ {
+					c.P(full)
+					c.Fn("consumeData", func() { c.Load(x) })
+					c.V(empty)
+				}
+			})
+		})
+		th.Join(prod)
+		th.Join(cons)
+	}
+}
+
+func buildExternalRead(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size
+	buf := m.Static(2)
+	dev := m.NewDevice("device", nil)
+	acc := m.Static(1)
+	return func(th *guest.Thread) {
+		th.Fn("externalRead", func() {
+			for i := 0; i < n; i++ {
+				th.ReadDevice(dev, buf, 2)
+				v := th.Load(buf) // only b[0] is processed
+				th.Store(acc, th.Load(acc)+v)
+			}
+		})
+	}
+}

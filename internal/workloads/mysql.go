@@ -1,0 +1,252 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+)
+
+// MySQL-style database server: the case study of the paper's Section 3.
+//
+// The server keeps table data on a disk device and reads it through a small
+// shared buffer pool, so repeated page loads land in reused pool frames:
+// exactly the structure that makes the rms metric saturate (it never counts
+// a reused frame twice within an activation) while the trms metric keeps
+// growing with the true amount of data read (every kernel-filled frame read
+// is an induced first-access). Three routines carry the paper's figures:
+//
+//   - mysql_select (Fig. 4): scans a table page by page through the pool;
+//     cost grows linearly with table size, trms tracks it, rms plateaus at
+//     the pool footprint.
+//   - buf_flush_buffered_writes (Fig. 6): drains k buffered changes from a
+//     bounded ring (thread-induced input ~ k, rms ~ ring size) and sorts
+//     them by page with an O(k^2) insertion sort: a superlinear bottleneck
+//     visible against trms and invisible against rms.
+//   - Protocol::send_eof (Fig. 8): per-query protocol epilogue whose input
+//     mixes private result state with shared status counters.
+//
+// A mysqlslap-style driver runs Threads concurrent clients issuing Size
+// queries each over tables of geometrically increasing sizes.
+
+const (
+	pageWords        = 16
+	poolFrames       = 4
+	numTables        = 4
+	resultStageWords = 48 // per-page checksum slots staged for the protocol
+)
+
+func init() {
+	register(Spec{Name: "mysqld", Suite: "mysql", DefaultThreads: 8, DefaultSize: 12,
+		Description: "database server under a mysqlslap-style load: SELECT scans, INSERT buffering, page flushing",
+		Build:       buildMySQL})
+}
+
+type mysqlServer struct {
+	disk *guest.Device
+	net  *guest.Device
+
+	// tableStart[t] is the first disk page of table t; tablePages[t] its
+	// page count. Pages are addressed logically on the device stream.
+	tablePages []int
+
+	// Shared buffer pool: poolFrames page frames plus a per-frame tag,
+	// guarded by one mutex (MySQL's buf_pool mutex).
+	pool   guest.Addr
+	poolMu *guest.Mutex
+
+	// Shared server status counters, updated by every connection.
+	status   guest.Addr // [queries, rowsSent, writesBuffered, flushes]
+	statusMu *guest.Mutex
+
+	// Change buffer: a bounded ring of buffered row changes feeding the
+	// page-cleaner thread.
+	changes *guest.Queue
+
+	shutdown guest.Addr // flag cell polled by the page cleaner
+}
+
+func buildMySQL(m *guest.Machine, p Params) func(*guest.Thread) {
+	srv := &mysqlServer{
+		disk:     m.NewDevice("ibdata", nil),
+		net:      m.NewDevice("client-net", nil),
+		pool:     m.Static(poolFrames * (pageWords + 1)),
+		poolMu:   m.NewMutex("buf_pool"),
+		status:   m.Static(4),
+		statusMu: m.NewMutex("server_status"),
+		changes:  m.NewQueue("change-buffer", 16),
+		shutdown: m.Static(1),
+	}
+	// Table 0 fits in the buffer pool (its scans bound rms from below);
+	// the rest grow geometrically and all saturate the pool.
+	base := p.Size
+	srv.tablePages = []int{poolFrames / 2, base, base * 2, base * 4}
+
+	queriesPerClient := p.Size
+	return func(th *guest.Thread) {
+		cleaner := th.Spawn("page_cleaner", func(c *guest.Thread) {
+			srv.pageCleaner(c)
+		})
+		var clients []*guest.Thread
+		for cl := 0; cl < p.Threads; cl++ {
+			cl := cl
+			clients = append(clients, th.Spawn(fmt.Sprintf("conn-%d", cl), func(c *guest.Thread) {
+				c.Fn("handle_connection", func() {
+					srv.client(c, cl, queriesPerClient, p.Seed)
+				})
+			}))
+		}
+		for _, k := range clients {
+			th.Join(k)
+		}
+		th.Store(srv.shutdown, 1)
+		th.Put(srv.changes, 0) // wake the cleaner for shutdown
+		th.Join(cleaner)
+	}
+}
+
+// client runs one mysqlslap connection: a deterministic mix of SELECT and
+// INSERT statements over tables of different sizes.
+func (srv *mysqlServer) client(c *guest.Thread, id, queries int, seed int64) {
+	rng := newRand(seed + int64(id)*104729)
+	resultBuf := c.Alloc(2 + resultStageWords)
+	for q := 0; q < queries; q++ {
+		table := rng.intn(numTables)
+		if rng.intn(100) < 70 {
+			rows := srv.mysqlSelect(c, table, resultBuf)
+			srv.sendEOF(c, resultBuf, rows)
+		} else {
+			srv.insertRows(c, rng, 1+rng.intn(4))
+		}
+	}
+	c.Free(resultBuf)
+}
+
+// mysqlSelect scans every page of the table through the buffer pool and
+// aggregates the rows, returning the aggregate count. Per-page checksums are
+// staged in the result buffer for the protocol layer, so the epilogue's
+// input size tracks the result-set size.
+func (srv *mysqlServer) mysqlSelect(c *guest.Thread, table int, resultBuf guest.Addr) uint64 {
+	var rows uint64
+	c.Fn("mysql_select", func() {
+		pages := srv.tablePages[table]
+		sum := uint64(0)
+		for pg := 0; pg < pages; pg++ {
+			frame := srv.fetchPage(c, pg)
+			for w := 0; w < pageWords; w++ {
+				sum += c.Load(frame + guest.Addr(w))
+				c.Exec(1) // predicate evaluation
+			}
+			if pg < resultStageWords {
+				c.Store(resultBuf+2+guest.Addr(pg), sum)
+			}
+			rows += pageWords
+		}
+		c.Store(resultBuf, sum)
+		c.Store(resultBuf+1, rows)
+		c.WithLock(srv.statusMu, func() {
+			c.Store(srv.status, c.Load(srv.status)+1)        // queries
+			c.Store(srv.status+1, c.Load(srv.status+1)+rows) // rows sent
+		})
+	})
+	return rows
+}
+
+// fetchPage loads a disk page into a shared pool frame (round-robin
+// replacement) under the pool mutex and returns the frame address.
+func (srv *mysqlServer) fetchPage(c *guest.Thread, page int) guest.Addr {
+	var frame guest.Addr
+	c.Fn("buf_pool_fetch", func() {
+		c.Lock(srv.poolMu)
+		slot := page % poolFrames
+		frame = srv.pool + guest.Addr(slot*(pageWords+1))
+		tag := frame + pageWords
+		if c.Load(tag) != uint64(page)+1 {
+			c.ReadDevice(srv.disk, frame, pageWords)
+			c.Store(tag, uint64(page)+1)
+		}
+		c.Unlock(srv.poolMu)
+	})
+	return frame
+}
+
+// sendEOF writes the result set's staged checksums and the EOF packet to
+// the client socket, reading the private result buffer (sized by the result
+// set) and the shared status counters.
+func (srv *mysqlServer) sendEOF(c *guest.Thread, resultBuf guest.Addr, rows uint64) {
+	c.Fn("Protocol::send_eof", func() {
+		staged := int(rows / pageWords)
+		if staged > resultStageWords {
+			staged = resultStageWords
+		}
+		packet := c.Load(resultBuf) // private result state
+		for i := 0; i < staged; i++ {
+			packet ^= c.Load(resultBuf + 2 + guest.Addr(i))
+		}
+		served := c.Load(srv.status + 1) // shared: written by all connections
+		queries := c.Load(srv.status)    // shared
+		c.Store(resultBuf+1, packet^served^queries^rows)
+		c.WriteDevice(srv.net, resultBuf+1, 1)
+	})
+}
+
+// insertRows buffers row changes in the shared change ring and bumps status.
+func (srv *mysqlServer) insertRows(c *guest.Thread, rng *xorshift, n int) {
+	c.Fn("ib_insert", func() {
+		for i := 0; i < n; i++ {
+			c.Put(srv.changes, uint64(rng.intn(1<<20))+1)
+		}
+		c.WithLock(srv.statusMu, func() {
+			c.Store(srv.status+2, c.Load(srv.status+2)+uint64(n))
+		})
+	})
+}
+
+// pageCleaner drains the change ring in growing batches. Each flush
+// insertion-sorts its k buffered changes by page id — the O(k^2) work whose
+// superlinear trend only the trms plot exposes — and applies them to disk
+// pages through the pool.
+func (srv *mysqlServer) pageCleaner(c *guest.Thread) {
+	sortArea := c.Alloc(512)
+	batch := 2
+	for {
+		if c.Load(srv.shutdown) != 0 {
+			break
+		}
+		k := 0
+		c.Fn("buf_flush_buffered_writes", func() {
+			for k < batch {
+				v, ok := c.Get(srv.changes)
+				if !ok || v == 0 {
+					break
+				}
+				// Insertion sort by page id: O(k^2) in the batch size.
+				j := k - 1
+				for j >= 0 {
+					prev := c.Load(sortArea + guest.Addr(j))
+					if prev <= v {
+						break
+					}
+					c.Store(sortArea+guest.Addr(j+1), prev)
+					j--
+				}
+				c.Store(sortArea+guest.Addr(j+1), v)
+				k++
+			}
+			// Apply the sorted changes to their pages.
+			for i := 0; i < k; i++ {
+				v := c.Load(sortArea + guest.Addr(i))
+				page := int(v % 8)
+				frame := srv.fetchPage(c, page)
+				c.Store(frame, c.Load(frame)+v%97)
+				c.WriteDevice(srv.disk, frame, 1)
+			}
+			c.WithLock(srv.statusMu, func() {
+				c.Store(srv.status+3, c.Load(srv.status+3)+1)
+			})
+		})
+		if batch < 256 {
+			batch += 2
+		}
+	}
+	c.Free(sortArea)
+}

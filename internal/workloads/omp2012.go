@@ -1,0 +1,681 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/guest"
+)
+
+// OpenMP-style kernels standing in for the twelve SPEC OMP2012 components of
+// the paper's Table 1 (bt331 and swim are absent there too: their runs
+// failed under Valgrind). Each kernel reproduces the communication structure
+// of its namesake — fork-join data parallelism over shared arrays, halo
+// exchanges, reductions, task queues, wavefront pipelines — which is what
+// determines its induced-input profile; the numeric payload is simplified.
+// All kernels are phase-synchronized (joins, barriers, semaphores), so they
+// are data-race-free by construction.
+
+func init() {
+	register(Spec{Name: "350.md", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 48,
+		Description: "molecular dynamics: O(n^2) force computation, master integration between steps",
+		Build:       buildMD})
+	register(Spec{Name: "351.bwaves", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 20,
+		Description: "blast-wave solver: Jacobi sweeps over a 2D grid with halo exchange",
+		Build:       buildBwaves})
+	register(Spec{Name: "352.nab", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 64,
+		Description: "molecular modeling: cell-list nonbonded energy with mutex reduction",
+		Build:       buildNab})
+	register(Spec{Name: "358.botsalgn", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 24,
+		Description: "protein alignment: task queue of Smith-Waterman alignments",
+		Build:       buildBotsalgn})
+	register(Spec{Name: "359.botsspar", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 6,
+		Description: "sparse LU: per-wave tile factorization and updates",
+		Build:       buildBotsspar})
+	register(Spec{Name: "360.ilbdc", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 96,
+		Description: "lattice Boltzmann: stream-collide over a 1D lattice with band halos",
+		Build:       buildIlbdc})
+	register(Spec{Name: "362.fma3d", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 48,
+		Description: "finite-element crash simulation: element forces scattered to shared nodes",
+		Build:       buildFma3d})
+	register(Spec{Name: "367.imagick", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 24,
+		Description: "image processing: parallel convolution and rotation, result written to disk",
+		Build:       buildImagick})
+	register(Spec{Name: "370.mgrid331", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 32,
+		Description: "multigrid: V-cycle with parallel smoothing, restriction, interpolation",
+		Build:       buildMgrid})
+	register(Spec{Name: "371.applu331", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 20,
+		Description: "SSOR solver: lower/upper triangular wavefront sweeps pipelined across threads",
+		Build:       buildApplu})
+	register(Spec{Name: "372.smithwa", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 40,
+		Description: "Smith-Waterman: anti-diagonal parallel dynamic program over a shared matrix",
+		Build:       buildSmithwa})
+	register(Spec{Name: "376.kdtree", Suite: "omp2012", DefaultThreads: 4, DefaultSize: 64,
+		Description: "kd-tree: recursive build then parallel range queries",
+		Build:       buildKdtree})
+}
+
+// 350.md — molecular dynamics. Workers compute O(n^2/T) pairwise forces
+// reading the shared position array; the master integrates positions between
+// steps, so each step's position reads are thread-induced.
+func buildMD(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size
+	pos := m.Static(n)
+	force := m.Static(n)
+	preloadRand(m, pos, n, p.Seed+10, 1<<20)
+	const steps = 3
+	return func(th *guest.Thread) {
+		for s := 0; s < steps; s++ {
+			parallelFor(th, p.Threads, n, "compute_forces", func(c *guest.Thread, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pi := c.Load(pos + guest.Addr(i))
+					f := uint64(0)
+					for j := 0; j < n; j++ {
+						if j == i {
+							continue
+						}
+						pj := c.Load(pos + guest.Addr(j))
+						d := pi ^ pj
+						f += d % 97
+						c.Exec(2) // distance and potential arithmetic
+					}
+					c.Store(force+guest.Addr(i), f)
+				}
+			})
+			th.Fn("integrate", func() {
+				for i := 0; i < n; i++ {
+					pi := th.Load(pos + guest.Addr(i))
+					fi := th.Load(force + guest.Addr(i))
+					th.Store(pos+guest.Addr(i), pi+fi%13)
+				}
+			})
+		}
+	}
+}
+
+// 351.bwaves — Jacobi sweeps over an n x n grid, double-buffered. Band-edge
+// rows written by neighbor threads in the previous sweep are induced input.
+func buildBwaves(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size
+	a := m.Static(n * n)
+	b := m.Static(n * n)
+	preloadRand(m, a, n*n, p.Seed+11, 1<<16)
+	const sweeps = 4
+	idx := func(base guest.Addr, i, j int) guest.Addr { return base + guest.Addr(i*n+j) }
+	return func(th *guest.Thread) {
+		src, dst := a, b
+		for s := 0; s < sweeps; s++ {
+			parallelFor(th, p.Threads, n, "mat_times_vec_sweep", func(c *guest.Thread, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					for j := 0; j < n; j++ {
+						sum := c.Load(idx(src, i, j))
+						cnt := uint64(1)
+						if i > 0 {
+							sum += c.Load(idx(src, i-1, j))
+							cnt++
+						}
+						if i < n-1 {
+							sum += c.Load(idx(src, i+1, j))
+							cnt++
+						}
+						if j > 0 {
+							sum += c.Load(idx(src, i, j-1))
+							cnt++
+						}
+						if j < n-1 {
+							sum += c.Load(idx(src, i, j+1))
+							cnt++
+						}
+						c.Store(idx(dst, i, j), sum/cnt)
+						c.Exec(1)
+					}
+				}
+			})
+			src, dst = dst, src
+		}
+	}
+}
+
+// 352.nab — cell-list nonbonded energy. The master rebuilds cell lists each
+// step; workers read them (induced) and reduce energies through a mutex.
+func buildNab(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size
+	cells := 8
+	pos := m.Static(n)
+	cellOf := m.Static(n)
+	energy := m.Static(1)
+	preloadRand(m, pos, n, p.Seed+12, 1<<16)
+	mu := m.NewMutex("energy")
+	const steps = 3
+	return func(th *guest.Thread) {
+		for s := 0; s < steps; s++ {
+			th.Fn("build_cell_list", func() {
+				for i := 0; i < n; i++ {
+					v := th.Load(pos + guest.Addr(i))
+					th.Store(cellOf+guest.Addr(i), v%uint64(cells))
+				}
+			})
+			parallelFor(th, p.Threads, n, "mme_nonbonded", func(c *guest.Thread, lo, hi int) {
+				local := uint64(0)
+				for i := lo; i < hi; i++ {
+					ci := c.Load(cellOf + guest.Addr(i))
+					pi := c.Load(pos + guest.Addr(i))
+					for j := 0; j < n; j++ {
+						if j == i {
+							continue
+						}
+						cj := c.Load(cellOf + guest.Addr(j))
+						if ci != cj && ci != (cj+1)%uint64(cells) {
+							continue // outside cutoff neighborhood
+						}
+						pj := c.Load(pos + guest.Addr(j))
+						local += (pi ^ pj) % 31
+						c.Exec(3)
+					}
+				}
+				c.WithLock(mu, func() {
+					c.Store(energy, c.Load(energy)+local)
+				})
+			})
+			th.Fn("md_step", func() {
+				e := th.Load(energy)
+				for i := 0; i < n; i += 4 {
+					v := th.Load(pos + guest.Addr(i))
+					th.Store(pos+guest.Addr(i), v+e%7)
+				}
+			})
+		}
+	}
+}
+
+// 358.botsalgn — task-parallel sequence alignment: workers pull pair tasks
+// from a shared queue (queue traffic is thread-induced input) and run small
+// quadratic alignments on private memory.
+func buildBotsalgn(m *guest.Machine, p Params) func(*guest.Thread) {
+	pairs := p.Size
+	seqLen := 12
+	seqs := m.Static(pairs * 2 * seqLen)
+	preloadRand(m, seqs, pairs*2*seqLen, p.Seed+13, 4)
+	scores := m.Static(pairs)
+	q := m.NewQueue("align-tasks", 8)
+	return func(th *guest.Thread) {
+		var kids []*guest.Thread
+		for w := 0; w < p.Threads; w++ {
+			kids = append(kids, th.Spawn(fmt.Sprintf("align-%d", w), func(c *guest.Thread) {
+				c.Fn("pairalign", func() {
+					h := c.Alloc((seqLen + 1) * (seqLen + 1))
+					for {
+						task, ok := c.Get(q)
+						if !ok {
+							break
+						}
+						pair := int(task)
+						sa := seqs + guest.Addr(pair*2*seqLen)
+						sb := sa + guest.Addr(seqLen)
+						c.Fn("sw_align", func() {
+							for i := 0; i <= seqLen; i++ {
+								c.Store(h+guest.Addr(i), 0)
+								c.Store(h+guest.Addr(i*(seqLen+1)), 0)
+							}
+							best := uint64(0)
+							for i := 1; i <= seqLen; i++ {
+								ai := c.Load(sa + guest.Addr(i-1))
+								for j := 1; j <= seqLen; j++ {
+									bj := c.Load(sb + guest.Addr(j-1))
+									diag := c.Load(h + guest.Addr((i-1)*(seqLen+1)+j-1))
+									up := c.Load(h + guest.Addr((i-1)*(seqLen+1)+j))
+									left := c.Load(h + guest.Addr(i*(seqLen+1)+j-1))
+									score := uint64(0)
+									if ai == bj {
+										score = diag + 2
+									} else if diag > 0 {
+										score = diag - 1
+									}
+									if up > score+1 {
+										score = up - 1
+									}
+									if left > score+1 {
+										score = left - 1
+									}
+									c.Store(h+guest.Addr(i*(seqLen+1)+j), score)
+									if score > best {
+										best = score
+									}
+								}
+							}
+							c.Store(scores+guest.Addr(pair), best)
+						})
+					}
+					c.Free(h)
+				})
+			}))
+		}
+		th.Fn("task_master", func() {
+			for i := 0; i < pairs; i++ {
+				th.Put(q, uint64(i))
+			}
+			th.Close(q)
+		})
+		for _, k := range kids {
+			th.Join(k)
+		}
+	}
+}
+
+// 359.botsspar — blocked sparse LU. Each wave k: the master factorizes the
+// diagonal tile, then workers update the trailing tiles reading the freshly
+// written diagonal tile (thread-induced every wave).
+func buildBotsspar(m *guest.Machine, p Params) func(*guest.Thread) {
+	nt := p.Size // tiles per dimension
+	const ts = 4 // tile side
+	tileWords := ts * ts
+	mat := m.Static(nt * nt * tileWords)
+	preloadRand(m, mat, nt*nt*tileWords, p.Seed+14, 1<<12)
+	tile := func(i, j int) guest.Addr { return mat + guest.Addr((i*nt+j)*tileWords) }
+	return func(th *guest.Thread) {
+		for k := 0; k < nt; k++ {
+			diag := tile(k, k)
+			th.Fn("lu0", func() {
+				for x := 0; x < tileWords; x++ {
+					v := th.Load(diag + guest.Addr(x))
+					th.Store(diag+guest.Addr(x), v*3+1)
+				}
+			})
+			rest := nt - k - 1
+			if rest == 0 {
+				continue
+			}
+			parallelFor(th, p.Threads, rest, "bdiv", func(c *guest.Thread, lo, hi int) {
+				for r := lo; r < hi; r++ {
+					i := k + 1 + r
+					for _, t := range []guest.Addr{tile(i, k), tile(k, i)} {
+						for x := 0; x < tileWords; x++ {
+							d := c.Load(diag + guest.Addr(x)) // induced: master wrote it this wave
+							v := c.Load(t + guest.Addr(x))
+							c.Store(t+guest.Addr(x), v^(d%251))
+						}
+					}
+				}
+			})
+			parallelFor(th, p.Threads, rest*rest, "bmod", func(c *guest.Thread, lo, hi int) {
+				for r := lo; r < hi; r++ {
+					i := k + 1 + r/rest
+					j := k + 1 + r%rest
+					row := tile(i, k)
+					col := tile(k, j)
+					dst := tile(i, j)
+					for x := 0; x < tileWords; x++ {
+						a := c.Load(row + guest.Addr(x))
+						b := c.Load(col + guest.Addr(x))
+						v := c.Load(dst + guest.Addr(x))
+						c.Store(dst+guest.Addr(x), v+a*b%127)
+					}
+				}
+			})
+		}
+	}
+}
+
+// 360.ilbdc — lattice Boltzmann over a 1D lattice with three distribution
+// arrays, double-buffered stream-collide; band halo cells are induced.
+func buildIlbdc(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size
+	f := [2][3]guest.Addr{}
+	for b := 0; b < 2; b++ {
+		for d := 0; d < 3; d++ {
+			f[b][d] = m.Static(n)
+			preloadRand(m, f[b][d], n, p.Seed+int64(20+b*3+d), 1<<10)
+		}
+	}
+	const steps = 12
+	return func(th *guest.Thread) {
+		cur := 0
+		for s := 0; s < steps; s++ {
+			src, dst := f[cur], f[1-cur]
+			parallelFor(th, p.Threads, n, "relaxation_collstream", func(c *guest.Thread, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					left := (i + n - 1) % n
+					right := (i + 1) % n
+					f0 := c.Load(src[0] + guest.Addr(i))
+					f1 := c.Load(src[1] + guest.Addr(left))  // streamed in from the left
+					f2 := c.Load(src[2] + guest.Addr(right)) // streamed in from the right
+					rho := f0 + f1 + f2
+					c.Store(dst[0]+guest.Addr(i), (f0*3+rho)/4)
+					c.Store(dst[1]+guest.Addr(i), (f1*3+rho)/4)
+					c.Store(dst[2]+guest.Addr(i), (f2*3+rho)/4)
+					c.Exec(2)
+				}
+			})
+			cur = 1 - cur
+		}
+	}
+}
+
+// 362.fma3d — explicit finite elements: workers compute element stresses and
+// scatter forces into shared nodes under a mutex; the master integrates the
+// nodes, inducing the next step's element reads.
+func buildFma3d(m *guest.Machine, p Params) func(*guest.Thread) {
+	elems := p.Size
+	nodes := elems + 1
+	nodePos := m.Static(nodes)
+	nodeForce := m.Static(nodes)
+	preloadRand(m, nodePos, nodes, p.Seed+30, 1<<16)
+	mu := m.NewMutex("nodes")
+	const steps = 8
+	return func(th *guest.Thread) {
+		for s := 0; s < steps; s++ {
+			parallelFor(th, p.Threads, elems, "platq_internal_forces", func(c *guest.Thread, lo, hi int) {
+				for e := lo; e < hi; e++ {
+					a := c.Load(nodePos + guest.Addr(e))
+					b := c.Load(nodePos + guest.Addr(e+1))
+					strain := (a ^ b) % 1009
+					c.Exec(4) // constitutive model
+					c.WithLock(mu, func() {
+						fa := c.Load(nodeForce + guest.Addr(e))
+						fb := c.Load(nodeForce + guest.Addr(e+1))
+						c.Store(nodeForce+guest.Addr(e), fa+strain)
+						c.Store(nodeForce+guest.Addr(e+1), fb+strain)
+					})
+				}
+			})
+			th.Fn("solve_nodal_accelerations", func() {
+				for i := 0; i < nodes; i++ {
+					pos := th.Load(nodePos + guest.Addr(i))
+					frc := th.Load(nodeForce + guest.Addr(i))
+					th.Store(nodePos+guest.Addr(i), pos+frc%17)
+					th.Store(nodeForce+guest.Addr(i), 0)
+				}
+			})
+		}
+	}
+}
+
+// 367.imagick — image convolution then rotation. The rotation pass reads
+// pixels written by other threads in the convolution pass (induced); the
+// final image is written to a device (kernel reads).
+func buildImagick(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size // image side
+	src := m.Static(n * n)
+	mid := m.Static(n * n)
+	dst := m.Static(n * n)
+	preloadRand(m, src, n*n, p.Seed+40, 256)
+	out := m.NewDevice("image-out", nil)
+	idx := func(base guest.Addr, i, j int) guest.Addr { return base + guest.Addr(i*n+j) }
+	return func(th *guest.Thread) {
+		parallelFor(th, p.Threads, n, "MorphologyApply", func(c *guest.Thread, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					sum, cnt := uint64(0), uint64(0)
+					for di := -1; di <= 1; di++ {
+						for dj := -1; dj <= 1; dj++ {
+							if i+di < 0 || i+di >= n || j+dj < 0 || j+dj >= n {
+								continue
+							}
+							sum += c.Load(idx(src, i+di, j+dj))
+							cnt++
+						}
+					}
+					c.Store(idx(mid, i, j), sum/cnt)
+				}
+			}
+		})
+		parallelFor(th, p.Threads, n, "RotateImage", func(c *guest.Thread, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					// Transpose reads cross every band: induced input.
+					c.Store(idx(dst, i, j), c.Load(idx(mid, j, i)))
+				}
+			}
+		})
+		th.Fn("WriteImage", func() {
+			th.WriteDevice(out, dst, n*n)
+		})
+	}
+}
+
+// 370.mgrid331 — multigrid V-cycles: parallel smoothing on each level,
+// restriction to the coarser level, then interpolation back.
+func buildMgrid(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size // finest level size (power-of-two-ish)
+	levels := 0
+	for s := n; s >= 4; s /= 2 {
+		levels++
+	}
+	grids := make([]guest.Addr, levels)
+	scratch := make([]guest.Addr, levels)
+	sizes := make([]int, levels)
+	for l, s := 0, n; l < levels; l, s = l+1, s/2 {
+		grids[l] = m.Static(s)
+		scratch[l] = m.Static(s)
+		sizes[l] = s
+		preloadRand(m, grids[l], s, p.Seed+int64(50+l), 1<<12)
+	}
+	// Jacobi-style smoothing, double-buffered (grid -> scratch -> grid) so
+	// concurrent bands never read cells being rewritten in the same phase.
+	smooth := func(th *guest.Thread, threads int, l int) {
+		for _, pass := range [2][2]guest.Addr{{grids[l], scratch[l]}, {scratch[l], grids[l]}} {
+			src, dst := pass[0], pass[1]
+			s := sizes[l]
+			parallelFor(th, threads, s, "psinv", func(c *guest.Thread, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					left := (i + s - 1) % s
+					right := (i + 1) % s
+					v := (c.Load(src+guest.Addr(left)) + 2*c.Load(src+guest.Addr(i)) + c.Load(src+guest.Addr(right))) / 4
+					c.Store(dst+guest.Addr(i), v)
+				}
+			})
+		}
+	}
+	return func(th *guest.Thread) {
+		for cycle := 0; cycle < 3; cycle++ {
+			th.Fn("mg3P", func() {
+				runVCycle(th, p, levels, sizes, grids, smooth)
+			})
+		}
+	}
+}
+
+// runVCycle performs one V-cycle: downstroke (smooth and restrict), then
+// upstroke (interpolate and smooth).
+func runVCycle(th *guest.Thread, p Params, levels int, sizes []int, grids []guest.Addr, smooth func(*guest.Thread, int, int)) {
+	{
+		for l := 0; l < levels-1; l++ {
+			smooth(th, p.Threads, l)
+			fine, coarse := grids[l], grids[l+1]
+			cs := sizes[l+1]
+			parallelFor(th, p.Threads, cs, "rprj3", func(c *guest.Thread, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := (c.Load(fine+guest.Addr(2*i)) + c.Load(fine+guest.Addr(2*i+1))) / 2
+					c.Store(coarse+guest.Addr(i), v)
+				}
+			})
+		}
+		// Upstroke: interpolate and smooth.
+		for l := levels - 1; l > 0; l-- {
+			coarse, fine := grids[l], grids[l-1]
+			cs := sizes[l]
+			parallelFor(th, p.Threads, cs, "interp", func(c *guest.Thread, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := c.Load(coarse + guest.Addr(i))
+					a := c.Load(fine + guest.Addr(2*i))
+					b := c.Load(fine + guest.Addr(2*i+1))
+					c.Store(fine+guest.Addr(2*i), (a+v)/2)
+					c.Store(fine+guest.Addr(2*i+1), (b+v)/2)
+				}
+			})
+			smooth(th, p.Threads, l-1)
+		}
+	}
+}
+
+// 371.applu331 — SSOR wavefront: thread w computes row band w of each sweep
+// but row lo depends on row lo-1 owned by thread w-1, so the bands pipeline
+// through semaphores; cross-band row reads are induced.
+func buildApplu(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size
+	grid := m.Static(n * n)
+	preloadRand(m, grid, n*n, p.Seed+60, 1<<14)
+	idx := func(i, j int) guest.Addr { return grid + guest.Addr(i*n+j) }
+	const sweeps = 4
+	return func(th *guest.Thread) {
+		for s := 0; s < sweeps; s++ {
+			sems := make([]*guest.Sem, p.Threads)
+			for w := range sems {
+				sems[w] = th.Machine().NewSem(fmt.Sprintf("wavefront-%d", w), 0)
+			}
+			var kids []*guest.Thread
+			for w := 0; w < p.Threads; w++ {
+				w := w
+				lo := w * n / p.Threads
+				hi := (w + 1) * n / p.Threads
+				kids = append(kids, th.Spawn(fmt.Sprintf("ssor-%d", w), func(c *guest.Thread) {
+					c.Fn("blts", func() {
+						if w > 0 {
+							c.P(sems[w-1]) // wait for the band above
+						}
+						for i := lo; i < hi; i++ {
+							for j := 0; j < n; j++ {
+								v := c.Load(idx(i, j))
+								if i > 0 {
+									v += c.Load(idx(i-1, j)) // row above: cross-band when i == lo
+								}
+								if j > 0 {
+									v += c.Load(idx(i, j-1))
+								}
+								c.Store(idx(i, j), v/2+1)
+							}
+						}
+						c.V(sems[w])
+					})
+				}))
+			}
+			for _, k := range kids {
+				th.Join(k)
+			}
+		}
+	}
+}
+
+// 372.smithwa — Smith-Waterman over a shared DP matrix, parallelized by
+// anti-diagonals with a barrier per diagonal; cells from neighbor bands are
+// induced input.
+func buildSmithwa(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size
+	a := m.Static(n)
+	b := m.Static(n)
+	h := m.Static((n + 1) * (n + 1))
+	preloadRand(m, a, n, p.Seed+70, 4)
+	preloadRand(m, b, n, p.Seed+71, 4)
+	idx := func(i, j int) guest.Addr { return h + guest.Addr(i*(n+1)+j) }
+	return func(th *guest.Thread) {
+		bar := th.Machine().NewBarrier("diag", p.Threads)
+		var kids []*guest.Thread
+		for w := 0; w < p.Threads; w++ {
+			w := w
+			kids = append(kids, th.Spawn(fmt.Sprintf("sw-%d", w), func(c *guest.Thread) {
+				c.Fn("smith_waterman_kernel", func() {
+					for d := 2; d <= 2*n; d++ {
+						// Cells (i, j) with i+j == d, i in [1, n].
+						iLo := max(1, d-n)
+						iHi := min(n, d-1)
+						count := iHi - iLo + 1
+						if count > 0 {
+							clo := iLo + w*count/p.Threads
+							chi := iLo + (w+1)*count/p.Threads
+							for i := clo; i < chi; i++ {
+								j := d - i
+								ai := c.Load(a + guest.Addr(i-1))
+								bj := c.Load(b + guest.Addr(j-1))
+								diag := c.Load(idx(i-1, j-1))
+								up := c.Load(idx(i-1, j))
+								left := c.Load(idx(i, j-1))
+								score := uint64(0)
+								if ai == bj {
+									score = diag + 2
+								} else if diag > 0 {
+									score = diag - 1
+								}
+								if up > 0 && up-1 > score {
+									score = up - 1
+								}
+								if left > 0 && left-1 > score {
+									score = left - 1
+								}
+								c.Store(idx(i, j), score)
+							}
+						}
+						c.Arrive(bar)
+					}
+				})
+			}))
+		}
+		for _, k := range kids {
+			th.Join(k)
+		}
+	}
+}
+
+// 376.kdtree — recursive balanced kd-tree build (deep call stacks), then
+// parallel range queries over the shared tree.
+func buildKdtree(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size
+	// Tree nodes: 3 cells each (point, left index, right index), 1-based.
+	// Points are sorted so the midpoint build yields a valid search tree.
+	points := m.Static(n)
+	rng := newRand(p.Seed + 80)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(rng.intn(1 << 16))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	m.Preload(points, vals)
+	nodes := m.Static(3*n + 3)
+	nextNode := m.Static(1)
+	hits := m.Static(p.Threads)
+	node := func(i uint64) guest.Addr { return nodes + guest.Addr(3*i) }
+	return func(th *guest.Thread) {
+		var build func(lo, hi int) uint64
+		build = func(lo, hi int) uint64 {
+			if lo >= hi {
+				return 0
+			}
+			var id uint64
+			th.Fn("build_tree", func() {
+				id = th.Load(nextNode) + 1
+				th.Store(nextNode, id)
+				mid := (lo + hi) / 2
+				th.Store(node(id), th.Load(points+guest.Addr(mid)))
+				th.Store(node(id)+1, build(lo, mid))
+				th.Store(node(id)+2, build(mid+1, hi))
+			})
+			return id
+		}
+		var root uint64
+		th.Fn("kdtree_build", func() {
+			root = build(0, n)
+		})
+		queries := 2 * n
+		parallelFor(th, p.Threads, queries, "range_search", func(c *guest.Thread, lo, hi int) {
+			rng := newRand(p.Seed + int64(lo))
+			count := uint64(0)
+			for q := lo; q < hi; q++ {
+				target := uint64(rng.intn(1 << 16))
+				id := root
+				for id != 0 {
+					v := c.Load(node(id))
+					if v == target {
+						count++
+						break
+					}
+					if target < v {
+						id = c.Load(node(id) + 1)
+					} else {
+						id = c.Load(node(id) + 2)
+					}
+				}
+			}
+			slot := lo * p.Threads / max(queries, 1)
+			c.Store(hits+guest.Addr(min(slot, p.Threads-1)), count)
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package workloads
+
+import "repro/internal/guest"
+
+// Additional PARSEC-style workloads: streamcluster (online clustering over a
+// point stream), bodytrack (particle-filter vision pipeline), and x264
+// (video encoding with motion estimation against shared reference frames).
+// They broaden the richness/volume/induced characterizations of Figs. 15-19
+// with three more communication patterns: stream + barrier phases, stage
+// pipeline with per-frame broadcast, and sliding-window sharing.
+
+func init() {
+	register(Spec{Name: "streamcluster", Suite: "parsec", DefaultThreads: 4, DefaultSize: 32,
+		Description: "online k-median clustering: points stream from a device, parallel gain evaluation",
+		Build:       buildStreamcluster})
+	register(Spec{Name: "bodytrack", Suite: "parsec", DefaultThreads: 4, DefaultSize: 24,
+		Description: "particle-filter body tracker: per-frame likelihood evaluation and resampling",
+		Build:       buildBodytrack})
+	register(Spec{Name: "x264", Suite: "parsec", DefaultThreads: 4, DefaultSize: 10,
+		Description: "video encoder: parallel macroblock motion estimation against shared reference frames",
+		Build:       buildX264})
+}
+
+// streamcluster — points arrive in blocks from an external stream; worker
+// threads evaluate assignment gains against the shared center set (rebuilt
+// by the master between blocks: thread-induced), the stream itself being
+// external input.
+func buildStreamcluster(m *guest.Machine, p Params) func(*guest.Thread) {
+	const dim = 4
+	const centers = 5
+	blockPoints := p.Size
+	blocks := 4
+
+	stream := m.NewDevice("point-stream", nil)
+	block := m.Static(blockPoints * dim)
+	centerSet := m.Static(centers * dim)
+	assign := m.Static(blockPoints)
+	costAcc := m.Static(1)
+	mu := m.NewMutex("cost")
+
+	return func(th *guest.Thread) {
+		for b := 0; b < blocks; b++ {
+			th.Fn("stream_read_block", func() {
+				th.ReadDevice(stream, block, blockPoints*dim)
+			})
+			th.Fn("select_centers", func() {
+				// Re-seed centers from the fresh block (master write:
+				// induces the workers' center reads below).
+				for c := 0; c < centers; c++ {
+					for d := 0; d < dim; d++ {
+						v := th.Load(block + guest.Addr((c*7%blockPoints)*dim+d))
+						th.Store(centerSet+guest.Addr(c*dim+d), v)
+					}
+				}
+			})
+			parallelFor(th, p.Threads, blockPoints, "pgain", func(c *guest.Thread, lo, hi int) {
+				local := uint64(0)
+				for i := lo; i < hi; i++ {
+					best := ^uint64(0)
+					bestC := 0
+					for ct := 0; ct < centers; ct++ {
+						dist := uint64(0)
+						for d := 0; d < dim; d++ {
+							pv := c.Load(block + guest.Addr(i*dim+d))
+							cv := c.Load(centerSet + guest.Addr(ct*dim+d))
+							diff := pv ^ cv
+							dist += diff % 4099
+							c.Exec(1)
+						}
+						if dist < best {
+							best, bestC = dist, ct
+						}
+					}
+					c.Store(assign+guest.Addr(i), uint64(bestC))
+					local += best
+				}
+				c.WithLock(mu, func() {
+					c.Store(costAcc, c.Load(costAcc)+local)
+				})
+			})
+		}
+	}
+}
+
+// bodytrack — a per-frame particle filter: the master diffuses particles,
+// workers compute likelihoods against the frame's edge maps (loaded from
+// a device each frame), and the master resamples by reading the weights the
+// workers wrote.
+func buildBodytrack(m *guest.Machine, p Params) func(*guest.Thread) {
+	particles := p.Size
+	const frames = 4
+	const edgeCells = 48
+
+	camera := m.NewDevice("camera", nil)
+	edges := m.Static(edgeCells)
+	state := m.Static(particles)
+	weights := m.Static(particles)
+	preloadRand(m, state, particles, p.Seed+110, 1<<12)
+
+	return func(th *guest.Thread) {
+		for f := 0; f < frames; f++ {
+			th.Fn("ImageMeasurements_load", func() {
+				th.ReadDevice(camera, edges, edgeCells)
+			})
+			parallelFor(th, p.Threads, particles, "ParticleFilter_likelihood", func(c *guest.Thread, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					s := c.Load(state + guest.Addr(i))
+					w := uint64(0)
+					for e := 0; e < edgeCells; e += 4 {
+						ev := c.Load(edges + guest.Addr(e))
+						w += (s ^ ev) % 257
+						c.Exec(2)
+					}
+					c.Store(weights+guest.Addr(i), w+1)
+				}
+			})
+			th.Fn("ParticleFilter_resample", func() {
+				total := uint64(0)
+				for i := 0; i < particles; i++ {
+					total += th.Load(weights + guest.Addr(i))
+				}
+				for i := 0; i < particles; i++ {
+					s := th.Load(state + guest.Addr(i))
+					w := th.Load(weights + guest.Addr(i))
+					th.Store(state+guest.Addr(i), s+(total%(w+1)))
+				}
+			})
+		}
+	}
+}
+
+// x264 — frames stream in from a device; worker threads motion-estimate
+// macroblock rows against the shared reconstructed reference frame written
+// by the previous frame's deblock pass (thread-induced), then the master
+// entropy-codes the residuals to the output device.
+func buildX264(m *guest.Machine, p Params) func(*guest.Thread) {
+	n := p.Size // macroblock rows/cols per frame
+	const frames = 3
+	frameCells := n * n
+
+	in := m.NewDevice("yuv-in", nil)
+	out := m.NewDevice("bitstream", nil)
+	cur := m.Static(frameCells)
+	ref := m.Static(frameCells)
+	resid := m.Static(frameCells)
+	preloadRand(m, ref, frameCells, p.Seed+120, 256)
+
+	idx := func(base guest.Addr, i, j int) guest.Addr { return base + guest.Addr(i*n+j) }
+
+	return func(th *guest.Thread) {
+		for f := 0; f < frames; f++ {
+			th.Fn("read_frame", func() {
+				th.ReadDevice(in, cur, frameCells)
+			})
+			parallelFor(th, p.Threads, n, "x264_me_search", func(c *guest.Thread, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					for j := 0; j < n; j++ {
+						pix := c.Load(idx(cur, i, j))
+						best := ^uint64(0)
+						// Small diamond search over the reference.
+						for _, d := range [5][2]int{{0, 0}, {-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+							ri, rj := i+d[0], j+d[1]
+							if ri < 0 || ri >= n || rj < 0 || rj >= n {
+								continue
+							}
+							rv := c.Load(idx(ref, ri, rj))
+							sad := pix ^ rv
+							if sad < best {
+								best = sad
+							}
+							c.Exec(1)
+						}
+						c.Store(idx(resid, i, j), best)
+					}
+				}
+			})
+			th.Fn("x264_deblock_and_recon", func() {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						r := th.Load(idx(resid, i, j))
+						v := th.Load(idx(cur, i, j))
+						th.Store(idx(ref, i, j), (v+r)/2)
+					}
+				}
+			})
+			th.Fn("x264_entropy_write", func() {
+				th.WriteDevice(out, resid, frameCells)
+			})
+		}
+	}
+}

