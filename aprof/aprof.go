@@ -53,6 +53,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/tools"
 	"repro/internal/trace"
+	"repro/internal/trace/pipeline"
 	"repro/internal/workloads"
 )
 
@@ -215,6 +216,24 @@ func ProfileWorkload(name string, p WorkloadParams, opts Options) (*Profile, err
 // given tie-breaking seed), producing the same results as online profiling.
 func Replay(tr *Trace, tieSeed int64, tls ...Tool) error {
 	return trace.Replay(tr, tieSeed, tls...)
+}
+
+// ProfileTrace computes a recorded execution's input-sensitive profile by
+// sequential replay: the trace is merged with the tie-breaking seed and
+// driven through an inline profiler. Online and replayed profiles are
+// identical.
+func ProfileTrace(tr *Trace, tieSeed int64, opts Options) (*Profile, error) {
+	return core.FromTrace(tr, tieSeed, opts)
+}
+
+// AnalyzeTrace computes the same profile with the parallel analysis
+// pipeline: a sequential pre-scan shards the trace at thread-switch
+// boundaries, per-thread analyzers run on up to workers goroutines (0
+// selects GOMAXPROCS), and the partial profiles are merged
+// deterministically. The result is byte-identical (Profile.Export) to
+// ProfileTrace's for every worker count.
+func AnalyzeTrace(tr *Trace, tieSeed int64, workers int, opts Options) (*Profile, error) {
+	return pipeline.Analyze(tr, pipeline.Options{TieSeed: tieSeed, Workers: workers, Profile: opts})
 }
 
 // EncodeTrace and DecodeTrace serialize traces in the binary trace format.

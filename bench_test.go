@@ -20,6 +20,7 @@ import (
 	"repro/internal/shadow"
 	"repro/internal/tools"
 	"repro/internal/trace"
+	"repro/internal/trace/pipeline"
 	"repro/internal/workloads"
 )
 
@@ -418,5 +419,76 @@ func BenchmarkAblationContextSensitivity(b *testing.B) {
 			contexts = p.ContextTree().NumContexts()
 		}
 		b.ReportMetric(float64(contexts), "contexts")
+	})
+}
+
+// recordedTrace captures one workload execution for the trace-analysis
+// benchmarks.
+func recordedTrace(b *testing.B, name string, params workloads.Params) *trace.Trace {
+	b.Helper()
+	rec := trace.NewRecorder()
+	runWorkload(b, name, params, rec)
+	return rec.Trace()
+}
+
+// BenchmarkPipelineAnalyze measures offline trace analysis on a recorded
+// mysqld execution: the sequential replayer (merge + inline profiler) against
+// the parallel pipeline at increasing worker counts. events/s is the
+// throughput over the trace's event count; speedups are the ratios against
+// the sequential row. The recorded curve lives in BENCH_PIPELINE.json and
+// docs/VALIDATION.md (regenerated by cmd/aprof-experiments -run validation).
+func BenchmarkPipelineAnalyze(b *testing.B) {
+	tr := recordedTrace(b, "mysqld", workloads.Params{Size: 2 * benchSize("mysqld"), Threads: 8})
+	events := float64(tr.NumEvents())
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.FromTrace(tr, 0, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pipeline-%dw", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Analyze(tr, pipeline.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkPipelinePhases splits the pipeline's cost into its sequential
+// pre-scan (BuildPlan) and its parallelizable analyze phase (Plan.Run): the
+// pre-scan bounds the achievable speedup by Amdahl's law.
+func BenchmarkPipelinePhases(b *testing.B) {
+	tr := recordedTrace(b, "mysqld", workloads.Params{Size: 2 * benchSize("mysqld"), Threads: 8})
+	b.Run("build-plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pipeline.BuildPlan(tr, 0, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	plan, err := pipeline.BuildPlan(tr, 0, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("run-1w", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Run(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("run-maxw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }

@@ -21,10 +21,12 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		run   = flag.String("run", "", "comma-separated experiment ids, or \"all\"")
-		quick = flag.Bool("quick", false, "shrink workload sizes for a fast smoke run")
-		out   = flag.String("out", "", "write the report to this file instead of stdout")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		run       = flag.String("run", "", "comma-separated experiment ids, or \"all\"")
+		quick     = flag.Bool("quick", false, "shrink workload sizes for a fast smoke run")
+		out       = flag.String("out", "", "write the report to this file instead of stdout")
+		raw       = flag.Bool("raw", false, "omit the per-experiment banners and timing footers (for generated docs)")
+		benchJSON = flag.String("benchjson", "", "also write raw performance numbers as JSON to this path (validation experiment)")
 	)
 	flag.Parse()
 
@@ -65,16 +67,20 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Out: w, Quick: *quick}
+	cfg := experiments.Config{Out: w, Quick: *quick, BenchJSON: *benchJSON}
 	for _, e := range selected {
-		fmt.Fprintf(w, "================================================================\n")
-		fmt.Fprintf(w, "%s — %s\n", e.ID, e.Title)
-		fmt.Fprintf(w, "================================================================\n")
+		if !*raw {
+			fmt.Fprintf(w, "================================================================\n")
+			fmt.Fprintf(w, "%s — %s\n", e.ID, e.Title)
+			fmt.Fprintf(w, "================================================================\n")
+		}
 		start := time.Now()
 		if err := e.Run(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "aprof-experiments:", e.ID, "failed:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(w, "\n[%s completed in %.2fs]\n\n", e.ID, time.Since(start).Seconds())
+		if !*raw {
+			fmt.Fprintf(w, "\n[%s completed in %.2fs]\n\n", e.ID, time.Since(start).Seconds())
+		}
 	}
 }

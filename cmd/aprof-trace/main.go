@@ -6,7 +6,13 @@
 //	aprof-trace info run.trace
 //	aprof-trace dump run.trace [-limit 50]
 //	aprof-trace replay run.trace [-tieseed 7]
+//	aprof-trace analyze run.trace [-workers 4 -tieseed 7]
 //	aprof-trace stats run.trace
+//
+// replay and analyze compute the same profile; replay drives the inline
+// profiler through the merged event stream sequentially, while analyze uses
+// the parallel pipeline (pre-scan, per-thread shadow analysis on -workers
+// goroutines, deterministic merge).
 package main
 
 import (
@@ -34,6 +40,8 @@ func main() {
 		err = dump(os.Args[2:])
 	case "replay":
 		err = replay(os.Args[2:])
+	case "analyze":
+		err = analyze(os.Args[2:])
 	case "stats":
 		err = stats(os.Args[2:])
 	default:
@@ -46,7 +54,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aprof-trace record|info|dump|replay|stats ...")
+	fmt.Fprintln(os.Stderr, "usage: aprof-trace record|info|dump|replay|analyze|stats ...")
 	os.Exit(2)
 }
 
@@ -176,11 +184,42 @@ func replay(args []string) error {
 	if err != nil {
 		return err
 	}
-	prof := aprof.NewProfiler(aprof.Options{})
-	if err := aprof.Replay(tr, *tieSeed, prof); err != nil {
+	p, err := aprof.ProfileTrace(tr, *tieSeed, aprof.Options{})
+	if err != nil {
 		return err
 	}
-	p := prof.Profile()
+	printProfile(p, *top)
+	return nil
+}
+
+// analyze computes the trace's profile with the parallel pipeline; the
+// output is identical to replay's.
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	tieSeed := fs.Int64("tieseed", 0, "tie-breaking seed for the merge")
+	workers := fs.Int("workers", 0, "analysis goroutines (0: GOMAXPROCS)")
+	top := fs.Int("top", 15, "routines to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("analyze: trace file required")
+	}
+	tr, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	p, err := aprof.AnalyzeTrace(tr, *tieSeed, *workers, aprof.Options{})
+	if err != nil {
+		return err
+	}
+	printProfile(p, *top)
+	return nil
+}
+
+// printProfile renders a profile as a per-routine summary table, heaviest
+// routines (by cumulative cost) first.
+func printProfile(p *aprof.Profile, top int) {
 	type row struct {
 		name string
 		a    *aprof.Activations
@@ -190,8 +229,8 @@ func replay(args []string) error {
 		rows = append(rows, row{name, p.Routines[name].Merged()})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].a.SumCost > rows[j].a.SumCost })
-	if *top > 0 && len(rows) > *top {
-		rows = rows[:*top]
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
 	}
 	var table [][]string
 	for _, r := range rows {
@@ -199,5 +238,4 @@ func replay(args []string) error {
 			fmt.Sprint(r.a.SumCost), fmt.Sprint(r.a.SumTRMS), fmt.Sprint(r.a.SumRMS)})
 	}
 	report.Table(os.Stdout, []string{"routine", "calls", "cost(BB)", "trms", "rms"}, table)
-	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -115,6 +116,20 @@ func (d *ProfileDump) Restore() (*Profile, error) {
 		}
 	}
 	return p, nil
+}
+
+// Export serializes the profile to its canonical byte form: the indented
+// JSON of Dump, with routines sorted by name and threads and points sorted
+// numerically. Two profiles with equal contents export byte-identically, so
+// Export equality is the strongest practical profile-equality check — the
+// differential tests between inline, sequential-replay and parallel-replay
+// profiling compare Export outputs.
+func (p *Profile) Export() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // WriteJSON serializes the profile as indented JSON.

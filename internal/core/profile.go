@@ -70,16 +70,22 @@ func newActivations(t guest.ThreadID) *Activations {
 	}
 }
 
-func (a *Activations) record(f frame, cost uint64) {
-	trms := clampMetric(f.trms)
-	rms := clampMetric(f.rms)
+// NewActivations returns an empty aggregate for activations by thread t,
+// ready to Record into. It is the building block external analyzers (such as
+// the parallel trace-replay pipeline) use to assemble profiles identical to
+// the inline profiler's.
+func NewActivations(t guest.ThreadID) *Activations { return newActivations(t) }
 
+// Record folds one completed activation with final (already non-negative)
+// metric values into the aggregate: counts, metric sums, induced-input split
+// and both input-size histograms.
+func (a *Activations) Record(trms, rms, inducedThread, inducedExternal, cost uint64) {
 	a.Calls++
 	a.SumCost += cost
 	a.SumTRMS += trms
 	a.SumRMS += rms
-	a.InducedThread += f.inducedThread
-	a.InducedExternal += f.inducedExternal
+	a.InducedThread += inducedThread
+	a.InducedExternal += inducedExternal
 
 	pt := a.ByTRMS[trms]
 	if pt == nil {
@@ -94,6 +100,10 @@ func (a *Activations) record(f frame, cost uint64) {
 		a.ByRMS[rms] = pr
 	}
 	pr.add(cost)
+}
+
+func (a *Activations) record(f frame, cost uint64) {
+	a.Record(clampMetric(f.trms), clampMetric(f.rms), f.inducedThread, f.inducedExternal, cost)
 }
 
 // clampMetric converts a completed activation's partial metric to its final
@@ -195,6 +205,29 @@ type Profile struct {
 
 func newProfile() *Profile {
 	return &Profile{Routines: make(map[string]*RoutineProfile)}
+}
+
+// NewProfile returns an empty profile, ready to AddActivations or Merge
+// into. The inline Profiler builds its profile internally; external
+// analyzers (trace-replay pipelines, importers) start from NewProfile.
+func NewProfile() *Profile { return newProfile() }
+
+// AddActivations folds an externally built aggregate into the profile under
+// the given routine name. If the (name, a.Thread) slot is empty, the profile
+// adopts a directly — the caller must not mutate it afterwards; otherwise a
+// is merged into the existing aggregate.
+func (p *Profile) AddActivations(name string, a *Activations) {
+	rp := p.Routines[name]
+	if rp == nil {
+		rp = &RoutineProfile{Name: name, PerThread: make(map[guest.ThreadID]*Activations)}
+		p.Routines[name] = rp
+	}
+	dst := rp.PerThread[a.Thread]
+	if dst == nil {
+		rp.PerThread[a.Thread] = a
+		return
+	}
+	a.mergeInto(dst)
 }
 
 func (p *Profile) record(name string, t guest.ThreadID, f frame, cost uint64) {

@@ -31,6 +31,10 @@ type Config struct {
 	// Repeat is the number of timing repetitions for overhead experiments
 	// (0 selects 3, or 1 under Quick).
 	Repeat int
+	// BenchJSON, when non-empty, is a path where experiments that measure
+	// performance (currently "validation") additionally write their raw
+	// numbers as JSON.
+	BenchJSON string
 }
 
 func (c Config) repeats() int {
@@ -67,7 +71,7 @@ func All() []Experiment {
 func order(id string) int {
 	for i, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "table1", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"ablations"} {
+		"ablations", "validation"} {
 		if id == want {
 			return i
 		}

@@ -12,23 +12,24 @@ import (
 // sanity-checks its output.
 func TestAllExperimentsRunQuick(t *testing.T) {
 	wantMarkers := map[string][]string{
-		"fig1":      {"fig1a", "fig1b", "routine"},
-		"fig2":      {"consumer", "trms"},
-		"fig3":      {"externalRead"},
-		"fig4":      {"mysql_select", "power-law fit", "best model"},
-		"fig5":      {"im_generate", "power-law fit"},
-		"fig6":      {"buf_flush_buffered_writes", "power-law fit"},
-		"fig7":      {"wbuffer_write_thread", "distinct sizes"},
-		"fig8":      {"Protocol::send_eof", "workload plot"},
-		"fig9":      {"mysqld", "vips", "induced share"},
-		"table1":    {"Table 1a", "Table 1b", "aprof-trms", "geometric mean"},
-		"fig14":     {"Fig. 14a", "Fig. 14b", "threads"},
-		"fig15":     {"richness", "dedup"},
-		"fig16":     {"input volume", "mysqld"},
-		"fig17":     {"thread-induced", "external"},
-		"fig18":     {"thread-induced input"},
-		"fig19":     {"external input"},
-		"ablations": {"Ablation 1", "timestamping", "renumber passes", "record+replay"},
+		"fig1":       {"fig1a", "fig1b", "routine"},
+		"fig2":       {"consumer", "trms"},
+		"fig3":       {"externalRead"},
+		"fig4":       {"mysql_select", "power-law fit", "best model"},
+		"fig5":       {"im_generate", "power-law fit"},
+		"fig6":       {"buf_flush_buffered_writes", "power-law fit"},
+		"fig7":       {"wbuffer_write_thread", "distinct sizes"},
+		"fig8":       {"Protocol::send_eof", "workload plot"},
+		"fig9":       {"mysqld", "vips", "induced share"},
+		"table1":     {"Table 1a", "Table 1b", "aprof-trms", "geometric mean"},
+		"fig14":      {"Fig. 14a", "Fig. 14b", "threads"},
+		"fig15":      {"richness", "dedup"},
+		"fig16":      {"input volume", "mysqld"},
+		"fig17":      {"thread-induced", "external"},
+		"fig18":      {"thread-induced input"},
+		"fig19":      {"external input"},
+		"ablations":  {"Ablation 1", "timestamping", "renumber passes", "record+replay"},
+		"validation": {"structural", "correctness", "determinism", "performance", "pass"},
 	}
 	if len(IDs()) != len(wantMarkers) {
 		t.Fatalf("registered experiments %v, want %d", IDs(), len(wantMarkers))
@@ -61,7 +62,7 @@ func TestGetAndIDs(t *testing.T) {
 		t.Error("Get accepted unknown id")
 	}
 	ids := IDs()
-	if ids[0] != "fig1" || ids[len(ids)-1] != "ablations" {
+	if ids[0] != "fig1" || ids[len(ids)-1] != "validation" {
 		t.Errorf("presentation order wrong: %v", ids)
 	}
 }

@@ -1,0 +1,406 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/trace/pipeline"
+	"repro/internal/workloads"
+)
+
+func init() {
+	registerExperiment("validation",
+		"Trace & replay validation report: structural, correctness, determinism, performance",
+		runValidation)
+}
+
+// validationCase is one recorded workload execution the validation levels
+// share.
+type validationCase struct {
+	name   string
+	suite  string
+	params workloads.Params
+	inline []byte // canonical export of the inline profile
+	tr     *trace.Trace
+}
+
+// runValidation emits the leveled validation report behind docs/VALIDATION.md
+// as markdown: each level escalates from wire-format integrity to profile
+// correctness, scheduling-independence and finally analysis performance.
+// Regenerate the document with
+//
+//	go run ./cmd/aprof-experiments -run validation -raw -out docs/VALIDATION.md -benchjson BENCH_PIPELINE.json
+func runValidation(cfg Config) error {
+	w := cfg.Out
+	scale := 1
+	if !cfg.Quick {
+		scale = 2
+	}
+	cases := []*validationCase{
+		{name: "producer-consumer", suite: "micro", params: workloads.Params{Size: 24 * scale}},
+		{name: "fig1a", suite: "micro", params: workloads.Params{Size: 16 * scale}},
+		{name: "mysqld", suite: "mysql", params: workloads.Params{Size: 8 * scale, Threads: 4}},
+		{name: "vips", suite: "parsec", params: workloads.Params{Size: 8 * scale, Threads: 3}},
+		{name: "dedup", suite: "parsec", params: workloads.Params{Size: 8 * scale, Threads: 3}},
+	}
+	for _, c := range cases {
+		prof := core.New(core.Options{})
+		rec := trace.NewRecorder()
+		if _, err := workloads.RunByName(c.name, c.params, prof, rec); err != nil {
+			return fmt.Errorf("validation: recording %s: %w", c.name, err)
+		}
+		var err error
+		if c.inline, err = prof.Profile().Export(); err != nil {
+			return err
+		}
+		c.tr = rec.Trace()
+	}
+
+	fmt.Fprintf(w, "# Validation report\n\n")
+	fmt.Fprintf(w, "Levels: **L1 structural** (wire format round-trips), **L2 correctness**\n")
+	fmt.Fprintf(w, "(inline = sequential replay = parallel pipeline, byte-identical exports),\n")
+	fmt.Fprintf(w, "**L3 determinism** (worker count, repetition and tie seed never change the\n")
+	fmt.Fprintf(w, "result), **L4 performance** (offline analysis throughput and the worker\n")
+	fmt.Fprintf(w, "scaling curve). Regenerate with\n")
+	fmt.Fprintf(w, "`go run ./cmd/aprof-experiments -run validation -raw -out docs/VALIDATION.md -benchjson BENCH_PIPELINE.json`.\n\n")
+
+	if err := validateStructural(w, cases); err != nil {
+		return err
+	}
+	if err := validateCorrectness(w, cases); err != nil {
+		return err
+	}
+	if err := validateDeterminism(w, cases); err != nil {
+		return err
+	}
+	return validatePerformance(w, cfg)
+}
+
+// validateStructural checks the binary codec (encode/decode round trip) and
+// the shard combinator (split/combine identity, version-mismatch rejection)
+// on every recorded trace.
+func validateStructural(w io.Writer, cases []*validationCase) error {
+	fmt.Fprintf(w, "## L1 — structural\n\n")
+	fmt.Fprintf(w, "| workload | suite | events | threads | encoded bytes | decode round-trip | shard round-trip |\n")
+	fmt.Fprintf(w, "|---|---|---:|---:|---:|---|---|\n")
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := c.tr.Encode(&buf); err != nil {
+			return fmt.Errorf("validation: encoding %s: %w", c.name, err)
+		}
+		size := buf.Len()
+		got, err := trace.Decode(&buf)
+		if err != nil {
+			return fmt.Errorf("validation: decoding %s: %w", c.name, err)
+		}
+		roundTrip := tracesEqual(c.tr, got)
+
+		// Split the trace into per-thread shards and combine them back.
+		shardOK := true
+		var shards []*trace.Trace
+		for i := range c.tr.Threads {
+			shards = append(shards, &trace.Trace{
+				Routines: c.tr.Routines,
+				Syncs:    c.tr.Syncs,
+				Threads:  c.tr.Threads[i : i+1],
+			})
+		}
+		combined, err := trace.Combine(shards...)
+		if err != nil || !mergedEqual(c.tr, combined) {
+			shardOK = false
+		}
+		if len(shards) > 0 {
+			bad := &trace.Trace{Version: 99, Routines: c.tr.Routines, Syncs: c.tr.Syncs}
+			if _, err := trace.Combine(shards[0], bad); err == nil {
+				shardOK = false // version mismatch must be rejected
+			}
+		}
+		fmt.Fprintf(w, "| %s | %s | %d | %d | %d | %s | %s |\n",
+			c.name, c.suite, c.tr.NumEvents(), len(c.tr.Threads), size, pass(roundTrip), pass(shardOK))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// validateCorrectness holds the three analyzers to byte-identical exports.
+func validateCorrectness(w io.Writer, cases []*validationCase) error {
+	fmt.Fprintf(w, "## L2 — correctness (differential)\n\n")
+	fmt.Fprintf(w, "Inline profile vs sequential replay (`core.FromTrace`) vs parallel\n")
+	fmt.Fprintf(w, "pipeline (`pipeline.Analyze`, 4 workers), compared on `Profile.Export`.\n\n")
+	fmt.Fprintf(w, "| workload | suite | routines | inline = replay | inline = pipeline |\n")
+	fmt.Fprintf(w, "|---|---|---:|---|---|\n")
+	for _, c := range cases {
+		seq, err := core.FromTrace(c.tr, 1, core.Options{})
+		if err != nil {
+			return err
+		}
+		seqB, err := seq.Export()
+		if err != nil {
+			return err
+		}
+		par, err := pipeline.Analyze(c.tr, pipeline.Options{TieSeed: 1, Workers: 4})
+		if err != nil {
+			return err
+		}
+		parB, err := par.Export()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "| %s | %s | %d | %s | %s |\n", c.name, c.suite, len(seq.Routines),
+			pass(bytes.Equal(seqB, c.inline)), pass(bytes.Equal(parB, c.inline)))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// validateDeterminism re-analyzes one plan at several worker counts, re-runs
+// it, and varies the tie seed (machine timestamps are unique, so the seed
+// must not matter).
+func validateDeterminism(w io.Writer, cases []*validationCase) error {
+	fmt.Fprintf(w, "## L3 — determinism\n\n")
+	fmt.Fprintf(w, "| workload | workers 1/2/4/8 identical | repeated run identical | tie-seed invariant |\n")
+	fmt.Fprintf(w, "|---|---|---|---|\n")
+	for _, c := range cases {
+		workersOK := true
+		var first []byte
+		for _, workers := range []int{1, 2, 4, 8} {
+			p, err := pipeline.Analyze(c.tr, pipeline.Options{Workers: workers})
+			if err != nil {
+				return err
+			}
+			b, err := p.Export()
+			if err != nil {
+				return err
+			}
+			if first == nil {
+				first = b
+			} else if !bytes.Equal(first, b) {
+				workersOK = false
+			}
+		}
+
+		plan, err := pipeline.BuildPlan(c.tr, 0, core.Options{})
+		if err != nil {
+			return err
+		}
+		repeatOK := true
+		for i := 0; i < 3; i++ {
+			p, err := plan.Run(4)
+			if err != nil {
+				return err
+			}
+			b, err := p.Export()
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(first, b) {
+				repeatOK = false
+			}
+		}
+
+		seedOK := true
+		for _, seed := range []int64{1, 42} {
+			p, err := pipeline.Analyze(c.tr, pipeline.Options{TieSeed: seed, Workers: 2})
+			if err != nil {
+				return err
+			}
+			b, err := p.Export()
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(first, b) {
+				seedOK = false
+			}
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s |\n", c.name, pass(workersOK), pass(repeatOK), pass(seedOK))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// pipelineBench is the machine-readable record of the performance level,
+// written to the path in Config.BenchJSON (BENCH_PIPELINE.json at the repo
+// root).
+type pipelineBench struct {
+	Benchmark  string              `json:"benchmark"`
+	Workload   string              `json:"workload"`
+	Size       int                 `json:"size"`
+	Threads    int                 `json:"threads"`
+	Events     int                 `json:"events"`
+	NumCPU     int                 `json:"num_cpu"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Reps       int                 `json:"reps"`
+	Sequential float64             `json:"sequential_ms"`
+	PreScan    float64             `json:"prescan_ms"`
+	Workers    []pipelineBenchStep `json:"workers"`
+	Note       string              `json:"note"`
+}
+
+type pipelineBenchStep struct {
+	Workers float64 `json:"workers"`
+	Millis  float64 `json:"ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// validatePerformance times offline analysis of a recorded mysqld execution:
+// the sequential replayer against the pipeline at increasing worker counts,
+// min-of-N to suppress scheduling noise.
+func validatePerformance(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "## L4 — performance\n\n")
+
+	params := workloads.Params{Size: 24, Threads: 8}
+	reps := 30
+	if cfg.Quick {
+		params.Size = 8
+		reps = 5
+	}
+	rec := trace.NewRecorder()
+	if _, err := workloads.RunByName("mysqld", params, rec); err != nil {
+		return err
+	}
+	tr := rec.Trace()
+	events := tr.NumEvents()
+
+	var firstErr error
+	minOf := func(f func() error) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if err := f(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	seq := minOf(func() error {
+		_, err := core.FromTrace(tr, 0, core.Options{})
+		return err
+	})
+	prescan := minOf(func() error {
+		_, err := pipeline.BuildPlan(tr, 0, core.Options{})
+		return err
+	})
+
+	bench := pipelineBench{
+		Benchmark:  "pipeline-analyze",
+		Workload:   "mysqld",
+		Size:       params.Size,
+		Threads:    params.Threads,
+		Events:     events,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+		Sequential: ms(seq),
+		PreScan:    ms(prescan),
+		Note: "min-of-reps wall time; speedup is sequential replay time over " +
+			"pipeline time for the same trace and options",
+	}
+
+	fmt.Fprintf(w, "Offline analysis of a recorded mysqld execution (%d events, size %d,\n",
+		events, params.Size)
+	fmt.Fprintf(w, "%d guest threads), min of %d runs, on %d CPU(s) (GOMAXPROCS %d).\n\n",
+		params.Threads, reps, bench.NumCPU, bench.GOMAXPROCS)
+	fmt.Fprintf(w, "| analyzer | time (ms) | events/s | speedup vs sequential |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|\n")
+	fmt.Fprintf(w, "| sequential replay (`core.FromTrace`) | %.2f | %.1fM | 1.00x |\n",
+		ms(seq), float64(events)/seq.Seconds()/1e6)
+	for _, workers := range []int{1, 2, 4, 8} {
+		d := minOf(func() error {
+			_, err := pipeline.Analyze(tr, pipeline.Options{Workers: workers})
+			return err
+		})
+		speedup := float64(seq) / float64(d)
+		bench.Workers = append(bench.Workers, pipelineBenchStep{
+			Workers: float64(workers), Millis: ms(d), Speedup: speedup,
+		})
+		fmt.Fprintf(w, "| pipeline, %d worker(s) | %.2f | %.1fM | %.2fx |\n",
+			workers, ms(d), float64(events)/d.Seconds()/1e6, speedup)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	fmt.Fprintf(w, "\nThe sequential pre-scan takes %.2f ms of each pipeline run and bounds\n", ms(prescan))
+	fmt.Fprintf(w, "parallel scaling by Amdahl's law. On a single-CPU host (as above when\n")
+	fmt.Fprintf(w, "GOMAXPROCS is 1) workers cannot run simultaneously, so any speedup is\n")
+	fmt.Fprintf(w, "purely algorithmic: the pipeline skips the merged-event materialization,\n")
+	fmt.Fprintf(w, "the per-event tool dispatch and the per-event thread-view lookup of the\n")
+	fmt.Fprintf(w, "sequential replayer, packs read annotations into single words, and uses\n")
+	fmt.Fprintf(w, "32-bit shadow cells whenever the pre-scan proves timestamps fit. On\n")
+	fmt.Fprintf(w, "multi-core hosts the per-thread analyzers additionally run in parallel.\n")
+
+	if cfg.BenchJSON != "" {
+		data, err := json.MarshalIndent(&bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.BenchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+func pass(ok bool) string {
+	if ok {
+		return "pass"
+	}
+	return "FAIL"
+}
+
+// tracesEqual compares two traces field by field.
+func tracesEqual(a, b *trace.Trace) bool {
+	if a.EffectiveVersion() != b.EffectiveVersion() ||
+		len(a.Routines) != len(b.Routines) || len(a.Syncs) != len(b.Syncs) ||
+		len(a.Threads) != len(b.Threads) {
+		return false
+	}
+	for i := range a.Routines {
+		if a.Routines[i] != b.Routines[i] {
+			return false
+		}
+	}
+	for i := range a.Syncs {
+		if a.Syncs[i] != b.Syncs[i] {
+			return false
+		}
+	}
+	for i := range a.Threads {
+		at, bt := &a.Threads[i], &b.Threads[i]
+		if at.ID != bt.ID || len(at.Events) != len(bt.Events) {
+			return false
+		}
+		for j := range at.Events {
+			if at.Events[j] != bt.Events[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mergedEqual compares the merged event streams of two traces.
+func mergedEqual(a, b *trace.Trace) bool {
+	am, bm := trace.Merge(a, 7), trace.Merge(b, 7)
+	if len(am) != len(bm) {
+		return false
+	}
+	for i := range am {
+		if am[i] != bm[i] {
+			return false
+		}
+	}
+	return true
+}

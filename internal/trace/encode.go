@@ -24,7 +24,27 @@ import (
 
 var magic = [8]byte{'I', 'S', 'P', 'T', 'R', 'A', 'C', 'E'}
 
+// formatVersion is the current wire-format version. Decode accepts exactly
+// this version; see docs/TRACE_FORMAT.md for the compatibility rules.
 const formatVersion = 1
+
+// FormatVersion returns the current binary trace-format version byte.
+func FormatVersion() byte { return formatVersion }
+
+// VersionError reports a trace wire-format version the current code cannot
+// process: Decode returns it for traces written by a different format
+// revision, and Combine returns it when asked to join traces of differing
+// versions. Unwrap with errors.As.
+type VersionError struct {
+	// Want is the version this build supports (Decode) or the version of
+	// the first trace (Combine); Got is the offending version.
+	Want, Got byte
+}
+
+// Error implements error.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("trace: format version %d not supported (want %d)", e.Got, e.Want)
+}
 
 // Encode writes the trace in the binary format.
 func (tr *Trace) Encode(w io.Writer) error {
@@ -85,7 +105,7 @@ func Decode(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	if ver != formatVersion {
-		return nil, fmt.Errorf("trace: unsupported format version %d", ver)
+		return nil, &VersionError{Want: formatVersion, Got: ver}
 	}
 	readStrings := func() ([]string, error) {
 		n, err := binary.ReadUvarint(br)
@@ -112,7 +132,7 @@ func Decode(r io.Reader) (*Trace, error) {
 		}
 		return ss, nil
 	}
-	tr := &Trace{}
+	tr := &Trace{Version: ver}
 	if tr.Routines, err = readStrings(); err != nil {
 		return nil, fmt.Errorf("trace: routine table: %w", err)
 	}

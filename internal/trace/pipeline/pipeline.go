@@ -1,0 +1,342 @@
+// Package pipeline implements offline, parallel trace-replay analysis: it
+// computes the same input-sensitive profile the inline profiler (core.New
+// attached to a live machine, or core.FromTrace over a recording) computes,
+// but splits the work so the expensive per-thread shadow analysis runs on
+// GOMAXPROCS worker goroutines.
+//
+// The decomposition exploits the structure of the paper's Fig. 11 algorithm.
+// Per event, the inline profiler consults two kinds of state:
+//
+//   - global state — the counter bumped at calls, thread switches and kernel
+//     writes, and the global shadow memory wts holding each cell's latest
+//     write timestamp and provenance — which depends on the whole
+//     interleaving; and
+//   - per-thread state — the thread's latest-access shadow memory ts_t and
+//     its shadow stack of partial trms/rms values — which depends only on
+//     that thread's own events plus the global values observed at them.
+//
+// The pipeline therefore runs two phases. The pre-scan (BuildPlan) streams
+// the merged event order once, maintaining only the counter and the global
+// write shadow; it shards each thread's events at thread-switch boundaries
+// into segments stamped with the counter value at segment entry, and
+// annotates every read with the (wts, writer) pair it observes. The analyze
+// phase (Plan.Run) then processes each guest thread independently — shadow
+// memory, shadow stack, histogram aggregation — on a bounded pool of
+// workers, and deterministically folds the per-thread profiles together.
+// The result is byte-identical (core.Profile.Export) to the inline
+// profiler's: the differential and property tests assert this across
+// workloads and worker counts.
+//
+// Timestamps are 64-bit throughout, so the pipeline never renumbers; this
+// is equivalent because the paper's renumbering (Fig. 13) preserves exactly
+// the order relations the algorithm consults, and profiles depend only on
+// those relations.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/shadow"
+	"repro/internal/trace"
+)
+
+// Options configures a parallel analysis run.
+type Options struct {
+	// TieSeed is the tie-breaking seed for the merge order, as in
+	// trace.Merge. Machine-recorded traces have globally unique timestamps,
+	// so the seed is irrelevant for them.
+	TieSeed int64
+
+	// Workers bounds the number of concurrently analyzed guest threads.
+	// Zero selects GOMAXPROCS. The profile is identical for every worker
+	// count.
+	Workers int
+
+	// Profile configures the analyzers. ContextSensitive and OnActivation
+	// are not supported by the parallel pipeline (the first needs a shared
+	// calling-context tree, the second a totally ordered activation
+	// stream); Analyze rejects them. RenumberThreshold is ignored: the
+	// pipeline's 64-bit counters never overflow.
+	Profile core.Options
+}
+
+// kernelWriter marks a cell whose latest write was performed by the kernel
+// (external input). It mirrors the inline profiler's provenance encoding:
+// writer 0 means "never written", thread t is encoded as t+1.
+const kernelWriter = ^uint32(0)
+
+// writeStamp is one cell of the pre-scan's global write shadow in wide mode:
+// the timestamp and provenance of the cell's latest write. In the (almost
+// universal) narrow mode the pair is packed wts<<32|writer into a uint64,
+// exactly as the inline profiler packs it.
+type writeStamp struct {
+	wts    uint64
+	writer uint32
+}
+
+// segment is a maximal run of one thread's events in the merged order: the
+// unit the pre-scan shards traces into. Lo and Hi index into the events of
+// thread trace Src; StartCount is the global counter value on entry (after
+// the preceding switchThread bump).
+type segment struct {
+	src        int // index into Trace.Threads
+	lo, hi     int
+	startCount uint64
+}
+
+// threadPlan is the per-guest-thread share of a Plan: the thread's segments
+// in merged order and the global write-shadow observations of its reads, in
+// event order. Exactly one of packed (narrow mode) and reads (wide mode) is
+// populated.
+type threadPlan struct {
+	id       guest.ThreadID
+	events   int
+	segments []segment
+	packed   []uint64
+	reads    []writeStamp
+}
+
+// readAt returns the (wts, writer) pair observed by the thread's i-th read.
+func (tp *threadPlan) readAt(i int) (uint64, uint32) {
+	if tp.reads != nil {
+		st := tp.reads[i]
+		return st.wts, st.writer
+	}
+	g := tp.packed[i]
+	return g >> 32, uint32(g)
+}
+
+// Plan is the output of the pre-scan: everything the per-thread analyzers
+// need to run independently of each other.
+type Plan struct {
+	tr      *trace.Trace
+	opts    core.Options
+	wide    bool          // see BuildPlan: counter may exceed 32 bits
+	threads []*threadPlan // in order of first appearance in the merged order
+}
+
+// Analyze computes the trace's input-sensitive profile with the parallel
+// pipeline: pre-scan, fan-out to workers, deterministic merge. The result
+// is identical to core.FromTrace(tr, tieSeed, opts.Profile).
+func Analyze(tr *trace.Trace, opts Options) (*core.Profile, error) {
+	plan, err := BuildPlan(tr, opts.TieSeed, opts.Profile)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Run(opts.Workers)
+}
+
+// BuildPlan runs the sequential pre-scan: one streaming pass over the merged
+// event order that maintains the global counter and write shadow, shards
+// every thread's events at thread-switch boundaries, and annotates reads
+// with the write timestamps they observe.
+//
+// The counter can increment at most twice per event (an event's own bump
+// plus one synthesized thread switch), so its final value is bounded before
+// scanning. When the bound fits 32 bits — every realistic trace — the
+// pre-scan packs (wts, writer) pairs into single words and the analyzers use
+// 32-bit shadow cells, halving shadow footprint; otherwise everything runs
+// at full 64-bit width. Either way no renumbering ever happens, and the two
+// modes store identical timestamp values, not merely order-equivalent ones.
+func BuildPlan(tr *trace.Trace, tieSeed int64, opts core.Options) (*Plan, error) {
+	if opts.ContextSensitive {
+		return nil, fmt.Errorf("pipeline: ContextSensitive profiling requires the sequential replayer (core.FromTrace)")
+	}
+	if opts.OnActivation != nil {
+		return nil, fmt.Errorf("pipeline: OnActivation streaming requires the sequential replayer (core.FromTrace)")
+	}
+
+	p := &Plan{tr: tr, opts: opts, wide: 2*uint64(tr.NumEvents())+2 >= 1<<32}
+	byID := make(map[guest.ThreadID]*threadPlan)
+	// Pre-size each thread's annotation array with a flat per-thread pass:
+	// cheaper than growing it append by append during the merged walk.
+	nreads := make(map[guest.ThreadID]int)
+	if !opts.RMSOnly {
+		for i := range tr.Threads {
+			tt := &tr.Threads[i]
+			n := 0
+			for j := range tt.Events {
+				if k := tt.Events[j].Kind; k == trace.KindRead || k == trace.KindKernelRead {
+					n++
+				}
+			}
+			nreads[tt.ID] += n
+		}
+	}
+	planFor := func(id guest.ThreadID) *threadPlan {
+		tp := byID[id]
+		if tp == nil {
+			tp = &threadPlan{id: id}
+			if n := nreads[id]; n > 0 {
+				if p.wide {
+					tp.reads = make([]writeStamp, 0, n)
+				} else {
+					tp.packed = make([]uint64, 0, n)
+				}
+			}
+			byID[id] = tp
+			p.threads = append(p.threads, tp)
+		}
+		return tp
+	}
+
+	var (
+		count   uint64
+		cur     *threadPlan
+		curSeg  segment
+		haveSeg bool
+	)
+	closeSeg := func() {
+		if haveSeg {
+			cur.segments = append(cur.segments, curSeg)
+			cur.events += curSeg.hi - curSeg.lo
+			haveSeg = false
+		}
+	}
+	// boundary starts a new segment at event k of thread trace ti. The merge
+	// synthesizes a switchThread event — which bumps the counter — exactly
+	// when the thread id changes; a run can also end without a switch if two
+	// thread traces share an id. Called only at segment boundaries, so the
+	// per-event cost of the scan loops below is one comparison.
+	boundary := func(ti, k int, e *trace.Event) {
+		if haveSeg && curSeg.src == ti {
+			curSeg.hi = k
+		}
+		bump := haveSeg && cur.id != e.Thread
+		closeSeg()
+		if bump {
+			count++
+		}
+		cur = planFor(e.Thread)
+		curSeg = segment{src: ti, lo: k, hi: k, startCount: count}
+		haveSeg = true
+	}
+
+	// One flat inner loop per mode, fed whole same-thread runs by WalkRuns:
+	// no global write shadow under RMSOnly (and kernel writes do not bump),
+	// packed single-word stamps in narrow mode, full pairs in wide mode.
+	switch {
+	case opts.RMSOnly:
+		trace.WalkRuns(tr, tieSeed, func(ti, lo, hi int) {
+			tt := &tr.Threads[ti]
+			for k := lo; k < hi; k++ {
+				e := &tt.Events[k]
+				if !haveSeg || cur.id != e.Thread || curSeg.src != ti {
+					boundary(ti, k, e)
+				}
+				if e.Kind == trace.KindCall || e.Kind == trace.KindSwitch {
+					count++
+				}
+			}
+			if haveSeg && curSeg.src == ti {
+				curSeg.hi = hi
+			}
+		})
+	case p.wide:
+		global := shadow.NewTable[writeStamp]()
+		trace.WalkRuns(tr, tieSeed, func(ti, lo, hi int) {
+			tt := &tr.Threads[ti]
+			for k := lo; k < hi; k++ {
+				e := &tt.Events[k]
+				if !haveSeg || cur.id != e.Thread || curSeg.src != ti {
+					boundary(ti, k, e)
+				}
+				switch e.Kind {
+				case trace.KindCall, trace.KindSwitch:
+					count++
+				case trace.KindKernelWrite:
+					count++
+					global.Set(guest.Addr(e.Arg), writeStamp{wts: count, writer: kernelWriter})
+				case trace.KindWrite:
+					global.Set(guest.Addr(e.Arg), writeStamp{wts: count, writer: uint32(e.Thread) + 1})
+				case trace.KindRead, trace.KindKernelRead:
+					cur.reads = append(cur.reads, global.Peek(guest.Addr(e.Arg)))
+				}
+			}
+			if haveSeg && curSeg.src == ti {
+				curSeg.hi = hi
+			}
+		})
+	default:
+		global := shadow.NewTable[uint64]()
+		trace.WalkRuns(tr, tieSeed, func(ti, lo, hi int) {
+			tt := &tr.Threads[ti]
+			for k := lo; k < hi; k++ {
+				e := &tt.Events[k]
+				if !haveSeg || cur.id != e.Thread || curSeg.src != ti {
+					boundary(ti, k, e)
+				}
+				switch e.Kind {
+				case trace.KindCall, trace.KindSwitch:
+					count++
+				case trace.KindKernelWrite:
+					count++
+					global.Set(guest.Addr(e.Arg), count<<32|uint64(kernelWriter))
+				case trace.KindWrite:
+					global.Set(guest.Addr(e.Arg), count<<32|uint64(uint32(e.Thread)+1))
+				case trace.KindRead, trace.KindKernelRead:
+					cur.packed = append(cur.packed, global.Peek(guest.Addr(e.Arg)))
+				}
+			}
+			if haveSeg && curSeg.src == ti {
+				curSeg.hi = hi
+			}
+		})
+	}
+	closeSeg()
+	return p, nil
+}
+
+// NumThreads returns the number of guest threads the plan shards work into —
+// the pipeline's maximum useful parallelism.
+func (p *Plan) NumThreads() int { return len(p.threads) }
+
+// NumSegments returns the total number of thread-switch-bounded segments.
+func (p *Plan) NumSegments() int {
+	n := 0
+	for _, tp := range p.threads {
+		n += len(tp.segments)
+	}
+	return n
+}
+
+// Run executes the plan's analyze phase: every guest thread's events are
+// processed by an independent shadow-memory analyzer on a pool of at most
+// workers goroutines (0 selects GOMAXPROCS), and the per-thread profiles are
+// folded together in deterministic thread order. Run may be called multiple
+// times; every call returns an identical profile.
+func (p *Plan) Run(workers int) (*core.Profile, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	results := make([]*core.Profile, len(p.threads))
+	if workers == 1 {
+		for i, tp := range p.threads {
+			results[i] = analyzeThread(p.tr, tp, p.opts, p.wide)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, tp := range p.threads {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, tp *threadPlan) {
+				defer wg.Done()
+				results[i] = analyzeThread(p.tr, tp, p.opts, p.wide)
+				<-sem
+			}(i, tp)
+		}
+		wg.Wait()
+	}
+
+	out := core.NewProfile()
+	for _, r := range results {
+		out.Merge(r)
+	}
+	return out, nil
+}

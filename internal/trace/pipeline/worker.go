@@ -1,0 +1,234 @@
+package pipeline
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/shadow"
+	"repro/internal/trace"
+)
+
+// cell is the width of a per-thread shadow timestamp: uint32 when the
+// pre-scan proved the counter fits (narrow mode), uint64 otherwise. Both
+// instantiations store the exact same counter values.
+type cell interface {
+	~uint32 | ~uint64
+}
+
+// analyzeThread runs the per-thread half of the paper's Fig. 11 algorithm
+// over one guest thread's segments: the thread's latest-access shadow memory
+// ts_t, its shadow stack of partial trms/rms values (Invariant 2), and the
+// per-routine histogram aggregation. Global information — the counter at
+// segment entry and the (wts, writer) pair each read observes — comes
+// precomputed from the plan, so threads are analyzed fully independently.
+//
+// The logic mirrors core.Profiler event for event, with never-renumbered
+// counter values in place of the inline profiler's renumbered timestamps;
+// profiles depend only on timestamp order relations, which renumbering
+// preserves, so the results are identical. The differential tests in this
+// package hold the two implementations together.
+func analyzeThread(tr *trace.Trace, tp *threadPlan, opts core.Options, wide bool) *core.Profile {
+	if wide {
+		return runWorker[uint64](tr, tp, opts)
+	}
+	return runWorker[uint32](tr, tp, opts)
+}
+
+func runWorker[C cell](tr *trace.Trace, tp *threadPlan, opts core.Options) *core.Profile {
+	w := &worker[C]{
+		tr:   tr,
+		opts: opts,
+		ts:   shadow.NewTable[C](),
+		acts: make(map[guest.RoutineID]*core.Activations),
+	}
+	for _, seg := range tp.segments {
+		w.count = seg.startCount
+		events := tr.Threads[seg.src].Events[seg.lo:seg.hi]
+		for i := range events {
+			w.step(&events[i], tp)
+		}
+	}
+	return w.profile(tp)
+}
+
+// worker is the state of one per-thread analyzer.
+type worker[C cell] struct {
+	tr   *trace.Trace
+	opts core.Options
+
+	count    uint64 // local image of the global counter
+	nextRead int    // cursor into the threadPlan's read annotations
+
+	ts    *shadow.Table[C] // the thread's latest-access shadow memory
+	stack []frame
+
+	acts            map[guest.RoutineID]*core.Activations
+	inducedThread   uint64
+	inducedExternal uint64
+}
+
+// frame is one shadow-stack entry; see core's frame.
+type frame struct {
+	rtn     guest.RoutineID
+	ts      uint64
+	bbEnter uint64
+
+	trms, rms int64
+
+	inducedThread   uint64
+	inducedExternal uint64
+}
+
+func (w *worker[C]) step(e *trace.Event, tp *threadPlan) {
+	switch e.Kind {
+	case trace.KindCall:
+		w.count++
+		w.stack = append(w.stack, frame{rtn: guest.RoutineID(e.Arg), ts: w.count, bbEnter: e.Aux})
+
+	case trace.KindReturn:
+		if len(w.stack) == 0 {
+			return
+		}
+		f := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		a := w.acts[f.rtn]
+		if a == nil {
+			a = core.NewActivations(tp.id)
+			w.acts[f.rtn] = a
+		}
+		a.Record(clamp(f.trms), clamp(f.rms), f.inducedThread, f.inducedExternal, e.Aux-f.bbEnter)
+		if n := len(w.stack); n > 0 {
+			parent := &w.stack[n-1]
+			parent.trms += f.trms
+			parent.rms += f.rms
+			parent.inducedThread += f.inducedThread
+			parent.inducedExternal += f.inducedExternal
+		}
+
+	case trace.KindRead, trace.KindKernelRead:
+		var wts uint64
+		var writer uint32
+		if !w.opts.RMSOnly {
+			wts, writer = tp.readAt(w.nextRead)
+			w.nextRead++
+		}
+		w.read(guest.Addr(e.Arg), wts, writer)
+
+	case trace.KindWrite:
+		w.ts.Set(guest.Addr(e.Arg), C(w.count))
+
+	case trace.KindKernelWrite:
+		if !w.opts.RMSOnly {
+			w.count++
+		}
+
+	case trace.KindSwitch:
+		// An explicitly recorded switch event (never produced by the
+		// Recorder, but legal in hand-built traces) bumps the counter
+		// like a synthesized one.
+		w.count++
+
+	case trace.KindThreadExit:
+		// The inline profiler drops the thread's view on exit; further
+		// events under the same id (again only in hand-built traces)
+		// start from fresh shadow state.
+		w.ts = shadow.NewTable[C]()
+		w.stack = w.stack[:0]
+	}
+	// ThreadStart, Sync, Alloc, Free carry no profiling state.
+}
+
+// read applies the Fig. 11 read rules plus the parallel rms computation,
+// mirroring core.Profiler.Read.
+func (w *worker[C]) read(a guest.Addr, wts uint64, writer uint32) {
+	slot := w.ts.Slot(a) // one chunk probe for both the load and the store
+	old := uint64(*slot)
+
+	if len(w.stack) > 0 {
+		top := &w.stack[len(w.stack)-1]
+
+		if old < wts && w.inducedEnabled(writer) {
+			// Induced first-access: new input for the topmost activation
+			// and, by Invariant 2, for every ancestor.
+			top.trms++
+			if writer == kernelWriter {
+				top.inducedExternal++
+				w.inducedExternal++
+			} else {
+				top.inducedThread++
+				w.inducedThread++
+			}
+		} else if old == 0 {
+			top.trms++
+		} else if old < top.ts {
+			top.trms++
+			if j := findFrame(w.stack, old); j >= 0 {
+				w.stack[j].trms--
+			}
+		}
+
+		if old == 0 {
+			top.rms++
+		} else if old < top.ts {
+			top.rms++
+			if j := findFrame(w.stack, old); j >= 0 {
+				w.stack[j].rms--
+			}
+		}
+	}
+
+	*slot = C(w.count)
+}
+
+func (w *worker[C]) inducedEnabled(writer uint32) bool {
+	if writer == kernelWriter {
+		return !w.opts.DisableExternal
+	}
+	return !w.opts.DisableThreadInduced
+}
+
+// profile folds the worker's per-routine aggregates into a single-thread
+// core.Profile, resolving routine ids against the trace's name table in
+// ascending id order (deterministic, and collision-safe: two ids mapping to
+// the same name merge exactly as the inline profiler would have merged
+// them).
+func (w *worker[C]) profile(tp *threadPlan) *core.Profile {
+	out := core.NewProfile()
+	out.InducedThread = w.inducedThread
+	out.InducedExternal = w.inducedExternal
+	ids := make([]guest.RoutineID, 0, len(w.acts))
+	for id := range w.acts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		out.AddActivations(w.tr.RoutineName(id), w.acts[id])
+	}
+	return out
+}
+
+func clamp(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// findFrame returns the largest index j with stack[j].ts <= ts, or -1, by
+// binary search over the monotone frame timestamps — the O(log depth)
+// ancestor adjustment of the paper's analysis.
+func findFrame(stack []frame, ts uint64) int {
+	lo, hi := 0, len(stack)-1
+	j := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if stack[mid].ts <= ts {
+			j = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return j
+}

@@ -1,11 +1,18 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/core"
 	"repro/internal/guest"
+	"repro/internal/ispl"
+	"repro/internal/trace"
+	"repro/internal/trace/pipeline"
 )
 
 // TestQuickEncodeDecodeRoundTrip: arbitrary well-formed traces survive the
@@ -18,7 +25,7 @@ func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
 		Arg   uint32
 		Aux   uint16
 	}) bool {
-		tr := &Trace{}
+		tr := &trace.Trace{}
 		for _, n := range names {
 			if len(n) > 1<<10 {
 				n = n[:1<<10]
@@ -26,22 +33,22 @@ func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
 			tr.Routines = append(tr.Routines, n)
 			tr.Syncs = append(tr.Syncs, n+"-sync")
 		}
-		perTh := make(map[guest.ThreadID]*ThreadTrace)
+		perTh := make(map[guest.ThreadID]*trace.ThreadTrace)
 		var order []guest.ThreadID
 		clock := make(map[guest.ThreadID]uint64)
 		for _, r := range raw {
 			tid := guest.ThreadID(r.Tid%5) + 1
 			tt := perTh[tid]
 			if tt == nil {
-				tt = &ThreadTrace{ID: tid}
+				tt = &trace.ThreadTrace{ID: tid}
 				perTh[tid] = tt
 				order = append(order, tid)
 			}
 			clock[tid] += uint64(r.Delta)
-			tt.Events = append(tt.Events, Event{
+			tt.Events = append(tt.Events, trace.Event{
 				TS:     clock[tid],
 				Thread: tid,
-				Kind:   Kind(r.Kind % uint8(numKinds)),
+				Kind:   trace.Kind(r.Kind % uint8(trace.KindSwitch+1)),
 				Arg:    uint64(r.Arg),
 				Aux:    uint64(r.Aux),
 			})
@@ -54,7 +61,7 @@ func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
 		if err := tr.Encode(&buf); err != nil {
 			return false
 		}
-		got, err := Decode(&buf)
+		got, err := trace.Decode(&buf)
 		if err != nil {
 			return false
 		}
@@ -91,35 +98,35 @@ func TestQuickMergeIsStablePartition(t *testing.T) {
 		Tid   uint8
 		Delta uint8
 	}, seed int64) bool {
-		tr := &Trace{Routines: []string{"r"}}
-		perTh := make(map[guest.ThreadID]*ThreadTrace)
+		tr := &trace.Trace{Routines: []string{"r"}}
+		perTh := make(map[guest.ThreadID]*trace.ThreadTrace)
 		var order []guest.ThreadID
 		clock := make(map[guest.ThreadID]uint64)
 		for i, r := range raw {
 			tid := guest.ThreadID(r.Tid%4) + 1
 			tt := perTh[tid]
 			if tt == nil {
-				tt = &ThreadTrace{ID: tid}
+				tt = &trace.ThreadTrace{ID: tid}
 				perTh[tid] = tt
 				order = append(order, tid)
 			}
 			clock[tid] += uint64(r.Delta)
-			tt.Events = append(tt.Events, Event{TS: clock[tid], Thread: tid, Kind: KindRead, Arg: uint64(i)})
+			tt.Events = append(tt.Events, trace.Event{TS: clock[tid], Thread: tid, Kind: trace.KindRead, Arg: uint64(i)})
 		}
 		for _, tid := range order {
 			tr.Threads = append(tr.Threads, *perTh[tid])
 		}
 
-		merged := Merge(tr, seed)
+		merged := trace.Merge(tr, seed)
 		// Project the merged trace back per thread and compare.
-		got := make(map[guest.ThreadID][]Event)
+		got := make(map[guest.ThreadID][]trace.Event)
 		var prevTS uint64
 		for _, e := range merged {
 			if e.TS < prevTS {
 				return false // total order violated
 			}
 			prevTS = e.TS
-			if e.Kind == KindSwitch {
+			if e.Kind == trace.KindSwitch {
 				continue
 			}
 			got[e.Thread] = append(got[e.Thread], e)
@@ -132,6 +139,156 @@ func TestQuickMergeIsStablePartition(t *testing.T) {
 				if got[tid][j] != tt.Events[j] {
 					return false
 				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genISPL renders a small randomized ISPL program: a shared array touched by
+// spawned workers and a divide-and-conquer recursion, with optional locking
+// and device I/O (kernel writes feed external induced input, device output
+// performs kernel reads). Every generated program is valid and terminates.
+func genISPL(size, nworkers, depth int, useLock, useIO bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "var a[%d];\nvar acc[%d];\n", size, nworkers)
+	if useLock {
+		b.WriteString("lock l;\n")
+	}
+	b.WriteString(`
+		func touch(lo, hi) {
+			var i = lo;
+			var s = 0;
+			while (i < hi) { s = s + a[i]; a[i] = s + 1; i = i + 1; }
+			return s;
+		}
+		func rec(d, lo, hi) {
+			if (d <= 0 || hi - lo < 2) { return touch(lo, hi); }
+			var mid = lo + (hi - lo) / 2;
+			return rec(d - 1, lo, mid) + rec(d - 1, mid, hi);
+		}
+	`)
+	chunk := size / nworkers
+	b.WriteString("func work(w) {\n")
+	fmt.Fprintf(&b, "\tvar s = touch(w * %d, w * %d + %d);\n", chunk, chunk, chunk)
+	if useLock {
+		b.WriteString("\tacquire(l);\n\tacc[w] = s;\n\trelease(l);\n")
+	} else {
+		b.WriteString("\tacc[w] = s;\n")
+	}
+	b.WriteString("\treturn s;\n}\n")
+	b.WriteString("func main() {\n")
+	if useIO {
+		fmt.Fprintf(&b, "\tread(a, 0, %d);\n", size)
+	}
+	for w := 0; w < nworkers; w++ {
+		fmt.Fprintf(&b, "\tvar t%d = spawn work(%d);\n", w, w)
+	}
+	for w := 0; w < nworkers; w++ {
+		fmt.Fprintf(&b, "\tjoin t%d;\n", w)
+	}
+	fmt.Fprintf(&b, "\tprint(rec(%d, 0, %d));\n", depth, size)
+	if useIO {
+		fmt.Fprintf(&b, "\twrite(acc, 0, %d);\n", nworkers)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// TestQuickPipelineWorkersISPL: for randomized ISPL programs, the parallel
+// trace-replay pipeline yields an export byte-identical to the inline
+// profiler's at every worker count in {1, 2, 4, 8}.
+func TestQuickPipelineWorkersISPL(t *testing.T) {
+	f := func(rawSize, rawWorkers, rawDepth, rawSlice uint8, useLock, useIO bool) bool {
+		size := 8 + int(rawSize)%56
+		nworkers := 2 + int(rawWorkers)%3
+		depth := int(rawDepth) % 4
+		src := genISPL(size, nworkers, depth, useLock, useIO)
+
+		prof := core.New(core.Options{})
+		rec := trace.NewRecorder()
+		cfg := guest.Config{Timeslice: 3 + int(rawSlice)%9, Tools: []guest.Tool{prof, rec}}
+		if _, _, err := ispl.RunSource(src, cfg); err != nil {
+			t.Logf("generated program failed: %v\n%s", err, src)
+			return false
+		}
+		want, err := prof.Profile().Export()
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			got, err := pipeline.Analyze(rec.Trace(), pipeline.Options{TieSeed: 7, Workers: workers})
+			if err != nil {
+				return false
+			}
+			b, err := got.Export()
+			if err != nil || !bytes.Equal(b, want) {
+				t.Logf("pipeline with %d workers diverges on:\n%s", workers, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCombineSplitRoundTrip: splitting an arbitrary trace's threads
+// into shards and combining them back preserves the merged event stream,
+// while any shard with a mismatched header version is rejected with the
+// typed error.
+func TestQuickCombineSplitRoundTrip(t *testing.T) {
+	f := func(raw []struct {
+		Tid   uint8
+		Delta uint8
+	}, cut uint8, badVersion byte) bool {
+		tr := &trace.Trace{Routines: []string{"r"}}
+		perTh := make(map[guest.ThreadID]*trace.ThreadTrace)
+		var order []guest.ThreadID
+		clock := make(map[guest.ThreadID]uint64)
+		for i, r := range raw {
+			tid := guest.ThreadID(r.Tid%4) + 1
+			tt := perTh[tid]
+			if tt == nil {
+				tt = &trace.ThreadTrace{ID: tid}
+				perTh[tid] = tt
+				order = append(order, tid)
+			}
+			clock[tid] += uint64(r.Delta)
+			tt.Events = append(tt.Events, trace.Event{TS: clock[tid], Thread: tid, Kind: trace.KindRead, Arg: uint64(i)})
+		}
+		for _, tid := range order {
+			tr.Threads = append(tr.Threads, *perTh[tid])
+		}
+
+		k := int(cut) % (len(tr.Threads) + 1)
+		a := &trace.Trace{Routines: tr.Routines, Threads: tr.Threads[:k]}
+		b := &trace.Trace{Routines: tr.Routines, Threads: tr.Threads[k:]}
+		combined, err := trace.Combine(a, b)
+		if err != nil {
+			return false
+		}
+		got := trace.Merge(combined, 42)
+		want := trace.Merge(tr, 42)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+
+		if badVersion > 1 && len(b.Threads) > 0 {
+			b.Version = badVersion
+			_, err := trace.Combine(a, b)
+			var ve *trace.VersionError
+			if !errors.As(err, &ve) || ve.Got != badVersion {
+				return false
 			}
 		}
 		return true

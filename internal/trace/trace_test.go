@@ -1,12 +1,14 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/guest"
+	"repro/internal/trace"
 )
 
 // exampleRun executes a small multithreaded guest program with the given
@@ -51,7 +53,7 @@ func exampleRun(t *testing.T, timeslice int, tools ...guest.Tool) *guest.Machine
 }
 
 func TestRecorderCapturesEverything(t *testing.T) {
-	rec := NewRecorder()
+	rec := trace.NewRecorder()
 	m := exampleRun(t, 5, rec)
 	tr := rec.Trace()
 	if tr == nil {
@@ -63,7 +65,7 @@ func TestRecorderCapturesEverything(t *testing.T) {
 	if tr.NumEvents() == 0 {
 		t.Fatal("empty trace")
 	}
-	kinds := make(map[Kind]int)
+	kinds := make(map[trace.Kind]int)
 	for _, tt := range tr.Threads {
 		prev := uint64(0)
 		for _, e := range tt.Events {
@@ -74,33 +76,33 @@ func TestRecorderCapturesEverything(t *testing.T) {
 			kinds[e.Kind]++
 		}
 	}
-	for _, k := range []Kind{KindCall, KindReturn, KindRead, KindWrite, KindKernelRead,
-		KindKernelWrite, KindThreadStart, KindThreadExit, KindSyncAcquire, KindSyncRelease,
-		KindAlloc, KindFree} {
+	for _, k := range []trace.Kind{trace.KindCall, trace.KindReturn, trace.KindRead, trace.KindWrite, trace.KindKernelRead,
+		trace.KindKernelWrite, trace.KindThreadStart, trace.KindThreadExit, trace.KindSyncAcquire, trace.KindSyncRelease,
+		trace.KindAlloc, trace.KindFree} {
 		if kinds[k] == 0 {
 			t.Errorf("no %s events recorded", k)
 		}
 	}
-	if kinds[KindSwitch] != 0 {
-		t.Errorf("recorder stored %d switch events; switches are synthesized at merge", kinds[KindSwitch])
+	if kinds[trace.KindSwitch] != 0 {
+		t.Errorf("recorder stored %d switch events; switches are synthesized at merge", kinds[trace.KindSwitch])
 	}
 }
 
 func TestMergeTotalOrderAndSwitches(t *testing.T) {
-	rec := NewRecorder()
+	rec := trace.NewRecorder()
 	exampleRun(t, 3, rec)
-	merged := Merge(rec.Trace(), 0)
+	merged := trace.Merge(rec.Trace(), 0)
 	var prevTS uint64
 	for i, e := range merged {
 		if e.TS < prevTS {
 			t.Fatalf("merged[%d] out of order: %d after %d", i, e.TS, prevTS)
 		}
 		prevTS = e.TS
-		if i > 0 && merged[i-1].Kind != KindSwitch && e.Kind != KindSwitch &&
+		if i > 0 && merged[i-1].Kind != trace.KindSwitch && e.Kind != trace.KindSwitch &&
 			merged[i-1].Thread != e.Thread {
 			t.Fatalf("merged[%d]: thread change %d->%d without switch event", i, merged[i-1].Thread, e.Thread)
 		}
-		if e.Kind == KindSwitch && guest.ThreadID(e.Arg) == e.Thread {
+		if e.Kind == trace.KindSwitch && guest.ThreadID(e.Arg) == e.Thread {
 			t.Fatalf("merged[%d]: self-switch", i)
 		}
 	}
@@ -109,18 +111,18 @@ func TestMergeTotalOrderAndSwitches(t *testing.T) {
 func TestMergeTieBreaking(t *testing.T) {
 	// Two threads with identical timestamps: different seeds must be able
 	// to produce different (but individually consistent) interleavings.
-	tr := &Trace{Routines: []string{"a"}, Syncs: nil}
+	tr := &trace.Trace{Routines: []string{"a"}, Syncs: nil}
 	for tid := guest.ThreadID(1); tid <= 2; tid++ {
-		tt := ThreadTrace{ID: tid}
+		tt := trace.ThreadTrace{ID: tid}
 		for i := 0; i < 4; i++ {
-			tt.Events = append(tt.Events, Event{TS: uint64(10 * i), Thread: tid, Kind: KindRead, Arg: uint64(tid)})
+			tt.Events = append(tt.Events, trace.Event{TS: uint64(10 * i), Thread: tid, Kind: trace.KindRead, Arg: uint64(tid)})
 		}
 		tr.Threads = append(tr.Threads, tt)
 	}
 	signature := func(seed int64) string {
 		var sig string
-		for _, e := range Merge(tr, seed) {
-			if e.Kind != KindSwitch {
+		for _, e := range trace.Merge(tr, seed) {
+			if e.Kind != trace.KindSwitch {
 				sig += fmt.Sprintf("%d", e.Thread)
 			}
 		}
@@ -143,7 +145,7 @@ func TestMergeTieBreaking(t *testing.T) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	rec := NewRecorder()
+	rec := trace.NewRecorder()
 	exampleRun(t, 7, rec)
 	tr := rec.Trace()
 
@@ -154,7 +156,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	t.Logf("encoded %d events in %d bytes (%.2f bytes/event)",
 		tr.NumEvents(), buf.Len(), float64(buf.Len())/float64(tr.NumEvents()))
 
-	got, err := Decode(&buf)
+	got, err := trace.Decode(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,11 +186,11 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRejectsGarbage(t *testing.T) {
-	if _, err := Decode(bytes.NewReader([]byte("not a trace at all"))); err == nil {
-		t.Error("Decode accepted garbage")
+	if _, err := trace.Decode(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Error("trace.Decode accepted garbage")
 	}
-	if _, err := Decode(bytes.NewReader(append(magic[:], 99))); err == nil {
-		t.Error("Decode accepted bad version")
+	if _, err := trace.Decode(bytes.NewReader(append([]byte("ISPTRACE"), 99))); err == nil {
+		t.Error("trace.Decode accepted bad version")
 	}
 }
 
@@ -197,11 +199,11 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 func TestReplayEquivalence(t *testing.T) {
 	for _, timeslice := range []int{1, 3, 50} {
 		online := core.New(core.Options{})
-		rec := NewRecorder()
+		rec := trace.NewRecorder()
 		exampleRun(t, timeslice, online, rec)
 
 		offline := core.New(core.Options{})
-		if err := Replay(rec.Trace(), 0, offline); err != nil {
+		if err := trace.Replay(rec.Trace(), 0, offline); err != nil {
 			t.Fatal(err)
 		}
 		if diffs := online.Profile().Diff(offline.Profile()); len(diffs) > 0 {
@@ -213,19 +215,19 @@ func TestReplayEquivalence(t *testing.T) {
 // TestReplayAfterSerialization replays from a decoded byte stream.
 func TestReplayAfterSerialization(t *testing.T) {
 	online := core.New(core.Options{})
-	rec := NewRecorder()
+	rec := trace.NewRecorder()
 	exampleRun(t, 4, online, rec)
 
 	var buf bytes.Buffer
 	if err := rec.Trace().Encode(&buf); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Decode(&buf)
+	tr, err := trace.Decode(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	offline := core.New(core.Options{})
-	if err := Replay(tr, 0, offline); err != nil {
+	if err := trace.Replay(tr, 0, offline); err != nil {
 		t.Fatal(err)
 	}
 	if diffs := online.Profile().Diff(offline.Profile()); len(diffs) > 0 {
@@ -236,11 +238,11 @@ func TestReplayAfterSerialization(t *testing.T) {
 // TestReplayNaiveEquivalence replays into the naive reference as well,
 // closing the loop between all three computation paths.
 func TestReplayNaiveEquivalence(t *testing.T) {
-	rec := NewRecorder()
+	rec := trace.NewRecorder()
 	exampleRun(t, 2, rec)
 	fast := core.New(core.Options{})
 	naive := core.NewNaive(core.Options{})
-	if err := Replay(rec.Trace(), 7, fast, naive); err != nil {
+	if err := trace.Replay(rec.Trace(), 7, fast, naive); err != nil {
 		t.Fatal(err)
 	}
 	if diffs := fast.Profile().Diff(naive.Profile()); len(diffs) > 0 {
@@ -249,16 +251,16 @@ func TestReplayNaiveEquivalence(t *testing.T) {
 }
 
 func TestComputeStats(t *testing.T) {
-	rec := NewRecorder()
+	rec := trace.NewRecorder()
 	m := exampleRun(t, 5, rec)
-	st := ComputeStats(rec.Trace())
+	st := trace.ComputeStats(rec.Trace())
 	if st.Events != rec.Trace().NumEvents() || st.Events == 0 {
 		t.Errorf("events = %d", st.Events)
 	}
 	if st.Threads != m.NumThreads() {
 		t.Errorf("threads = %d, want %d", st.Threads, m.NumThreads())
 	}
-	if st.ByKind[KindRead] == 0 || st.ByKind[KindCall] == 0 || st.ByKind[KindKernelWrite] == 0 {
+	if st.ByKind[trace.KindRead] == 0 || st.ByKind[trace.KindCall] == 0 || st.ByKind[trace.KindKernelWrite] == 0 {
 		t.Errorf("kind histogram incomplete: %v", st.ByKind)
 	}
 	if st.Span == 0 {
@@ -274,7 +276,7 @@ func TestComputeStats(t *testing.T) {
 	if total != st.Events {
 		t.Errorf("per-thread events %d != total %d", total, st.Events)
 	}
-	if empty := ComputeStats(&Trace{}); empty.Events != 0 || empty.Span != 0 {
+	if empty := trace.ComputeStats(&trace.Trace{}); empty.Events != 0 || empty.Span != 0 {
 		t.Errorf("empty trace stats: %+v", empty)
 	}
 }
@@ -283,19 +285,141 @@ func TestComputeStats(t *testing.T) {
 // globally unique timestamps, so every tie-breaking seed yields the same
 // merged order and the same profile.
 func TestReplayTieSeedIrrelevantForRealTraces(t *testing.T) {
-	rec := NewRecorder()
+	rec := trace.NewRecorder()
 	exampleRun(t, 3, rec)
 	base := core.New(core.Options{})
-	if err := Replay(rec.Trace(), 0, base); err != nil {
+	if err := trace.Replay(rec.Trace(), 0, base); err != nil {
 		t.Fatal(err)
 	}
 	for seed := int64(1); seed <= 4; seed++ {
 		p := core.New(core.Options{})
-		if err := Replay(rec.Trace(), seed, p); err != nil {
+		if err := trace.Replay(rec.Trace(), seed, p); err != nil {
 			t.Fatal(err)
 		}
 		if !base.Profile().Equal(p.Profile()) {
 			t.Errorf("seed %d: replay profile differs despite unique timestamps", seed)
+		}
+	}
+}
+
+// TestCombineShards rebuilds a full trace from per-thread shards and checks
+// the combined trace merges and replays exactly like the original.
+func TestCombineShards(t *testing.T) {
+	rec := trace.NewRecorder()
+	exampleRun(t, 4, rec)
+	whole := rec.Trace()
+
+	var shards []*trace.Trace
+	for i := range whole.Threads {
+		shards = append(shards, &trace.Trace{
+			Routines: whole.Routines,
+			Syncs:    whole.Syncs,
+			Threads:  []trace.ThreadTrace{whole.Threads[i]},
+		})
+	}
+	combined, err := trace.Combine(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.NumEvents() != whole.NumEvents() {
+		t.Fatalf("combined has %d events, want %d", combined.NumEvents(), whole.NumEvents())
+	}
+	a := core.New(core.Options{})
+	b := core.New(core.Options{})
+	if err := trace.Replay(whole, 3, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Replay(combined, 3, b); err != nil {
+		t.Fatal(err)
+	}
+	if diffs := a.Profile().Diff(b.Profile()); len(diffs) > 0 {
+		t.Errorf("combined shards replay differently:\n%v", diffs)
+	}
+}
+
+// TestCombineRejectsVersionMismatch: joining traces of different wire-format
+// versions must fail with the typed *trace.VersionError instead of silently
+// producing a garbage interleaving.
+func TestCombineRejectsVersionMismatch(t *testing.T) {
+	a := &trace.Trace{Routines: []string{"r"}, Threads: []trace.ThreadTrace{{ID: 1}}}
+	b := &trace.Trace{Version: 2, Routines: []string{"r"}, Threads: []trace.ThreadTrace{{ID: 2}}}
+	_, err := trace.Combine(a, b)
+	var ve *trace.VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Combine error = %v, want *trace.VersionError", err)
+	}
+	if ve.Want != trace.FormatVersion() || ve.Got != 2 {
+		t.Errorf("VersionError = %+v, want Want=%d Got=2", ve, trace.FormatVersion())
+	}
+}
+
+// TestCombineRejectsIncompatibleShards covers the remaining structural
+// guards: diverging name tables and duplicate thread ids.
+func TestCombineRejectsIncompatibleShards(t *testing.T) {
+	base := &trace.Trace{Routines: []string{"r"}, Threads: []trace.ThreadTrace{{ID: 1}}}
+	if _, err := trace.Combine(base, &trace.Trace{Routines: []string{"other"}, Threads: []trace.ThreadTrace{{ID: 2}}}); err == nil {
+		t.Error("Combine accepted diverging routine tables")
+	}
+	if _, err := trace.Combine(base, &trace.Trace{Routines: []string{"r"}, Threads: []trace.ThreadTrace{{ID: 1}}}); err == nil {
+		t.Error("Combine accepted duplicate thread ids")
+	}
+}
+
+// TestDecodeVersionError: decoding a future-format trace yields the typed
+// version error, and decoded traces carry their wire version.
+func TestDecodeVersionError(t *testing.T) {
+	rec := trace.NewRecorder()
+	exampleRun(t, 6, rec)
+	var buf bytes.Buffer
+	if err := rec.Trace().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	got, err := trace.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != trace.FormatVersion() {
+		t.Errorf("decoded Version = %d, want %d", got.Version, trace.FormatVersion())
+	}
+	raw[8] = 7 // corrupt the version byte
+	_, err = trace.Decode(bytes.NewReader(raw))
+	var ve *trace.VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Decode error = %v, want *trace.VersionError", err)
+	}
+	if ve.Got != 7 {
+		t.Errorf("VersionError.Got = %d, want 7", ve.Got)
+	}
+}
+
+// TestWalkMatchesMerge: the streaming Walk visits exactly the non-switch
+// events of Merge, in the same order, for several tie seeds.
+func TestWalkMatchesMerge(t *testing.T) {
+	rec := trace.NewRecorder()
+	exampleRun(t, 3, rec)
+	tr := rec.Trace()
+	for seed := int64(0); seed < 4; seed++ {
+		var walked []trace.Event
+		trace.Walk(tr, seed, func(ti, ei int, e *trace.Event) {
+			if got := tr.Threads[ti].Events[ei]; got != *e {
+				t.Fatalf("walk indices (%d,%d) point at %v, event is %v", ti, ei, got, *e)
+			}
+			walked = append(walked, *e)
+		})
+		var want []trace.Event
+		for _, e := range trace.Merge(tr, seed) {
+			if e.Kind != trace.KindSwitch {
+				want = append(want, e)
+			}
+		}
+		if len(walked) != len(want) {
+			t.Fatalf("seed %d: walked %d events, merge has %d", seed, len(walked), len(want))
+		}
+		for i := range want {
+			if walked[i] != want[i] {
+				t.Fatalf("seed %d: event %d: walk %v != merge %v", seed, i, walked[i], want[i])
+			}
 		}
 	}
 }

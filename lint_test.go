@@ -1,0 +1,140 @@
+// Documentation and formatting lints for the packages whose exported
+// surface other code programs against. TestExportedSymbolsDocumented
+// enforces that every exported symbol in the trace, pipeline, and core
+// packages carries a doc comment — the trace wire format and the profile
+// model are contracts (docs/TRACE_FORMAT.md, docs/VALIDATION.md), and an
+// undocumented export there is an API bug. TestGofmt enforces canonical
+// formatting on the same trees. scripts/verify.sh runs both via
+// `go test ./...` and re-checks formatting repo-wide.
+package repro_test
+
+import (
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintDirs are the directories whose exported symbols must be documented.
+var lintDirs = []string{
+	"internal/trace",
+	"internal/trace/pipeline",
+	"internal/core",
+}
+
+func lintSources(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		t.Fatalf("no non-test Go sources under %s", dir)
+	}
+	return files
+}
+
+func TestExportedSymbolsDocumented(t *testing.T) {
+	for _, dir := range lintDirs {
+		for _, path := range lintSources(t, dir) {
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			for _, decl := range f.Decls {
+				checkDeclDocumented(t, fset, decl)
+			}
+		}
+	}
+}
+
+func checkDeclDocumented(t *testing.T, fset *token.FileSet, decl ast.Decl) {
+	t.Helper()
+	missing := func(pos token.Pos, what, name string) {
+		t.Errorf("%s: exported %s %s has no doc comment", fset.Position(pos), what, name)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return
+		}
+		if d.Doc == nil {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			missing(d.Pos(), kind, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					missing(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					// A doc comment on the const/var group covers
+					// every name it declares.
+					if n.IsExported() && d.Doc == nil && s.Doc == nil {
+						missing(n.Pos(), "value", n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the package API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			typ = tt.X
+		case *ast.IndexListExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func TestGofmt(t *testing.T) {
+	for _, dir := range lintDirs {
+		for _, path := range lintSources(t, dir) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading %s: %v", path, err)
+			}
+			formatted, err := format.Source(src)
+			if err != nil {
+				t.Fatalf("formatting %s: %v", path, err)
+			}
+			if string(src) != string(formatted) {
+				t.Errorf("%s: not gofmt-formatted (run gofmt -w %s)", path, path)
+			}
+		}
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 verification gate: build, tests (including the doc-comment and
+# gofmt lints in lint_test.go), vet, and a formatting check. Run from the
+# repository root. Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "verify: all checks passed"
