@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profflag"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		raw       = flag.Bool("raw", false, "omit the per-experiment banners and timing footers (for generated docs)")
 		benchJSON = flag.String("benchjson", "", "also write raw performance numbers as JSON to this path (validation experiment)")
 	)
+	prof := profflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -67,6 +69,10 @@ func main() {
 		}
 	}
 
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "aprof-experiments:", err)
+		os.Exit(1)
+	}
 	cfg := experiments.Config{Out: w, Quick: *quick, BenchJSON: *benchJSON}
 	for _, e := range selected {
 		if !*raw {
@@ -82,5 +88,9 @@ func main() {
 		if !*raw {
 			fmt.Fprintf(w, "\n[%s completed in %.2fs]\n\n", e.ID, time.Since(start).Seconds())
 		}
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "aprof-experiments:", err)
+		os.Exit(1)
 	}
 }

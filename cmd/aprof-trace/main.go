@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/aprof"
+	"repro/internal/profflag"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -65,11 +66,15 @@ func record(args []string) error {
 	threads := fs.Int("threads", 0, "worker threads")
 	size := fs.Int("size", 0, "problem size")
 	seed := fs.Int64("seed", 0, "workload seed")
+	prof := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workload == "" {
 		return fmt.Errorf("record: -workload is required")
+	}
+	if err := prof.Start(); err != nil {
+		return err
 	}
 	rec := aprof.NewRecorder()
 	if _, err := aprof.RunWorkload(*workload, aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed}, rec); err != nil {
@@ -84,7 +89,7 @@ func record(args []string) error {
 		return err
 	}
 	fmt.Printf("recorded %d events from %s to %s\n", rec.Trace().NumEvents(), *workload, *out)
-	return nil
+	return prof.Stop()
 }
 
 func load(path string) (*aprof.Trace, error) {
@@ -174,6 +179,7 @@ func replay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	tieSeed := fs.Int64("tieseed", 0, "tie-breaking seed for the merge")
 	top := fs.Int("top", 15, "routines to show")
+	prof := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -184,12 +190,15 @@ func replay(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
 	p, err := aprof.ProfileTrace(tr, *tieSeed, aprof.Options{})
 	if err != nil {
 		return err
 	}
 	printProfile(p, *top)
-	return nil
+	return prof.Stop()
 }
 
 // analyze computes the trace's profile with the parallel pipeline; the
@@ -199,6 +208,7 @@ func analyze(args []string) error {
 	tieSeed := fs.Int64("tieseed", 0, "tie-breaking seed for the merge")
 	workers := fs.Int("workers", 0, "analysis goroutines (0: GOMAXPROCS)")
 	top := fs.Int("top", 15, "routines to show")
+	prof := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -209,12 +219,15 @@ func analyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
 	p, err := aprof.AnalyzeTrace(tr, *tieSeed, *workers, aprof.Options{})
 	if err != nil {
 		return err
 	}
 	printProfile(p, *top)
-	return nil
+	return prof.Stop()
 }
 
 // printProfile renders a profile as a per-routine summary table, heaviest

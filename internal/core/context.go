@@ -48,13 +48,16 @@ func (t *ContextTree) Root() *ContextNode { return t.root }
 // excluding the synthetic root.
 func (t *ContextTree) NumContexts() int { return t.nodes - 1 }
 
-func (t *ContextTree) child(n *ContextNode, r guest.RoutineID, name string) *ContextNode {
+// childID descends from n to its child context for routine r, creating it on
+// first visit. The routine name is resolved from env only when a node is
+// created, keeping name lookups off the per-call path.
+func (t *ContextTree) childID(n *ContextNode, r guest.RoutineID, env guest.Env) *ContextNode {
 	if n.children == nil {
 		n.children = make(map[guest.RoutineID]*ContextNode)
 	}
 	c := n.children[r]
 	if c == nil {
-		c = &ContextNode{Routine: name, parent: n}
+		c = &ContextNode{Routine: env.RoutineName(r), parent: n}
 		n.children[r] = c
 		t.nodes++
 	}
@@ -190,32 +193,4 @@ func (t *ContextTree) FlattenByRoutine() map[string]*Activations {
 // String summarizes the tree.
 func (t *ContextTree) String() string {
 	return fmt.Sprintf("ContextTree(%d contexts)", t.NumContexts())
-}
-
-// contextTracker maintains each thread's current CCT position. It is owned
-// by the Profiler when Options.ContextSensitive is set.
-type contextTracker struct {
-	tree *ContextTree
-	cur  map[guest.ThreadID]*ContextNode
-}
-
-func newContextTracker() *contextTracker {
-	return &contextTracker{tree: newContextTree(), cur: make(map[guest.ThreadID]*ContextNode)}
-}
-
-func (ct *contextTracker) call(t guest.ThreadID, r guest.RoutineID, name string) {
-	n := ct.cur[t]
-	if n == nil {
-		n = ct.tree.root
-	}
-	ct.cur[t] = ct.tree.child(n, r, name)
-}
-
-func (ct *contextTracker) ret(t guest.ThreadID, f frame, cost uint64) {
-	n := ct.cur[t]
-	if n == nil || n == ct.tree.root {
-		return
-	}
-	n.record(t, f, cost)
-	ct.cur[t] = n.parent
 }

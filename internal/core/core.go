@@ -78,8 +78,17 @@ const defaultRenumberThreshold = math.MaxUint32 - 8
 // on behalf of a thread (external input).
 const kernelWriter = math.MaxUint32
 
-// Profiler computes input-sensitive profiles. It implements guest.Tool, so
-// it can be attached to a live machine or driven by a trace replayer.
+// Profiler computes input-sensitive profiles. It implements guest.Tool and
+// guest.MemEventSink, so it can be attached to a live machine (which feeds it
+// whole batches of memory events) or driven event-by-event by a trace
+// replayer; both paths produce identical profiles.
+//
+// The hot path is specialized for per-event cost: the current thread's view
+// is cached across events (invalidated at thread switches and exits), the
+// flat profile is keyed by dense guest.RoutineID slices with names resolved
+// only when the profile is materialized, each read probes the thread's shadow
+// memory once for both its load and its store, and the O(log depth) ancestor
+// search is shared between the trms and rms computations.
 type Profiler struct {
 	opts      Options
 	threshold uint32
@@ -90,22 +99,55 @@ type Profiler struct {
 	// global holds, for every memory cell, the packed timestamp (high 32
 	// bits) and writer provenance (low 32 bits: 0 none, thread id + 1, or
 	// kernelWriter) of the latest write by any thread or by the kernel.
+	// gcur is its persistent cursor: the hot paths resolve global shadow
+	// cells through it, so runs of nearby addresses skip the table walk.
 	global *shadow.Table[uint64]
+	gcur   shadow.Cursor[uint64]
 
 	threads map[guest.ThreadID]*threadView
+	// cur caches the most recently active thread's view: events arrive in
+	// scheduler-timeslice runs, so almost every lookup hits the cache
+	// instead of the threads map.
+	cur *threadView
+	// retired holds the views of exited threads: their shadow memories are
+	// released but their per-routine aggregates feed the final profile.
+	retired []*threadView
 
-	profile   *Profile
-	contexts  *contextTracker // non-nil when Options.ContextSensitive
+	// inducedThread and inducedExternal are the execution-global induced
+	// first-access counters (Profile.InducedThread/InducedExternal).
+	inducedThread   uint64
+	inducedExternal uint64
+
+	ctxTree   *ContextTree // non-nil when Options.ContextSensitive
 	renumbers uint64
 	peakBytes uint64
 }
 
 // threadView is the per-thread profiling state: the thread's shadow memory
-// of latest-access timestamps and its shadow run-time stack.
+// of latest-access timestamps, its shadow run-time stack, and its routine
+// aggregates keyed by dense routine id (no string touches the hot path; the
+// interned names are resolved when the profile is materialized).
 type threadView struct {
 	id    guest.ThreadID
 	ts    *shadow.Table[uint32]
+	tsc   shadow.Cursor[uint32] // persistent cursor over ts
 	stack []frame
+	acts  []*Activations // indexed by guest.RoutineID; nil until first return
+	ctx   *ContextNode   // current calling context (Options.ContextSensitive)
+}
+
+// record folds one completed activation into the view's dense aggregates.
+func (tv *threadView) record(f *frame, cost uint64) {
+	rtn := int(f.rtn)
+	for len(tv.acts) <= rtn {
+		tv.acts = append(tv.acts, nil)
+	}
+	a := tv.acts[rtn]
+	if a == nil {
+		a = newActivations(tv.id)
+		tv.acts[rtn] = a
+	}
+	a.record(*f, cost)
 }
 
 // frame is one shadow-stack entry for a pending routine activation.
@@ -139,26 +181,47 @@ func New(opts Options) *Profiler {
 		threshold: threshold,
 		global:    shadow.NewTable[uint64](),
 		threads:   make(map[guest.ThreadID]*threadView),
-		profile:   newProfile(),
 	}
+	p.gcur = p.global.Cursor()
 	if opts.ContextSensitive {
-		p.contexts = newContextTracker()
+		p.ctxTree = newContextTree()
 	}
 	return p
 }
 
 // ContextTree returns the calling context tree, or nil unless the profiler
 // was created with Options.ContextSensitive.
-func (p *Profiler) ContextTree() *ContextTree {
-	if p.contexts == nil {
-		return nil
+func (p *Profiler) ContextTree() *ContextTree { return p.ctxTree }
+
+// Profile materializes the collected profile: the dense per-thread routine
+// aggregates are resolved to routine names (the only point where the profiler
+// touches strings) and deep-copied, so the returned Profile is detached from
+// the profiler and safe to keep across further events. It is complete once
+// the run (or replay) has finished.
+func (p *Profiler) Profile() *Profile {
+	out := newProfile()
+	out.InducedThread = p.inducedThread
+	out.InducedExternal = p.inducedExternal
+	for _, tv := range p.retired {
+		p.foldView(out, tv)
 	}
-	return p.contexts.tree
+	for _, tv := range p.threads {
+		p.foldView(out, tv)
+	}
+	return out
 }
 
-// Profile returns the collected profile. It is complete once the run (or
-// replay) has finished.
-func (p *Profiler) Profile() *Profile { return p.profile }
+// foldView folds one thread view's dense aggregates into a materializing
+// profile. Aggregates are cloned: AddActivations adopts its argument, and the
+// profiler keeps recording into its own copies.
+func (p *Profiler) foldView(out *Profile, tv *threadView) {
+	for rtn, a := range tv.acts {
+		if a == nil {
+			continue
+		}
+		out.AddActivations(p.env.RoutineName(guest.RoutineID(rtn)), a.clone())
+	}
+}
 
 // Renumbers reports how many timestamp-renumbering passes ran.
 func (p *Profiler) Renumbers() uint64 { return p.renumbers }
@@ -177,12 +240,20 @@ func (p *Profiler) ThreadShadowBytes() uint64 {
 	return total
 }
 
+// view returns thread t's view, consulting the single-entry cache first:
+// events arrive in scheduler-timeslice runs, so the common case is one
+// id comparison instead of a map lookup.
 func (p *Profiler) view(t guest.ThreadID) *threadView {
+	if tv := p.cur; tv != nil && tv.id == t {
+		return tv
+	}
 	tv := p.threads[t]
 	if tv == nil {
 		tv = &threadView{id: t, ts: shadow.NewTable[uint32]()}
+		tv.tsc = tv.ts.Cursor()
 		p.threads[t] = tv
 	}
+	p.cur = tv
 	return tv
 }
 
@@ -205,10 +276,27 @@ func (p *Profiler) ThreadStart(t, parent guest.ThreadID) {
 }
 
 // ThreadExit implements guest.Tool. The thread's shadow memory is released;
-// its profile tuples were recorded at each routine return.
+// its routine aggregates are retired and feed the final profile.
 func (p *Profiler) ThreadExit(t guest.ThreadID) {
 	p.recordPeak()
+	tv := p.threads[t]
+	if tv == nil {
+		return
+	}
 	delete(p.threads, t)
+	if p.cur == tv {
+		// Invalidate the view cache: hand-built event streams may reuse
+		// the thread id, which must get a fresh view.
+		p.cur = nil
+	}
+	tv.ts.Release()
+	tv.ts = nil
+	tv.tsc = shadow.Cursor[uint32]{}
+	tv.stack = nil
+	tv.ctx = nil
+	if len(tv.acts) > 0 {
+		p.retired = append(p.retired, tv)
+	}
 }
 
 // SwitchThread implements guest.Tool: thread switches advance the global
@@ -223,69 +311,99 @@ func (p *Profiler) Call(t guest.ThreadID, r guest.RoutineID, bb uint64) {
 	ts := p.bump()
 	tv := p.view(t)
 	tv.stack = append(tv.stack, frame{rtn: r, ts: ts, bbEnter: bb})
-	if p.contexts != nil {
-		p.contexts.call(t, r, p.env.RoutineName(r))
+	if p.ctxTree != nil {
+		n := tv.ctx
+		if n == nil {
+			n = p.ctxTree.root
+		}
+		tv.ctx = p.ctxTree.childID(n, r, p.env)
 	}
 }
 
 // Return implements guest.Tool: the completed activation's trms, rms and
 // cumulative cost are recorded, and its partial metrics fold into the
-// parent's frame, preserving Invariant 2.
+// parent's frame, preserving Invariant 2. Recording is a dense slice index
+// per routine id; no routine name is resolved here (except for the
+// OnActivation stream, which carries names by contract).
 func (p *Profiler) Return(t guest.ThreadID, r guest.RoutineID, bb uint64) {
 	tv := p.view(t)
-	if len(tv.stack) == 0 {
+	n := len(tv.stack)
+	if n == 0 {
 		return
 	}
-	f := tv.stack[len(tv.stack)-1]
-	tv.stack = tv.stack[:len(tv.stack)-1]
+	f := &tv.stack[n-1]
 
 	cost := bb - f.bbEnter
-	name := p.env.RoutineName(f.rtn)
-	p.profile.record(name, t, f, cost)
-	if p.contexts != nil {
-		p.contexts.ret(t, f, cost)
+	tv.record(f, cost)
+	if p.ctxTree != nil {
+		if c := tv.ctx; c != nil && c != p.ctxTree.root {
+			c.record(t, *f, cost)
+			tv.ctx = c.parent
+		}
 	}
 	if p.opts.OnActivation != nil {
-		p.opts.OnActivation(name, t, clampMetric(f.trms), clampMetric(f.rms), cost)
+		p.opts.OnActivation(p.env.RoutineName(f.rtn), t, clampMetric(f.trms), clampMetric(f.rms), cost)
 	}
 
-	if n := len(tv.stack); n > 0 {
-		parent := &tv.stack[n-1]
+	if n > 1 {
+		parent := &tv.stack[n-2]
 		parent.trms += f.trms
 		parent.rms += f.rms
 		parent.inducedThread += f.inducedThread
 		parent.inducedExternal += f.inducedExternal
 	}
+	tv.stack = tv.stack[:n-1]
 }
 
 // Read implements guest.Tool. This is the algorithm of Fig. 11 extended with
 // the parallel rms computation and the induced-input provenance split.
 func (p *Profiler) Read(t guest.ThreadID, a guest.Addr) {
-	tv := p.view(t)
-	old := *tv.ts.Slot(a)
+	p.readAt(p.view(t), a)
+}
+
+// notSearched marks the fused ancestor-search result as not yet computed;
+// findFrame itself only returns values >= -1.
+const notSearched = -2
+
+// readAt is the per-read hot path. The thread's shadow slot is resolved once
+// for both the load of the old timestamp and the store of the new one, and
+// the O(log depth) ancestor search is computed at most once and shared
+// between the trms and rms branches.
+func (p *Profiler) readAt(tv *threadView, a guest.Addr) {
+	ch := tv.tsc.Chunk(a)
+	old := ch[a&(shadow.ChunkSize-1)]
+	if old == p.count {
+		// The thread already accessed the cell at the current counter
+		// value (a repeat access within the current timeslice): the read
+		// cannot be a first access (old != 0 whenever frames exist, since
+		// frame timestamps are positive), cannot fall under an ancestor
+		// (old >= top.ts because top.ts <= count), and cannot be induced
+		// (wts <= count = old). Nothing changes.
+		return
+	}
 
 	var wts, writer uint32
 	if !p.opts.RMSOnly {
-		g := p.global.Peek(a)
+		g := p.gcur.Peek(a)
 		wts = uint32(g >> 32)
 		writer = uint32(g)
 	}
 
-	if len(tv.stack) > 0 {
-		top := &tv.stack[len(tv.stack)-1]
+	if n := len(tv.stack); n > 0 {
+		top := &tv.stack[n-1]
+		j := notSearched
 
-		induced := old < wts && p.inducedEnabled(writer)
-		if induced {
+		if old < wts && p.inducedEnabled(writer) {
 			// Induced first-access: new input for the topmost
 			// activation and, by Invariant 2, for every ancestor —
 			// none of them accessed the cell since the foreign write.
 			top.trms++
 			if writer == kernelWriter {
 				top.inducedExternal++
-				p.profile.InducedExternal++
+				p.inducedExternal++
 			} else {
 				top.inducedThread++
-				p.profile.InducedThread++
+				p.inducedThread++
 			}
 		} else if old == 0 {
 			// First access ever by this thread.
@@ -295,7 +413,8 @@ func (p *Profiler) Read(t guest.ThreadID, a guest.Addr) {
 			// last accessed under some ancestor, whose partial is
 			// decremented so its own total is unchanged.
 			top.trms++
-			if j := findFrame(tv.stack, old); j >= 0 {
+			j = findFrame(tv.stack, old)
+			if j >= 0 {
 				tv.stack[j].trms--
 			}
 		}
@@ -306,23 +425,176 @@ func (p *Profiler) Read(t guest.ThreadID, a guest.Addr) {
 			top.rms++
 		} else if old < top.ts {
 			top.rms++
-			if j := findFrame(tv.stack, old); j >= 0 {
+			if j == notSearched {
+				j = findFrame(tv.stack, old)
+			}
+			if j >= 0 {
 				tv.stack[j].rms--
 			}
 		}
 	}
 
-	tv.ts.Set(a, p.count)
+	ch[a&(shadow.ChunkSize-1)] = p.count
 }
 
 // Write implements guest.Tool: both the thread-local and the global write
 // timestamps move to the current counter value, so the thread's own later
 // reads never appear induced (ts_t[l] == wts[l]).
 func (p *Profiler) Write(t guest.ThreadID, a guest.Addr) {
-	tv := p.view(t)
-	tv.ts.Set(a, p.count)
+	p.writeAt(p.view(t), a)
+}
+
+// writeAt is the per-write hot path.
+func (p *Profiler) writeAt(tv *threadView, a guest.Addr) {
+	tv.tsc.Chunk(a)[a&(shadow.ChunkSize-1)] = p.count
 	if !p.opts.RMSOnly {
-		*p.global.Slot(a) = uint64(p.count)<<32 | uint64(uint32(t)+1)
+		p.gcur.Chunk(a)[a&(shadow.ChunkSize-1)] = uint64(p.count)<<32 | uint64(uint32(tv.id)+1)
+	}
+}
+
+// MemBatch implements guest.MemEventSink: it consumes a whole batch of
+// memory events in one call. Batches contain only memory accesses — every
+// event that could grow or shrink the shadow stack or change the running
+// thread is a flush point — so the thread view, the topmost frame and the
+// option flags are batch invariants, hoisted out of the loop here. The
+// global counter is almost invariant too: only a kernel write moves it, and
+// the loop reloads the counter-derived locals at exactly that point. Kernel
+// reads share the plain-read logic (a kernel read is a read by the thread,
+// Fig. 12). This loop is the profiler's share of the batched-dispatch
+// speedup; its per-event work is the readAt/writeAt/KernelWrite logic with
+// every rediscovered invariant removed.
+func (p *Profiler) MemBatch(t guest.ThreadID, startTS uint64, events []guest.MemEvent) {
+	tv := p.view(t)
+	cnt := p.count
+	// Persistent shadow cursors: guest access patterns are overwhelmingly
+	// sequential and batches are short, so keeping the cursors across
+	// batches lets nearly every event hit a cached chunk and skip the
+	// shadow-table walk.
+	tsc := &tv.tsc
+	gc := &p.gcur
+
+	var top *frame
+	var topTS uint32
+	if n := len(tv.stack); n > 0 {
+		top = &tv.stack[n-1]
+		topTS = top.ts
+	}
+
+	if p.opts.RMSOnly {
+		// No global shadow: wts is identically zero, no read is ever
+		// induced, and the trms and rms branches coincide. Kernel writes
+		// are complete no-ops (KernelWrite returns before bumping), so
+		// the counter stays put for the whole batch.
+		for _, e := range events {
+			if e.IsWrite() && e.IsKernel() {
+				continue
+			}
+			a := e.Addr()
+			ch := tsc.Chunk(a)
+			if !e.IsWrite() && top != nil {
+				old := ch[a&(shadow.ChunkSize-1)]
+				if old == cnt {
+					continue // repeat access: no-op, see readAt
+				}
+				if old == 0 {
+					top.trms++
+					top.rms++
+				} else if old < topTS {
+					top.trms++
+					top.rms++
+					if j := findFrame(tv.stack, old); j >= 0 {
+						tv.stack[j].trms--
+						tv.stack[j].rms--
+					}
+				}
+			}
+			ch[a&(shadow.ChunkSize-1)] = cnt
+		}
+		return
+	}
+
+	prov := uint64(cnt) << 32 // | writer, constant between kernel writes
+	prov |= uint64(uint32(t) + 1)
+	thrInduced := !p.opts.DisableThreadInduced
+	extInduced := !p.opts.DisableExternal
+
+	for _, e := range events {
+		a := e.Addr()
+		if e.IsWrite() {
+			if e.IsKernel() {
+				// Kernel write: bump the counter (renumbering first if
+				// it is about to overflow — renumbering rewrites frame
+				// timestamps in place, so the counter-derived locals
+				// are reloaded) and stamp the cell with the fresh
+				// timestamp and kernel provenance. The thread's own
+				// shadow is untouched, exactly as in KernelWrite.
+				if cnt >= p.threshold {
+					p.renumber()
+					cnt = p.count
+					if top != nil {
+						topTS = top.ts
+					}
+				}
+				cnt++
+				p.count = cnt
+				gc.Chunk(a)[a&(shadow.ChunkSize-1)] = uint64(cnt)<<32 | uint64(kernelWriter)
+				prov = uint64(cnt)<<32 | uint64(uint32(t)+1)
+				continue
+			}
+			tsc.Chunk(a)[a&(shadow.ChunkSize-1)] = cnt
+			gc.Chunk(a)[a&(shadow.ChunkSize-1)] = prov
+			continue
+		}
+		ch := tsc.Chunk(a)
+		old := ch[a&(shadow.ChunkSize-1)]
+		if old == cnt {
+			continue // repeat access: no-op, see readAt
+		}
+		if top != nil {
+			g := gc.Peek(a)
+			wts := uint32(g >> 32)
+			j := notSearched
+
+			induced := false
+			if old < wts {
+				if uint32(g) == kernelWriter {
+					induced = extInduced
+				} else {
+					induced = thrInduced
+				}
+			}
+			if induced {
+				top.trms++
+				if uint32(g) == kernelWriter {
+					top.inducedExternal++
+					p.inducedExternal++
+				} else {
+					top.inducedThread++
+					p.inducedThread++
+				}
+			} else if old == 0 {
+				top.trms++
+			} else if old < topTS {
+				top.trms++
+				j = findFrame(tv.stack, old)
+				if j >= 0 {
+					tv.stack[j].trms--
+				}
+			}
+
+			if old == 0 {
+				top.rms++
+			} else if old < topTS {
+				top.rms++
+				if j == notSearched {
+					j = findFrame(tv.stack, old)
+				}
+				if j >= 0 {
+					tv.stack[j].rms--
+				}
+			}
+		}
+		ch[a&(shadow.ChunkSize-1)] = cnt
 	}
 }
 
@@ -342,7 +614,7 @@ func (p *Profiler) KernelWrite(t guest.ThreadID, a guest.Addr) {
 		return
 	}
 	ts := p.bump()
-	*p.global.Slot(a) = uint64(ts)<<32 | uint64(kernelWriter)
+	p.gcur.Chunk(a)[a&(shadow.ChunkSize-1)] = uint64(ts)<<32 | uint64(kernelWriter)
 }
 
 // Sync implements guest.Tool (no-op: synchronization carries no input).

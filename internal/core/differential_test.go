@@ -19,11 +19,12 @@ type randProgram struct {
 	opsPer    int
 	cells     int
 	timeslice int
+	unbatched bool
 }
 
 func (rp randProgram) run(t *testing.T, tools ...guest.Tool) {
 	t.Helper()
-	m := guest.NewMachine(guest.Config{Timeslice: rp.timeslice, Tools: tools})
+	m := guest.NewMachine(guest.Config{Timeslice: rp.timeslice, Tools: tools, Unbatched: rp.unbatched})
 	pool := m.Static(rp.cells)
 	dev := m.NewDevice("dev", nil)
 	err := m.Run(func(th *guest.Thread) {

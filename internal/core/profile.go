@@ -116,6 +116,31 @@ func clampMetric(v int64) uint64 {
 	return uint64(v)
 }
 
+// clone deep-copies the aggregate, including both histograms. The Profiler
+// hands clones to materialized profiles so the originals keep accumulating.
+func (a *Activations) clone() *Activations {
+	out := &Activations{
+		Thread:          a.Thread,
+		Calls:           a.Calls,
+		SumCost:         a.SumCost,
+		SumTRMS:         a.SumTRMS,
+		SumRMS:          a.SumRMS,
+		InducedThread:   a.InducedThread,
+		InducedExternal: a.InducedExternal,
+		ByTRMS:          make(map[uint64]*Point, len(a.ByTRMS)),
+		ByRMS:           make(map[uint64]*Point, len(a.ByRMS)),
+	}
+	for n, pt := range a.ByTRMS {
+		cp := *pt
+		out.ByTRMS[n] = &cp
+	}
+	for n, pt := range a.ByRMS {
+		cp := *pt
+		out.ByRMS[n] = &cp
+	}
+	return out
+}
+
 func (a *Activations) mergeInto(dst *Activations) {
 	dst.Calls += a.Calls
 	dst.SumCost += a.SumCost

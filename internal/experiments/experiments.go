@@ -32,7 +32,7 @@ type Config struct {
 	// (0 selects 3, or 1 under Quick).
 	Repeat int
 	// BenchJSON, when non-empty, is a path where experiments that measure
-	// performance (currently "validation") additionally write their raw
+	// performance ("validation", "inline") additionally write their raw
 	// numbers as JSON.
 	BenchJSON string
 }
@@ -71,7 +71,7 @@ func All() []Experiment {
 func order(id string) int {
 	for i, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "table1", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"ablations", "validation"} {
+		"ablations", "inline", "validation"} {
 		if id == want {
 			return i
 		}

@@ -83,6 +83,14 @@ type Config struct {
 	// interleavings, the online analog of the trace merger's arbitrary
 	// tie-breaking.
 	SchedSeed int64
+
+	// Unbatched disables the batched memory-event path: every Read/Write
+	// fans out to each tool as its own interface call, as the machine
+	// dispatched before batching existed. Tools observe identical event
+	// streams either way (the differential tests hold the two modes
+	// byte-identical); the flag exists so the unbatched dispatch cost
+	// remains measurable and so batching bugs can be bisected.
+	Unbatched bool
 }
 
 // DefaultTimeslice is the scheduler quantum, in guest operations, used when
@@ -109,12 +117,24 @@ type Machine struct {
 	threads []*Thread // index = ThreadID-1
 	sched   scheduler
 
-	ops     uint64 // total guest operations (event timestamp source)
-	bbTotal uint64 // total basic blocks across all threads
+	ops uint64 // total guest operations (event timestamp source)
 
 	running  ThreadID // currently executing thread, 0 if none
 	aborted  error    // non-nil once the run failed (deadlock, guest panic)
 	finished bool
+
+	// Batched memory-event dispatch (see the emit helpers in tool.go).
+	// direct selects per-event fan-out (Config.Unbatched, or no tools);
+	// otherwise plain Read/Write events accumulate into the fixed-size
+	// batch ring and flush at the next non-memory event.
+	direct      bool
+	sinks       []MemEventSink // parallel to tools; nil for legacy tools
+	batch       [memBatchCap]MemEvent
+	batchLen    uint32
+	batchThread ThreadID // thread that issued the pending batch
+	batchStart  uint64   // ops value of the batch's first event
+	replaying   bool     // inside the legacy replay shim
+	replayTS    uint64   // Now() override while replaying
 
 	// Aux is scratch storage for guest-program frameworks built on top of
 	// the machine (e.g. the workload library's OpenMP-style thread team).
@@ -131,6 +151,11 @@ func NewMachine(cfg Config) *Machine {
 		tools:    cfg.Tools,
 		mem:      newMemory(),
 		routines: make(map[string]RoutineID),
+	}
+	m.direct = cfg.Unbatched || len(cfg.Tools) == 0
+	m.sinks = make([]MemEventSink, len(cfg.Tools))
+	for i, tl := range cfg.Tools {
+		m.sinks[i], _ = tl.(MemEventSink)
 	}
 	m.heap = newHeap(m)
 	if cfg.SchedSeed != 0 {
@@ -170,13 +195,29 @@ func (m *Machine) SyncName(id SyncID) string {
 func (m *Machine) Ops() uint64 { return m.ops }
 
 // Now implements Env: the current event timestamp is the operation counter.
-func (m *Machine) Now() uint64 { return m.ops }
+// While the batching shim replays buffered memory events to a legacy tool,
+// Now reports the replayed event's own timestamp instead, so tools that
+// record timestamps are oblivious to batching.
+func (m *Machine) Now() uint64 {
+	if m.replaying {
+		return m.replayTS
+	}
+	return m.ops
+}
 
 // NumSyncs returns the number of synchronization objects created so far.
 func (m *Machine) NumSyncs() int { return len(m.syncNames) }
 
 // BBTotal returns the total number of basic blocks executed by all threads.
-func (m *Machine) BBTotal() uint64 { return m.bbTotal }
+// It is computed by summing the per-thread counters, which keeps a
+// machine-global read-modify-write off the per-operation path.
+func (m *Machine) BBTotal() uint64 {
+	var total uint64
+	for _, th := range m.threads {
+		total += th.bb
+	}
+	return total
+}
 
 // NumThreads returns the number of guest threads ever started.
 func (m *Machine) NumThreads() int { return len(m.threads) }
@@ -220,6 +261,7 @@ func (m *Machine) Run(body func(*Thread)) error {
 	main.resume <- struct{}{}
 	<-m.sched.done
 	m.finished = true
+	m.flushMem()
 	for _, t := range m.tools {
 		t.Finish()
 	}

@@ -9,6 +9,7 @@ type Sem struct {
 	m       *Machine
 	id      SyncID
 	name    string
+	label   string // precomputed blocked-on label (avoids per-block allocation)
 	count   int
 	waiters []*Thread
 }
@@ -18,7 +19,8 @@ func (m *Machine) NewSem(name string, count int) *Sem {
 	if count < 0 {
 		panic("guest: negative semaphore count")
 	}
-	return &Sem{m: m, id: m.newSyncID("sem:" + name), name: name, count: count}
+	label := "sem:" + name
+	return &Sem{m: m, id: m.newSyncID(label), name: name, label: label, count: count}
 }
 
 // P performs the wait (down) operation on s, blocking while its count is 0.
@@ -26,7 +28,7 @@ func (th *Thread) P(s *Sem) {
 	th.step()
 	for s.count == 0 {
 		s.waiters = append(s.waiters, th)
-		th.block("sem:" + s.name)
+		th.block(s.label)
 	}
 	s.count--
 	th.m.emitSync(th.id, SyncAcquire, s.id)
@@ -50,13 +52,15 @@ type Mutex struct {
 	m       *Machine
 	id      SyncID
 	name    string
+	label   string // precomputed blocked-on label
 	owner   *Thread
 	waiters []*Thread
 }
 
 // NewMutex returns an unlocked mutex.
 func (m *Machine) NewMutex(name string) *Mutex {
-	return &Mutex{m: m, id: m.newSyncID("mutex:" + name), name: name}
+	label := "mutex:" + name
+	return &Mutex{m: m, id: m.newSyncID(label), name: name, label: label}
 }
 
 // Lock acquires mu, blocking while another thread holds it.
@@ -71,7 +75,7 @@ func (th *Thread) lockSlow(mu *Mutex) {
 	}
 	for mu.owner != nil {
 		mu.waiters = append(mu.waiters, th)
-		th.block("mutex:" + mu.name)
+		th.block(mu.label)
 	}
 	mu.owner = th
 	th.m.emitSync(th.id, SyncAcquire, mu.id)
@@ -110,12 +114,14 @@ type Cond struct {
 	m       *Machine
 	id      SyncID
 	name    string
+	label   string // precomputed blocked-on label
 	waiters []*Thread
 }
 
 // NewCond returns a condition variable.
 func (m *Machine) NewCond(name string) *Cond {
-	return &Cond{m: m, id: m.newSyncID("cond:" + name), name: name}
+	label := "cond:" + name
+	return &Cond{m: m, id: m.newSyncID(label), name: name, label: label}
 }
 
 // Wait atomically releases mu and parks on c; once woken it re-acquires mu
@@ -124,7 +130,7 @@ func (th *Thread) Wait(c *Cond, mu *Mutex) {
 	th.step()
 	th.unlockSlow(mu)
 	c.waiters = append(c.waiters, th)
-	th.block("cond:" + c.name)
+	th.block(c.label)
 	th.m.emitSync(th.id, SyncAcquire, c.id)
 	th.lockSlow(mu)
 }
@@ -156,6 +162,7 @@ type Barrier struct {
 	m       *Machine
 	id      SyncID
 	name    string
+	label   string // precomputed blocked-on label
 	n       int
 	arrived int
 	gen     uint64
@@ -167,7 +174,8 @@ func (m *Machine) NewBarrier(name string, n int) *Barrier {
 	if n <= 0 {
 		panic("guest: barrier size must be positive")
 	}
-	return &Barrier{m: m, id: m.newSyncID("barrier:" + name), name: name, n: n}
+	label := "barrier:" + name
+	return &Barrier{m: m, id: m.newSyncID(label), name: name, label: label, n: n}
 }
 
 // Arrive blocks until n threads (including the caller) have arrived at the
@@ -189,7 +197,7 @@ func (th *Thread) Arrive(b *Barrier) {
 	gen := b.gen
 	for b.gen == gen {
 		b.waiters = append(b.waiters, th)
-		th.block("barrier:" + b.name)
+		th.block(b.label)
 	}
 	th.m.emitSync(th.id, SyncAcquire, b.id)
 }
@@ -202,6 +210,8 @@ type RWLock struct {
 	m       *Machine
 	id      SyncID
 	name    string
+	rlabel  string // precomputed blocked-on labels
+	wlabel  string
 	readers int
 	writer  *Thread
 	waiters []*Thread
@@ -209,7 +219,8 @@ type RWLock struct {
 
 // NewRWLock returns an unlocked readers-writer lock.
 func (m *Machine) NewRWLock(name string) *RWLock {
-	return &RWLock{m: m, id: m.newSyncID("rwlock:" + name), name: name}
+	return &RWLock{m: m, id: m.newSyncID("rwlock:" + name), name: name,
+		rlabel: "rwlock-r:" + name, wlabel: "rwlock-w:" + name}
 }
 
 // RLock acquires the lock for reading, blocking while a writer holds it.
@@ -217,7 +228,7 @@ func (th *Thread) RLock(rw *RWLock) {
 	th.step()
 	for rw.writer != nil {
 		rw.waiters = append(rw.waiters, th)
-		th.block("rwlock-r:" + rw.name)
+		th.block(rw.rlabel)
 	}
 	rw.readers++
 	th.m.emitSync(th.id, SyncAcquire, rw.id)
@@ -245,7 +256,7 @@ func (th *Thread) WLock(rw *RWLock) {
 	}
 	for rw.writer != nil || rw.readers > 0 {
 		rw.waiters = append(rw.waiters, th)
-		th.block("rwlock-w:" + rw.name)
+		th.block(rw.wlabel)
 	}
 	rw.writer = th
 	th.m.emitSync(th.id, SyncAcquire, rw.id)

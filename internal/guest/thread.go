@@ -95,12 +95,22 @@ func (th *Thread) exit() {
 }
 
 // step accounts one guest operation's basic block and runs the scheduler
-// quantum. Every Thread operation calls it exactly once.
+// quantum. Every Thread operation calls it exactly once. The rare cases
+// (quantum expired, machine aborted) share one predicted-untaken branch so
+// the common path stays under the inlining budget.
 func (th *Thread) step() {
-	th.checkAborted()
 	th.bb++
-	th.m.bbTotal++
 	th.slice--
+	if th.slice <= 0 || th.m.aborted != nil {
+		th.stepSlow()
+	}
+}
+
+// stepSlow must stay out of line so step itself fits the inlining budget.
+//
+//go:noinline
+func (th *Thread) stepSlow() {
+	th.checkAborted()
 	if th.slice <= 0 {
 		th.yield()
 	}
@@ -108,15 +118,14 @@ func (th *Thread) step() {
 
 // Exec accounts for n basic blocks of pure computation (no memory traffic).
 func (th *Thread) Exec(n int) {
-	th.checkAborted()
 	if n <= 0 {
+		th.checkAborted()
 		return
 	}
 	th.bb += uint64(n)
-	th.m.bbTotal += uint64(n)
 	th.slice--
-	if th.slice <= 0 {
-		th.yield()
+	if th.slice <= 0 || th.m.aborted != nil {
+		th.stepSlow()
 	}
 }
 

@@ -66,6 +66,63 @@ type Tool interface {
 	Finish()
 }
 
+// MemEvent is one packed memory-access event of a batch: the accessed
+// address in the low bits and the access kind in the top two bits (store in
+// bit 63, kernel-mediated in bit 62). Addresses are confined to the shadowed
+// address space (well below bit 62), so the packing is lossless. The event's
+// timestamp is implicit: the i-th event of a batch carries the batch's start
+// timestamp plus i, because the machine bumps its operation counter once per
+// event and flushes the batch before any non-memory event can intervene.
+type MemEvent uint64
+
+// memEventWrite marks a MemEvent as a store (a thread write, or the kernel
+// filling a cell); loads leave the bit clear. memEventKernel marks the
+// access as kernel-mediated I/O (KernelRead/KernelWrite hooks).
+const (
+	memEventWrite  MemEvent = 1 << 63
+	memEventKernel MemEvent = 1 << 62
+)
+
+// ReadEvent packs a load of address a.
+func ReadEvent(a Addr) MemEvent { return MemEvent(a) }
+
+// WriteEvent packs a store to address a.
+func WriteEvent(a Addr) MemEvent { return MemEvent(a) | memEventWrite }
+
+// KernelReadEvent packs a kernel read of cell a on a thread's behalf.
+func KernelReadEvent(a Addr) MemEvent { return MemEvent(a) | memEventKernel }
+
+// KernelWriteEvent packs a kernel write of cell a on a thread's behalf.
+func KernelWriteEvent(a Addr) MemEvent { return MemEvent(a) | memEventWrite | memEventKernel }
+
+// Addr returns the accessed address.
+func (e MemEvent) Addr() Addr { return Addr(e &^ (memEventWrite | memEventKernel)) }
+
+// IsWrite reports whether the event stores to the cell (a thread write or a
+// kernel write; false: a load by the thread or the kernel).
+func (e MemEvent) IsWrite() bool { return e&memEventWrite != 0 }
+
+// IsKernel reports whether the access is kernel-mediated I/O.
+func (e MemEvent) IsKernel() bool { return e&memEventKernel != 0 }
+
+// MemEventSink is the optional batched fast path of the guest→tool boundary.
+// A Tool that also implements MemEventSink receives runs of plain Read/Write
+// events as whole batches through MemBatch instead of one interface call per
+// event. Batches preserve the event stream exactly: all events belong to
+// thread t, appear in execution order, and the i-th event happened at
+// timestamp startTS+i; the machine flushes the pending batch before every
+// non-memory event (call/return, thread switch, sync, alloc, thread
+// lifecycle), so a sink interleaving MemBatch with the ordinary Tool hooks
+// observes exactly the sequential event order. Kernel-mediated accesses are
+// memory events too — they ride in batches, tagged with IsKernel, instead of
+// forcing a flush. Tools without the
+// interface are fed through a replay shim that unrolls each batch into
+// ordinary Read/Write calls (with Env.Now reporting each event's own
+// timestamp), so legacy tools observe an identical stream.
+type MemEventSink interface {
+	MemBatch(t ThreadID, startTS uint64, events []MemEvent)
+}
+
 // BaseTool is a Tool with no-op hooks, intended for embedding so tools only
 // implement the events they care about.
 type BaseTool struct{}
@@ -114,9 +171,89 @@ func (BaseTool) Finish() {}
 
 // Event dispatch helpers. Each guest operation funnels through exactly one of
 // these, which also advance the machine's operation counter.
+//
+// Memory accesses — the bulk of any event stream, including kernel-mediated
+// I/O — do not fan out to the tools one dynamic-interface call at a time.
+// They accumulate into the machine's fixed-size event ring (kind and address
+// packed into one word, thread and start timestamp held once per batch) and
+// flush to the tools at the first non-memory event, when the ring fills, or
+// at the end of the run. All flush points are scheduling boundaries where
+// the profiler's shadow stacks change anyway (call/return, thread switch) or
+// events that carry their own tool state (sync, alloc/free, thread
+// lifecycle), so batching never reorders events and tools observe identical
+// streams.
+
+// memBatchCap is the event ring's capacity. The fair scheduler rotates
+// threads every Config.Timeslice operations (default 100), so a larger ring
+// only matters for long single-threaded stretches of loads and stores.
+const memBatchCap = 256
+
+// The emit helpers append memory events to the pending batch directly (the
+// append is open-coded in each helper so the hot path costs no extra call):
+// the event is stored at the ring's write index — masked, which also proves
+// the store in bounds — and one unsigned compare routes both rare cases
+// (first event of a batch, ring full) to bufferMemEdge. The caller has
+// already advanced m.ops, so a batch's events have consecutive timestamps
+// starting at batchStart.
+// bufferMemEdge handles the ring's boundary cases out of line. Memory events
+// are only emitted by the executing thread, so the batch's issuing thread is
+// always m.running.
+//
+//go:noinline
+func (m *Machine) bufferMemEdge() {
+	if m.batchLen == 1 {
+		m.batchThread = m.running
+		m.batchStart = m.ops
+		return
+	}
+	m.flushMem()
+}
+
+// flushMem dispatches the pending memory-event batch: batch-capable tools
+// consume it whole, legacy tools get it replayed event by event.
+func (m *Machine) flushMem() {
+	if m.batchLen == 0 {
+		return
+	}
+	evs := m.batch[:m.batchLen]
+	m.batchLen = 0
+	for i, tl := range m.tools {
+		if s := m.sinks[i]; s != nil {
+			s.MemBatch(m.batchThread, m.batchStart, evs)
+		} else {
+			m.replayBatch(tl, evs)
+		}
+	}
+}
+
+// replayBatch is the legacy-tool shim: it unrolls a batch into ordinary
+// Read/Write/KernelRead/KernelWrite hook calls. While it runs, Env.Now
+// reports each event's own timestamp, so timestamp-recording tools (the
+// trace recorder) produce streams identical to unbatched dispatch.
+func (m *Machine) replayBatch(tl Tool, evs []MemEvent) {
+	t := m.batchThread
+	m.replaying = true
+	for i, e := range evs {
+		m.replayTS = m.batchStart + uint64(i)
+		switch {
+		case e.IsKernel():
+			if e.IsWrite() {
+				tl.KernelWrite(t, e.Addr())
+			} else {
+				tl.KernelRead(t, e.Addr())
+			}
+		case e.IsWrite():
+			tl.Write(t, e.Addr())
+		default:
+			tl.Read(t, e.Addr())
+		}
+	}
+	m.replaying = false
+}
 
 func (m *Machine) emitCall(t ThreadID, r RoutineID, bb uint64) {
 	m.ops++
+	m.flushMem()
 	for _, tl := range m.tools {
 		tl.Call(t, r, bb)
 	}
@@ -124,6 +261,7 @@ func (m *Machine) emitCall(t ThreadID, r RoutineID, bb uint64) {
 
 func (m *Machine) emitReturn(t ThreadID, r RoutineID, bb uint64) {
 	m.ops++
+	m.flushMem()
 	for _, tl := range m.tools {
 		tl.Return(t, r, bb)
 	}
@@ -131,34 +269,71 @@ func (m *Machine) emitReturn(t ThreadID, r RoutineID, bb uint64) {
 
 func (m *Machine) emitRead(t ThreadID, a Addr) {
 	m.ops++
-	for _, tl := range m.tools {
-		tl.Read(t, a)
+	if m.direct {
+		for _, tl := range m.tools {
+			tl.Read(t, a)
+		}
+		return
+	}
+	n := m.batchLen
+	m.batch[n&(memBatchCap-1)] = ReadEvent(a)
+	m.batchLen = n + 1
+	if n-1 >= memBatchCap-2 {
+		m.bufferMemEdge()
 	}
 }
 
 func (m *Machine) emitWrite(t ThreadID, a Addr) {
 	m.ops++
-	for _, tl := range m.tools {
-		tl.Write(t, a)
+	if m.direct {
+		for _, tl := range m.tools {
+			tl.Write(t, a)
+		}
+		return
+	}
+	n := m.batchLen
+	m.batch[n&(memBatchCap-1)] = WriteEvent(a)
+	m.batchLen = n + 1
+	if n-1 >= memBatchCap-2 {
+		m.bufferMemEdge()
 	}
 }
 
 func (m *Machine) emitKernelRead(t ThreadID, a Addr) {
 	m.ops++
-	for _, tl := range m.tools {
-		tl.KernelRead(t, a)
+	if m.direct {
+		for _, tl := range m.tools {
+			tl.KernelRead(t, a)
+		}
+		return
+	}
+	n := m.batchLen
+	m.batch[n&(memBatchCap-1)] = KernelReadEvent(a)
+	m.batchLen = n + 1
+	if n-1 >= memBatchCap-2 {
+		m.bufferMemEdge()
 	}
 }
 
 func (m *Machine) emitKernelWrite(t ThreadID, a Addr) {
 	m.ops++
-	for _, tl := range m.tools {
-		tl.KernelWrite(t, a)
+	if m.direct {
+		for _, tl := range m.tools {
+			tl.KernelWrite(t, a)
+		}
+		return
+	}
+	n := m.batchLen
+	m.batch[n&(memBatchCap-1)] = KernelWriteEvent(a)
+	m.batchLen = n + 1
+	if n-1 >= memBatchCap-2 {
+		m.bufferMemEdge()
 	}
 }
 
 func (m *Machine) emitSwitch(from, to ThreadID) {
 	m.ops++
+	m.flushMem()
 	for _, tl := range m.tools {
 		tl.SwitchThread(from, to)
 	}
@@ -166,6 +341,7 @@ func (m *Machine) emitSwitch(from, to ThreadID) {
 
 func (m *Machine) emitThreadStart(t, parent ThreadID) {
 	m.ops++
+	m.flushMem()
 	for _, tl := range m.tools {
 		tl.ThreadStart(t, parent)
 	}
@@ -173,6 +349,7 @@ func (m *Machine) emitThreadStart(t, parent ThreadID) {
 
 func (m *Machine) emitThreadExit(t ThreadID) {
 	m.ops++
+	m.flushMem()
 	for _, tl := range m.tools {
 		tl.ThreadExit(t)
 	}
@@ -180,6 +357,7 @@ func (m *Machine) emitThreadExit(t ThreadID) {
 
 func (m *Machine) emitSync(t ThreadID, kind SyncKind, s SyncID) {
 	m.ops++
+	m.flushMem()
 	for _, tl := range m.tools {
 		tl.Sync(t, kind, s)
 	}
@@ -187,6 +365,7 @@ func (m *Machine) emitSync(t ThreadID, kind SyncKind, s SyncID) {
 
 func (m *Machine) emitAlloc(t ThreadID, base Addr, n int) {
 	m.ops++
+	m.flushMem()
 	for _, tl := range m.tools {
 		tl.Alloc(t, base, n)
 	}
@@ -194,6 +373,7 @@ func (m *Machine) emitAlloc(t ThreadID, base Addr, n int) {
 
 func (m *Machine) emitFree(t ThreadID, base Addr, n int) {
 	m.ops++
+	m.flushMem()
 	for _, tl := range m.tools {
 		tl.Free(t, base, n)
 	}

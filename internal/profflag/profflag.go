@@ -1,0 +1,73 @@
+// Package profflag provides the standard -cpuprofile/-memprofile flags for
+// the repository's command-line tools, so any run of the recorder, the
+// replayer, or the experiment driver can be inspected with go tool pprof.
+package profflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling destinations parsed from a flag set.
+type Flags struct {
+	cpu string
+	mem string
+
+	cpuFile *os.File
+}
+
+// Register adds -cpuprofile and -memprofile to fs and returns the handle
+// that starts and stops collection.
+func Register(fs *flag.FlagSet) *Flags {
+	p := &Flags{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to `file`")
+	return p
+}
+
+// Start begins CPU profiling if -cpuprofile was given. It must be called
+// after the flag set is parsed.
+func (p *Flags) Start() error {
+	if p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and, if -memprofile was given, writes a
+// heap profile after a final garbage collection. It is safe to call even if
+// Start failed or profiling was not requested.
+func (p *Flags) Stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.mem == "" {
+		return nil
+	}
+	f, err := os.Create(p.mem)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

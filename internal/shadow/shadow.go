@@ -11,6 +11,7 @@ package shadow
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/guest"
 )
@@ -41,6 +42,11 @@ type Table[T comparable] struct {
 
 	secondaries int
 	chunks      int
+	// allocated records every chunk handed out by chunkFor together with
+	// its index slot, so Release can recycle chunks and secondaries without
+	// scanning the index tables.
+	allocated []chunkLoc[T]
+	secList   []*secondary[T]
 
 	// lastChunk caches the most recently touched chunk for the sequential
 	// access patterns that dominate guest programs.
@@ -50,6 +56,12 @@ type Table[T comparable] struct {
 
 type secondary[T comparable] struct {
 	chunks [secSize]*chunk[T]
+}
+
+// chunkLoc remembers where an allocated chunk is indexed, for Release.
+type chunkLoc[T comparable] struct {
+	sec *secondary[T]
+	si  uint32
 }
 
 type chunk[T comparable] struct {
@@ -69,6 +81,93 @@ func (t *Table[T]) index(a guest.Addr) (pi, si, off uint64) {
 	return u >> (ChunkBits + secBits), (u >> ChunkBits) & (secSize - 1), u & (ChunkSize - 1)
 }
 
+// chunkPool32 and chunkPool64 recycle chunk slabs of the two hot element
+// widths across tables, and secPool32/secPool64 recycle the secondary index
+// tables (16 K pointer slots each — expensive both to allocate and for the
+// garbage collector to scan). Per-thread shadow memories live only as long
+// as their thread, so without recycling every thread of every run allocates
+// (and garbage-collects) tens of 64 KB slabs; the pools turn that into a
+// Get plus a memclr. Slabs of other element types are simply not pooled.
+var (
+	chunkPool32 sync.Pool
+	chunkPool64 sync.Pool
+	secPool32   sync.Pool
+	secPool64   sync.Pool
+)
+
+// newChunk returns a zeroed chunk, recycling a pooled slab when one is
+// available for the element type.
+func newChunk[T comparable]() *chunk[T] {
+	var z T
+	switch any(z).(type) {
+	case uint32:
+		if v := chunkPool32.Get(); v != nil {
+			ch := v.(*chunk[uint32])
+			clear(ch.vals[:])
+			return any(ch).(*chunk[T])
+		}
+	case uint64:
+		if v := chunkPool64.Get(); v != nil {
+			ch := v.(*chunk[uint64])
+			clear(ch.vals[:])
+			return any(ch).(*chunk[T])
+		}
+	}
+	return new(chunk[T])
+}
+
+// newSecondary returns an all-nil secondary index table, recycling a pooled
+// one when available (Release returns secondaries with every slot nil-ed).
+func newSecondary[T comparable]() *secondary[T] {
+	var z T
+	switch any(z).(type) {
+	case uint32:
+		if v := secPool32.Get(); v != nil {
+			return any(v.(*secondary[uint32])).(*secondary[T])
+		}
+	case uint64:
+		if v := secPool64.Get(); v != nil {
+			return any(v.(*secondary[uint64])).(*secondary[T])
+		}
+	}
+	return new(secondary[T])
+}
+
+// Release returns every chunk slab to the recycling pool and detaches the
+// table's index so a stray later access cannot reach a recycled slab. The
+// chunk and secondary counters are preserved so footprint accounting
+// (FootprintBytes, IndexBytes) remains valid on a released table.
+func (t *Table[T]) Release() {
+	var z T
+	for _, loc := range t.allocated {
+		ch := loc.sec.chunks[loc.si]
+		loc.sec.chunks[loc.si] = nil
+		switch any(z).(type) {
+		case uint32:
+			chunkPool32.Put(any(ch).(*chunk[uint32]))
+		case uint64:
+			chunkPool64.Put(any(ch).(*chunk[uint64]))
+		}
+	}
+	t.allocated = nil
+	// Every chunk slot was just nil-ed, so the secondaries go back to the
+	// pool empty.
+	for _, sec := range t.secList {
+		switch any(z).(type) {
+		case uint32:
+			secPool32.Put(any(sec).(*secondary[uint32]))
+		case uint64:
+			secPool64.Put(any(sec).(*secondary[uint64]))
+		}
+	}
+	t.secList = nil
+	for pi := 0; pi < priSize; pi++ {
+		t.primary[pi] = nil
+	}
+	t.lastBase = ^uint64(0)
+	t.lastChunk = nil
+}
+
 // chunkFor returns the chunk shadowing a, allocating it if needed.
 func (t *Table[T]) chunkFor(a guest.Addr) *chunk[T] {
 	base := uint64(a) >> ChunkBits
@@ -78,15 +177,17 @@ func (t *Table[T]) chunkFor(a guest.Addr) *chunk[T] {
 	pi, si, _ := t.index(a)
 	sec := t.primary[pi]
 	if sec == nil {
-		sec = new(secondary[T])
+		sec = newSecondary[T]()
 		t.primary[pi] = sec
 		t.secondaries++
+		t.secList = append(t.secList, sec)
 	}
 	ch := sec.chunks[si]
 	if ch == nil {
-		ch = new(chunk[T])
+		ch = newChunk[T]()
 		sec.chunks[si] = ch
 		t.chunks++
+		t.allocated = append(t.allocated, chunkLoc[T]{sec: sec, si: uint32(si)})
 	}
 	t.lastBase = base
 	t.lastChunk = ch
@@ -130,6 +231,77 @@ func (t *Table[T]) Peek(a guest.Addr) T {
 	}
 	t.lastBase = base
 	t.lastChunk = ch
+	return ch.vals[off]
+}
+
+// Cursor is a one-chunk window into a Table for batch loops. It caches the
+// chunk of the most recently resolved address in a struct small enough for
+// the fast paths to inline, so runs of nearby addresses cost one shift, one
+// compare and one array index instead of a table walk per access. A cursor
+// is only valid while the table's chunks cannot move: it must not be held
+// across a Release, and it observes in-place value rewrites (renumbering)
+// transparently.
+type Cursor[T comparable] struct {
+	t    *Table[T]
+	base guest.Addr // a >> ChunkBits of the cached chunk
+	vals *[ChunkSize]T
+}
+
+// Cursor returns a cursor over t, initially positioned nowhere.
+func (t *Table[T]) Cursor() Cursor[T] {
+	return Cursor[T]{t: t, base: ^guest.Addr(0)}
+}
+
+// Chunk returns the chunk values covering a, allocating shadow space on
+// first touch. The caller indexes the array with a&(ChunkSize-1); keeping
+// the index expression at the call site keeps this accessor well inside the
+// inlining budget, which is the point of the cursor.
+func (c *Cursor[T]) Chunk(a guest.Addr) *[ChunkSize]T {
+	if a>>ChunkBits == c.base {
+		return c.vals
+	}
+	return c.chunkSlow(a)
+}
+
+func (c *Cursor[T]) chunkSlow(a guest.Addr) *[ChunkSize]T {
+	ch := c.t.chunkFor(a)
+	c.base = a >> ChunkBits
+	c.vals = &ch.vals
+	return &ch.vals
+}
+
+// Slot returns a pointer to the shadow cell for a, allocating shadow space
+// on first touch.
+func (c *Cursor[T]) Slot(a guest.Addr) *T {
+	return &c.Chunk(a)[a&(ChunkSize-1)]
+}
+
+// Peek returns the shadow cell for a without allocating: untouched addresses
+// yield the zero value.
+func (c *Cursor[T]) Peek(a guest.Addr) T {
+	if a>>ChunkBits == c.base {
+		return c.vals[a&(ChunkSize-1)]
+	}
+	return c.peekSlow(a)
+}
+
+// peekSlow resolves a cache miss. Only existing chunks are cached: a missing
+// chunk must not be remembered as absent, because a later write through the
+// same or another cursor may allocate it.
+func (c *Cursor[T]) peekSlow(a guest.Addr) T {
+	pi, si, off := c.t.index(a)
+	sec := c.t.primary[pi]
+	if sec == nil {
+		var zero T
+		return zero
+	}
+	ch := sec.chunks[si]
+	if ch == nil {
+		var zero T
+		return zero
+	}
+	c.base = a >> ChunkBits
+	c.vals = &ch.vals
 	return ch.vals[off]
 }
 

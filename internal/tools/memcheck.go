@@ -94,6 +94,18 @@ func (mc *Memcheck) Write(t guest.ThreadID, a guest.Addr) {
 	}
 }
 
+// MemBatch implements guest.MemEventSink: the per-event state-machine logic
+// runs over the whole batch without per-event dispatch.
+func (mc *Memcheck) MemBatch(t guest.ThreadID, _ uint64, events []guest.MemEvent) {
+	for _, e := range events {
+		if e.IsWrite() {
+			mc.Write(t, e.Addr())
+		} else {
+			mc.Read(t, e.Addr())
+		}
+	}
+}
+
 // KernelRead implements guest.Tool: the kernel reads the buffer like the
 // thread would.
 func (mc *Memcheck) KernelRead(t guest.ThreadID, a guest.Addr) { mc.Read(t, a) }

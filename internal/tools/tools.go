@@ -29,6 +29,19 @@ func (n *Nulgrind) Read(guest.ThreadID, guest.Addr) { n.events++ }
 // Write implements guest.Tool.
 func (n *Nulgrind) Write(guest.ThreadID, guest.Addr) { n.events++ }
 
+// MemBatch implements guest.MemEventSink: batched dispatch costs one call
+// per batch instead of one per event. Kernel-mediated accesses are skipped,
+// matching the per-event path where KernelRead/KernelWrite are no-ops.
+func (n *Nulgrind) MemBatch(_ guest.ThreadID, _ uint64, events []guest.MemEvent) {
+	c := uint64(0)
+	for _, e := range events {
+		if !e.IsKernel() {
+			c++
+		}
+	}
+	n.events += c
+}
+
 // Call implements guest.Tool.
 func (n *Nulgrind) Call(guest.ThreadID, guest.RoutineID, uint64) { n.events++ }
 

@@ -147,6 +147,10 @@ func (w *worker[C]) read(a guest.Addr, wts uint64, writer uint32) {
 
 	if len(w.stack) > 0 {
 		top := &w.stack[len(w.stack)-1]
+		// The trms and rms branches share at most one ancestor search;
+		// notSearched marks it as not yet computed.
+		const notSearched = -2
+		j := notSearched
 
 		if old < wts && w.inducedEnabled(writer) {
 			// Induced first-access: new input for the topmost activation
@@ -163,7 +167,8 @@ func (w *worker[C]) read(a guest.Addr, wts uint64, writer uint32) {
 			top.trms++
 		} else if old < top.ts {
 			top.trms++
-			if j := findFrame(w.stack, old); j >= 0 {
+			j = findFrame(w.stack, old)
+			if j >= 0 {
 				w.stack[j].trms--
 			}
 		}
@@ -172,7 +177,10 @@ func (w *worker[C]) read(a guest.Addr, wts uint64, writer uint32) {
 			top.rms++
 		} else if old < top.ts {
 			top.rms++
-			if j := findFrame(w.stack, old); j >= 0 {
+			if j == notSearched {
+				j = findFrame(w.stack, old)
+			}
+			if j >= 0 {
 				w.stack[j].rms--
 			}
 		}

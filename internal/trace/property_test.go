@@ -237,6 +237,62 @@ func TestQuickPipelineWorkersISPL(t *testing.T) {
 	}
 }
 
+// TestQuickBatchedDispatchISPL: for randomized ISPL programs, running the
+// machine with batched memory-event dispatch produces a recorded trace and a
+// profile export byte-identical to per-event dispatch. The recorder is a
+// batch-capable tool and the naive comparison profiler is not, so one run
+// exercises both the MemBatch fast path and the legacy replay shim.
+func TestQuickBatchedDispatchISPL(t *testing.T) {
+	f := func(rawSize, rawWorkers, rawDepth, rawSlice uint8, useLock, useIO bool) bool {
+		size := 8 + int(rawSize)%56
+		nworkers := 2 + int(rawWorkers)%3
+		depth := int(rawDepth) % 4
+		src := genISPL(size, nworkers, depth, useLock, useIO)
+		timeslice := 3 + int(rawSlice)%9
+
+		run := func(unbatched bool) ([]byte, []byte) {
+			prof := core.New(core.Options{})
+			rec := trace.NewRecorder()
+			cfg := guest.Config{
+				Timeslice: timeslice,
+				Tools:     []guest.Tool{prof, rec},
+				Unbatched: unbatched,
+			}
+			if _, _, err := ispl.RunSource(src, cfg); err != nil {
+				t.Logf("generated program failed: %v\n%s", err, src)
+				return nil, nil
+			}
+			export, err := prof.Profile().Export()
+			if err != nil {
+				return nil, nil
+			}
+			var buf bytes.Buffer
+			if err := rec.Trace().Encode(&buf); err != nil {
+				return nil, nil
+			}
+			return export, buf.Bytes()
+		}
+
+		wantProfile, wantTrace := run(true)
+		gotProfile, gotTrace := run(false)
+		if wantProfile == nil || gotProfile == nil {
+			return false
+		}
+		if !bytes.Equal(wantProfile, gotProfile) {
+			t.Logf("batched profile diverges on:\n%s", src)
+			return false
+		}
+		if !bytes.Equal(wantTrace, gotTrace) {
+			t.Logf("batched recorded trace diverges on:\n%s", src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestQuickCombineSplitRoundTrip: splitting an arbitrary trace's threads
 // into shards and combining them back preserves the merged event stream,
 // while any shard with a mismatched header version is rejected with the

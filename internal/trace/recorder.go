@@ -58,6 +58,38 @@ func (r *Recorder) Read(t guest.ThreadID, a guest.Addr) { r.add(t, KindRead, uin
 // Write implements guest.Tool.
 func (r *Recorder) Write(t guest.ThreadID, a guest.Addr) { r.add(t, KindWrite, uint64(a), 0) }
 
+// MemBatch implements guest.MemEventSink: a whole batch of memory accesses
+// is appended in one call, each event timestamped startTS+i per the batch
+// contract, so batched recording produces byte-identical traces to per-event
+// recording.
+func (r *Recorder) MemBatch(t guest.ThreadID, startTS uint64, events []guest.MemEvent) {
+	tt := r.perTh[t]
+	if tt == nil {
+		tt = &ThreadTrace{ID: t}
+		r.perTh[t] = tt
+		r.order = append(r.order, t)
+	}
+	for i, e := range events {
+		var k Kind
+		switch {
+		case e.IsKernel() && e.IsWrite():
+			k = KindKernelWrite
+		case e.IsKernel():
+			k = KindKernelRead
+		case e.IsWrite():
+			k = KindWrite
+		default:
+			k = KindRead
+		}
+		tt.Events = append(tt.Events, Event{
+			TS:     startTS + uint64(i),
+			Thread: t,
+			Kind:   k,
+			Arg:    uint64(e.Addr()),
+		})
+	}
+}
+
 // KernelRead implements guest.Tool.
 func (r *Recorder) KernelRead(t guest.ThreadID, a guest.Addr) {
 	r.add(t, KindKernelRead, uint64(a), 0)

@@ -31,6 +31,10 @@ type Params struct {
 	Seed int64
 	// Timeslice overrides the scheduler quantum (zero: machine default).
 	Timeslice int
+	// Unbatched disables the machine's batched memory-event dispatch
+	// (guest.Config.Unbatched); used by the differential tests and the
+	// inline-overhead benchmarks.
+	Unbatched bool
 }
 
 func (p Params) withDefaults(s Spec) Params {
@@ -102,7 +106,7 @@ func Suite(suite string) []Spec {
 // Run executes the workload on a fresh machine with the given tools.
 func Run(s Spec, p Params, tools ...guest.Tool) (*guest.Machine, error) {
 	p = p.withDefaults(s)
-	m := guest.NewMachine(guest.Config{Timeslice: p.Timeslice, Tools: tools})
+	m := guest.NewMachine(guest.Config{Timeslice: p.Timeslice, Tools: tools, Unbatched: p.Unbatched})
 	body := s.Build(m, p)
 	return m, m.Run(func(th *guest.Thread) {
 		body(th)
