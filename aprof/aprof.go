@@ -44,6 +44,7 @@
 package aprof
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -125,10 +126,19 @@ type (
 type (
 	// TraceRecorder records executions for offline analysis (a Tool).
 	TraceRecorder = trace.Recorder
+	// StreamTraceRecorder records straight to an io.Writer in checksummed
+	// segments, so a killed run leaves a partially recoverable file (a Tool).
+	StreamTraceRecorder = trace.StreamRecorder
 	// Trace is a recorded execution.
 	Trace = trace.Trace
 	// TraceEvent is one trace operation.
 	TraceEvent = trace.Event
+	// TraceRecoveryReport describes what RecoverTrace salvaged from a
+	// damaged trace and what it dropped, block by block.
+	TraceRecoveryReport = trace.RecoveryReport
+	// TraceVerifyReport is the per-block result of a VerifyTrace checksum
+	// walk.
+	TraceVerifyReport = trace.VerifyReport
 )
 
 // Comparison tools.
@@ -242,11 +252,53 @@ func AnalyzeTrace(tr *Trace, tieSeed int64, workers int, opts Options) (*Profile
 	return pipeline.Analyze(tr, pipeline.Options{TieSeed: tieSeed, Workers: workers, Profile: opts})
 }
 
-// EncodeTrace and DecodeTrace serialize traces in the binary trace format.
-func EncodeTrace(tr *Trace, w io.Writer) error { return tr.Encode(w) }
+// AnalyzeTraceContext is AnalyzeTrace with cancellation and an optional
+// guard: the analysis observes ctx and stops promptly when it is canceled,
+// and when maxEvents is positive, traces with more events are rejected
+// before any analysis allocation happens.
+func AnalyzeTraceContext(ctx context.Context, tr *Trace, tieSeed int64, workers, maxEvents int, opts Options) (*Profile, error) {
+	return pipeline.AnalyzeContext(ctx, tr, pipeline.Options{
+		TieSeed: tieSeed, Workers: workers, MaxEvents: maxEvents, Profile: opts,
+	})
+}
 
-// DecodeTrace reads a binary trace.
+// EncodeTrace and DecodeTrace serialize traces in the binary trace format
+// (the segmented, checksummed v2 format; see docs/TRACE_FORMAT.md).
+// EncodeTrace returns the number of bytes written.
+func EncodeTrace(tr *Trace, w io.Writer) (int64, error) { return tr.Encode(w) }
+
+// DecodeTrace reads a binary trace, strictly: every checksum must verify and
+// the footer must be present. Use RecoverTrace for damaged files.
 func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
+
+// RecoverTrace salvages the intact segments of a damaged trace and reports
+// exactly what was dropped and why; see trace.Recover.
+func RecoverTrace(r io.Reader) (*Trace, *TraceRecoveryReport, error) { return trace.Recover(r) }
+
+// VerifyTrace walks a trace's blocks checking every checksum and returns
+// per-block diagnostics; see trace.Verify.
+func VerifyTrace(r io.Reader) (*TraceVerifyReport, error) { return trace.Verify(r) }
+
+// WriteTraceFile encodes the trace to path atomically (temp file + rename)
+// and returns the number of bytes written.
+func WriteTraceFile(path string, tr *Trace) (int64, error) { return trace.WriteFile(path, tr) }
+
+// ReadTraceFile strictly decodes the trace stored at path.
+func ReadTraceFile(path string) (*Trace, error) { return trace.ReadFile(path) }
+
+// RecoverTraceFile salvages what it can from the trace stored at path.
+func RecoverTraceFile(path string) (*Trace, *TraceRecoveryReport, error) {
+	return trace.RecoverFile(path)
+}
+
+// VerifyTraceFile runs a checksum walk over the trace stored at path.
+func VerifyTraceFile(path string) (*TraceVerifyReport, error) { return trace.VerifyFile(path) }
+
+// NewStreamRecorder returns a recorder that streams checksummed segments to w
+// as the run progresses, bounding data loss on a crash to the unflushed
+// segment tails. Close (or the machine's end-of-run Finish) completes the
+// file with a footer.
+func NewStreamRecorder(w io.Writer) *StreamTraceRecorder { return trace.NewStreamRecorder(w) }
 
 // WorstCasePlot extracts a routine's worst-case running time plot from its
 // input-size histogram (Activations.ByTRMS or ByRMS).

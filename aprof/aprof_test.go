@@ -118,7 +118,7 @@ func TestTraceRoundTripViaFacade(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := aprof.EncodeTrace(rec.Trace(), &buf); err != nil {
+	if _, err := aprof.EncodeTrace(rec.Trace(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := aprof.DecodeTrace(&buf)

@@ -1,21 +1,31 @@
-// Command aprof-trace records, inspects and replays execution traces.
+// Command aprof-trace records, inspects, verifies and replays execution
+// traces.
 //
 // Usage:
 //
-//	aprof-trace record -workload mysqld -o run.trace [-threads 8 -size 12]
+//	aprof-trace record -workload mysqld -o run.trace [-threads 8 -size 12 -stream]
 //	aprof-trace info run.trace
 //	aprof-trace dump run.trace [-limit 50]
+//	aprof-trace verify run.trace
 //	aprof-trace replay run.trace [-tieseed 7]
-//	aprof-trace analyze run.trace [-workers 4 -tieseed 7]
+//	aprof-trace analyze run.trace [-workers 4 -tieseed 7 -recover -max-events N -timeout 30s]
 //	aprof-trace stats run.trace
 //
 // replay and analyze compute the same profile; replay drives the inline
 // profiler through the merged event stream sequentially, while analyze uses
 // the parallel pipeline (pre-scan, per-thread shadow analysis on -workers
 // goroutines, deterministic merge).
+//
+// record writes the trace atomically (temp file + rename); with -stream it
+// instead streams checksummed segments straight to the target file as the
+// run progresses, so even a killed recording leaves salvageable data.
+// verify walks a trace's checksums and exits non-zero if any block is
+// damaged; analyze -recover salvages what it can from a damaged trace
+// before profiling it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +49,8 @@ func main() {
 		err = info(os.Args[2:])
 	case "dump":
 		err = dump(os.Args[2:])
+	case "verify":
+		err = verify(os.Args[2:])
 	case "replay":
 		err = replay(os.Args[2:])
 	case "analyze":
@@ -55,7 +67,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aprof-trace record|info|dump|replay|analyze|stats ...")
+	fmt.Fprintln(os.Stderr, "usage: aprof-trace record|info|dump|verify|replay|analyze|stats ...")
 	os.Exit(2)
 }
 
@@ -66,6 +78,7 @@ func record(args []string) error {
 	threads := fs.Int("threads", 0, "worker threads")
 	size := fs.Int("size", 0, "problem size")
 	seed := fs.Int64("seed", 0, "workload seed")
+	stream := fs.Bool("stream", false, "stream checksummed segments to the file during the run (crash-safe)")
 	prof := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,20 +89,98 @@ func record(args []string) error {
 	if err := prof.Start(); err != nil {
 		return err
 	}
-	rec := aprof.NewRecorder()
-	if _, err := aprof.RunWorkload(*workload, aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed}, rec); err != nil {
-		return err
+	params := aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed}
+	events := 0
+	if *stream {
+		// Crash-safe path: segments hit the file as they complete, so a
+		// killed run still leaves recoverable data at the target path.
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		rec := aprof.NewStreamRecorder(f)
+		if _, err := aprof.RunWorkload(*workload, params, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := rec.Close(); err != nil {
+			f.Close()
+			return fmt.Errorf("record: writing %s: %w", *out, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		tr, err := aprof.ReadTraceFile(*out)
+		if err != nil {
+			return fmt.Errorf("record: re-reading %s: %w", *out, err)
+		}
+		events = tr.NumEvents()
+	} else {
+		// Default path: record in memory, then write atomically so the
+		// target never holds a half-written trace.
+		rec := aprof.NewRecorder()
+		if _, err := aprof.RunWorkload(*workload, params, rec); err != nil {
+			return err
+		}
+		if _, err := aprof.WriteTraceFile(*out, rec.Trace()); err != nil {
+			return err
+		}
+		events = rec.Trace().NumEvents()
 	}
-	f, err := os.Create(*out)
+	fmt.Printf("recorded %d events from %s to %s\n", events, *workload, *out)
+	return prof.Stop()
+}
+
+// verify walks the trace's blocks, reports per-block diagnostics, and exits
+// non-zero if any checksum fails, the footer is missing, or the file is
+// truncated.
+func verify(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("verify: trace file required")
+	}
+	path := args[0]
+	vr, err := aprof.VerifyTraceFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := aprof.EncodeTrace(rec.Trace(), f); err != nil {
-		return err
+	if vr.Version == 1 {
+		if vr.StrictErr != nil {
+			return fmt.Errorf("verify: %s: legacy v1 trace failed to decode: %w", path, vr.StrictErr)
+		}
+		fmt.Printf("%s: legacy v1 trace, %d events in %d threads (no per-segment checksums)\n",
+			path, vr.Events, vr.Threads)
+		return nil
 	}
-	fmt.Printf("recorded %d events from %s to %s\n", rec.Trace().NumEvents(), *workload, *out)
-	return prof.Stop()
+	var rows [][]string
+	for _, blk := range vr.Blocks {
+		status := "ok"
+		if blk.Err != nil {
+			status = blk.Err.Error()
+		}
+		detail := ""
+		switch {
+		case blk.HasThread:
+			detail = fmt.Sprintf("thread %d, %d events", blk.Thread, blk.Events)
+		case blk.Names > 0:
+			detail = fmt.Sprintf("%d names", blk.Names)
+		}
+		rows = append(rows, []string{fmt.Sprint(blk.Offset), string(blk.Kind),
+			fmt.Sprint(blk.PayloadLen), detail, status})
+	}
+	report.Table(os.Stdout, []string{"offset", "kind", "payload", "contents", "status"}, rows)
+	fmt.Printf("\n%s: %d events in %d segments across %d threads\n", path, vr.Events, vr.Segments, vr.Threads)
+	if vr.OK() {
+		fmt.Println("all checksums verify; footer present")
+		return nil
+	}
+	switch {
+	case vr.Bad > 0 && vr.Truncated:
+		return fmt.Errorf("verify: %s: %d corrupt block(s) and truncated", path, vr.Bad)
+	case vr.Bad > 0:
+		return fmt.Errorf("verify: %s: %d corrupt block(s)", path, vr.Bad)
+	default:
+		return fmt.Errorf("verify: %s: truncated (no valid footer)", path)
+	}
 }
 
 func load(path string) (*aprof.Trace, error) {
@@ -202,12 +293,16 @@ func replay(args []string) error {
 }
 
 // analyze computes the trace's profile with the parallel pipeline; the
-// output is identical to replay's.
+// output is identical to replay's. With -recover, a damaged trace is first
+// salvaged and the recovery summary printed before profiling what survived.
 func analyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	tieSeed := fs.Int64("tieseed", 0, "tie-breaking seed for the merge")
 	workers := fs.Int("workers", 0, "analysis goroutines (0: GOMAXPROCS)")
 	top := fs.Int("top", 15, "routines to show")
+	rescue := fs.Bool("recover", false, "salvage intact segments from a damaged trace instead of failing")
+	maxEvents := fs.Int("max-events", 0, "refuse traces with more events (0: unlimited)")
+	timeout := fs.Duration("timeout", 0, "abort the analysis after this long (0: no limit)")
 	prof := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -215,14 +310,33 @@ func analyze(args []string) error {
 	if fs.NArg() < 1 {
 		return fmt.Errorf("analyze: trace file required")
 	}
-	tr, err := load(fs.Arg(0))
-	if err != nil {
-		return err
+	var tr *aprof.Trace
+	var err error
+	if *rescue {
+		var rep *aprof.TraceRecoveryReport
+		tr, rep, err = aprof.RecoverTraceFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if !rep.Complete() {
+			fmt.Fprintln(os.Stderr, rep)
+		}
+	} else {
+		tr, err = load(fs.Arg(0))
+		if err != nil {
+			return err
+		}
 	}
 	if err := prof.Start(); err != nil {
 		return err
 	}
-	p, err := aprof.AnalyzeTrace(tr, *tieSeed, *workers, aprof.Options{})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	p, err := aprof.AnalyzeTraceContext(ctx, tr, *tieSeed, *workers, *maxEvents, aprof.Options{})
 	if err != nil {
 		return err
 	}

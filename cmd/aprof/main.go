@@ -133,12 +133,7 @@ func run(workload, tool string, params aprof.WorkloadParams, o runOpts) error {
 		workload, m.NumThreads(), m.BBTotal(), m.Ops())
 
 	if rec != nil {
-		f, err := os.Create(o.record)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := aprof.EncodeTrace(rec.Trace(), f); err != nil {
+		if _, err := aprof.WriteTraceFile(o.record, rec.Trace()); err != nil {
 			return err
 		}
 		fmt.Printf("trace: %d events written to %s\n\n", rec.Trace().NumEvents(), o.record)

@@ -92,7 +92,7 @@ func validateStructural(w io.Writer, cases []*validationCase) error {
 	fmt.Fprintf(w, "|---|---|---:|---:|---:|---|---|\n")
 	for _, c := range cases {
 		var buf bytes.Buffer
-		if err := c.tr.Encode(&buf); err != nil {
+		if _, err := c.tr.Encode(&buf); err != nil {
 			return fmt.Errorf("validation: encoding %s: %w", c.name, err)
 		}
 		size := buf.Len()

@@ -1,0 +1,194 @@
+// Package faultinject provides deterministic, seedable I/O fault injection
+// for the trace-robustness tests: writers that fail or truncate mid-stream,
+// readers that corrupt or cut short the bytes they deliver, and error-budget
+// injectors that decide *when* a fault fires. Every fault source is driven
+// by an explicit seed or trigger point, so a failing test case reproduces
+// from its logged parameters alone.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// ErrInjected is the error surfaced by injected write/read failures. Wrap
+// checks (errors.Is) identify an injected fault versus a genuine I/O error.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Injector decides when a fault fires. Tick is called once per guarded
+// operation and returns nil until the injector's policy says the operation
+// fails.
+type Injector interface {
+	Tick() error
+}
+
+// After returns an Injector whose n+1st Tick (zero-based: the Tick with
+// index n) and every later one fail. After(0) fails immediately.
+func After(n int) Injector { return &afterInjector{remaining: n} }
+
+type afterInjector struct{ remaining int }
+
+func (a *afterInjector) Tick() error {
+	if a.remaining <= 0 {
+		return fmt.Errorf("%w (budget exhausted)", ErrInjected)
+	}
+	a.remaining--
+	return nil
+}
+
+// Random returns an Injector that fails each Tick independently with
+// probability p, using a deterministic source seeded with seed.
+func Random(seed int64, p float64) Injector {
+	return &randomInjector{rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+type randomInjector struct {
+	rng *rand.Rand
+	p   float64
+}
+
+func (r *randomInjector) Tick() error {
+	if r.rng.Float64() < r.p {
+		return fmt.Errorf("%w (random draw)", ErrInjected)
+	}
+	return nil
+}
+
+// FailingWriter wraps w so that once inj fires, the write in progress and
+// all later writes fail with the injector's error. One Tick is charged per
+// Write call.
+func FailingWriter(w io.Writer, inj Injector) io.Writer {
+	return &failingWriter{w: w, inj: inj}
+}
+
+type failingWriter struct {
+	w   io.Writer
+	inj Injector
+	err error
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.err == nil {
+		f.err = f.inj.Tick()
+	}
+	if f.err != nil {
+		return 0, f.err
+	}
+	return f.w.Write(p)
+}
+
+// FailingReader wraps r so that once inj fires, the read in progress and all
+// later reads fail. One Tick is charged per Read call.
+func FailingReader(r io.Reader, inj Injector) io.Reader {
+	return &failingReader{r: r, inj: inj}
+}
+
+type failingReader struct {
+	r   io.Reader
+	inj Injector
+	err error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.err == nil {
+		f.err = f.inj.Tick()
+	}
+	if f.err != nil {
+		return 0, f.err
+	}
+	return f.r.Read(p)
+}
+
+// ShortWriter wraps w so that exactly limit bytes pass through; the write
+// that crosses the limit is cut short and returns io.ErrShortWrite, and
+// later writes fail the same way. It models a disk-full or killed process
+// leaving a byte-exact prefix of the intended stream.
+func ShortWriter(w io.Writer, limit int64) io.Writer {
+	return &shortWriter{w: w, remaining: limit}
+}
+
+type shortWriter struct {
+	w         io.Writer
+	remaining int64
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if s.remaining <= 0 {
+		return 0, io.ErrShortWrite
+	}
+	if int64(len(p)) <= s.remaining {
+		n, err := s.w.Write(p)
+		s.remaining -= int64(n)
+		return n, err
+	}
+	n, err := s.w.Write(p[:s.remaining])
+	s.remaining -= int64(n)
+	if err == nil {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
+
+// TruncateReader delivers at most limit bytes of r and then reports a clean
+// io.EOF, modeling a file truncated at an arbitrary byte offset.
+func TruncateReader(r io.Reader, limit int64) io.Reader {
+	return io.LimitReader(r, limit)
+}
+
+// FlipBits returns a copy of data with k distinct bit positions flipped,
+// chosen by a deterministic source seeded with seed. It never flips bits in
+// the first skip bytes (use skip to protect a file prelude so corruption
+// tests exercise recovery rather than format detection). If fewer than k
+// bit positions are available, every one of them is flipped.
+func FlipBits(data []byte, seed int64, k, skip int) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if skip < 0 {
+		skip = 0
+	}
+	nbits := (len(out) - skip) * 8
+	if nbits <= 0 || k <= 0 {
+		return out
+	}
+	if k > nbits {
+		k = nbits
+	}
+	rng := rand.New(rand.NewSource(seed))
+	flipped := make(map[int]bool, k)
+	for len(flipped) < k {
+		pos := rng.Intn(nbits)
+		if flipped[pos] {
+			continue
+		}
+		flipped[pos] = true
+		out[skip+pos/8] ^= 1 << (pos % 8)
+	}
+	return out
+}
+
+// BitFlipReader wraps r so that each delivered byte is independently
+// corrupted with probability p, using a deterministic source seeded with
+// seed. The corruption stream advances one draw per byte of payload, so the
+// same seed yields the same corrupted stream regardless of how reads are
+// chunked.
+func BitFlipReader(r io.Reader, seed int64, p float64) io.Reader {
+	return &bitFlipReader{r: r, rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+type bitFlipReader struct {
+	r   io.Reader
+	rng *rand.Rand
+	p   float64
+}
+
+func (b *bitFlipReader) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	for i := 0; i < n; i++ {
+		if b.rng.Float64() < b.p {
+			p[i] ^= 1 << b.rng.Intn(8)
+		}
+	}
+	return n, err
+}

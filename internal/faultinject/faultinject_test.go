@@ -1,0 +1,164 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestAfterInjector(t *testing.T) {
+	inj := After(2)
+	if err := inj.Tick(); err != nil {
+		t.Fatalf("tick 0: %v", err)
+	}
+	if err := inj.Tick(); err != nil {
+		t.Fatalf("tick 1: %v", err)
+	}
+	if err := inj.Tick(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tick 2 = %v, want ErrInjected", err)
+	}
+	if err := inj.Tick(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tick 3 = %v, want ErrInjected (sticky)", err)
+	}
+	if err := After(0).Tick(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("After(0) first tick = %v, want ErrInjected", err)
+	}
+}
+
+func TestRandomInjectorDeterministic(t *testing.T) {
+	draw := func() []bool {
+		inj := Random(42, 0.3)
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = inj.Tick() != nil
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across same-seed injectors", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Random(42, 0.3) fired %d/%d times; want a nontrivial mix", fired, len(a))
+	}
+}
+
+func TestFailingWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := FailingWriter(&buf, After(2))
+	for i := 0; i < 2; i++ {
+		if _, err := w.Write([]byte("ab")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := w.Write([]byte("cd")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write = %v, want ErrInjected", err)
+	}
+	if got := buf.String(); got != "abab" {
+		t.Fatalf("underlying writer saw %q, want \"abab\"", got)
+	}
+}
+
+func TestFailingReader(t *testing.T) {
+	r := FailingReader(strings.NewReader("abcdef"), After(1))
+	p := make([]byte, 3)
+	if n, err := r.Read(p); err != nil || n != 3 {
+		t.Fatalf("first read = (%d, %v), want (3, nil)", n, err)
+	}
+	if _, err := r.Read(p); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read = %v, want ErrInjected", err)
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := ShortWriter(&buf, 5)
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("first write = (%d, %v), want (3, nil)", n, err)
+	}
+	if n, err := w.Write([]byte("defg")); n != 2 || err != io.ErrShortWrite {
+		t.Fatalf("crossing write = (%d, %v), want (2, ErrShortWrite)", n, err)
+	}
+	if n, err := w.Write([]byte("h")); n != 0 || err != io.ErrShortWrite {
+		t.Fatalf("post-limit write = (%d, %v), want (0, ErrShortWrite)", n, err)
+	}
+	if got := buf.String(); got != "abcde" {
+		t.Fatalf("underlying writer saw %q, want \"abcde\" (byte-exact prefix)", got)
+	}
+}
+
+func TestTruncateReader(t *testing.T) {
+	got, err := io.ReadAll(TruncateReader(strings.NewReader("abcdef"), 4))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("read %q, want \"abcd\"", got)
+	}
+}
+
+func TestFlipBits(t *testing.T) {
+	data := bytes.Repeat([]byte{0x00}, 64)
+	out := FlipBits(data, 7, 5, 9)
+	if &out[0] == &data[0] {
+		t.Fatal("FlipBits mutated its input slice")
+	}
+	for i := 0; i < 9; i++ {
+		if out[i] != 0 {
+			t.Fatalf("byte %d inside the skip region was flipped", i)
+		}
+	}
+	flipped := 0
+	for _, b := range out {
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped != 5 {
+		t.Fatalf("flipped %d bits, want exactly 5", flipped)
+	}
+	again := FlipBits(data, 7, 5, 9)
+	if !bytes.Equal(out, again) {
+		t.Fatal("same-seed FlipBits produced different outputs")
+	}
+	all := FlipBits([]byte{0x00}, 1, 100, 0)
+	if all[0] != 0xff {
+		t.Fatalf("k > available bits should flip every bit; got %#x", all[0])
+	}
+}
+
+func TestBitFlipReaderChunkingIndependent(t *testing.T) {
+	src := bytes.Repeat([]byte{0xaa}, 256)
+
+	whole, err := io.ReadAll(BitFlipReader(bytes.NewReader(src), 99, 0.2))
+	if err != nil {
+		t.Fatalf("whole read: %v", err)
+	}
+	chunked := make([]byte, 0, len(src))
+	r := BitFlipReader(bytes.NewReader(src), 99, 0.2)
+	p := make([]byte, 7)
+	for {
+		n, err := r.Read(p)
+		chunked = append(chunked, p[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("chunked read: %v", err)
+		}
+	}
+	if !bytes.Equal(whole, chunked) {
+		t.Fatal("corruption pattern depends on read chunking")
+	}
+	if bytes.Equal(whole, src) {
+		t.Fatal("BitFlipReader(p=0.2) corrupted nothing over 256 bytes")
+	}
+}

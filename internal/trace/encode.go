@@ -9,9 +9,14 @@ import (
 	"repro/internal/guest"
 )
 
-// Binary trace format:
+// Binary trace format, common prelude:
 //
-//	magic "ISPTRACE" | version byte |
+//	magic "ISPTRACE" | version byte | version-specific body
+//
+// Version 2 (current) is the crash-safe segmented format implemented in
+// format2.go: checksummed name-table blocks, per-thread event segments and a
+// footer. Version 1 is the legacy unframed stream decoded below:
+//
 //	routine table: uvarint count, then uvarint length + bytes per name
 //	sync table:    same layout
 //	threads:       uvarint count, then per thread:
@@ -19,20 +24,24 @@ import (
 //	                 uvarint event count, then per event:
 //	                   uvarint timestamp delta | kind byte | uvarint arg | uvarint aux
 //
-// Timestamps are delta-encoded within each thread's stream, which keeps
-// typical events at 4-6 bytes.
+// Timestamps are delta-encoded within each thread's stream (per segment in
+// v2), which keeps typical events at 4-6 bytes. See docs/TRACE_FORMAT.md.
 
 var magic = [8]byte{'I', 'S', 'P', 'T', 'R', 'A', 'C', 'E'}
 
-// formatVersion is the current wire-format version. Decode accepts exactly
-// this version; see docs/TRACE_FORMAT.md for the compatibility rules.
-const formatVersion = 1
+// formatVersion is the current wire-format version. Encode always writes
+// it; Decode additionally accepts the legacy version below.
+const formatVersion = 2
+
+// legacyVersion is the v1 unframed format, still decodable (read-only
+// compatibility; Encode never writes it).
+const legacyVersion = 1
 
 // FormatVersion returns the current binary trace-format version byte.
 func FormatVersion() byte { return formatVersion }
 
 // VersionError reports a trace wire-format version the current code cannot
-// process: Decode returns it for traces written by a different format
+// process: Decode returns it for traces written by an unknown format
 // revision, and Combine returns it when asked to join traces of differing
 // versions. Unwrap with errors.As.
 type VersionError struct {
@@ -46,82 +55,65 @@ func (e *VersionError) Error() string {
 	return fmt.Sprintf("trace: format version %d not supported (want %d)", e.Got, e.Want)
 }
 
-// Encode writes the trace in the binary format.
-func (tr *Trace) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
-		return err
-	}
-	if err := bw.WriteByte(formatVersion); err != nil {
-		return err
-	}
-	writeStrings := func(ss []string) error {
-		writeUvarint(bw, uint64(len(ss)))
-		for _, s := range ss {
-			writeUvarint(bw, uint64(len(s)))
-			if _, err := bw.WriteString(s); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := writeStrings(tr.Routines); err != nil {
-		return err
-	}
-	if err := writeStrings(tr.Syncs); err != nil {
-		return err
-	}
-	writeUvarint(bw, uint64(len(tr.Threads)))
-	for i := range tr.Threads {
-		tt := &tr.Threads[i]
-		writeUvarint(bw, uint64(uint32(tt.ID)))
-		writeUvarint(bw, uint64(len(tt.Events)))
-		prev := uint64(0)
-		for _, e := range tt.Events {
-			writeUvarint(bw, e.TS-prev)
-			prev = e.TS
-			if err := bw.WriteByte(byte(e.Kind)); err != nil {
-				return err
-			}
-			writeUvarint(bw, e.Arg)
-			writeUvarint(bw, e.Aux)
-		}
-	}
-	return bw.Flush()
-}
-
-// Decode reads a trace in the binary format.
+// Decode reads a trace in the binary format, strictly: in the current
+// segmented format every checksum must verify and the footer must be
+// present and consistent, and in the legacy v1 format the stream must parse
+// to its end. Use Recover to salvage intact segments from damaged v2
+// traces instead.
 func Decode(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
-	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", m[:])
-	}
-	ver, err := br.ReadByte()
+	ver, err := readPrelude(br)
 	if err != nil {
 		return nil, err
 	}
-	if ver != formatVersion {
+	switch ver {
+	case legacyVersion:
+		return decodeV1(br)
+	case formatVersion:
+		return decodeV2(&trackReader{br: br, n: preludeLen})
+	default:
 		return nil, &VersionError{Want: formatVersion, Got: ver}
 	}
+}
+
+// preludeLen is the size of the shared prelude: 8 magic bytes + 1 version.
+const preludeLen = 9
+
+// readPrelude consumes and validates the magic and returns the version byte.
+func readPrelude(br *bufio.Reader) (byte, error) {
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return 0, fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("trace: reading version: %w", err)
+	}
+	return ver, nil
+}
+
+// decodeV1 reads the legacy v1 body (everything after the version byte).
+// Table counts, name lengths and thread/event counts are bounded before any
+// allocation, so hostile inputs cannot force huge allocations.
+func decodeV1(br *bufio.Reader) (*Trace, error) {
 	readStrings := func() ([]string, error) {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
 		}
-		if n > 1<<24 {
+		if n > maxTableEntries {
 			return nil, fmt.Errorf("trace: implausible name-table size %d", n)
 		}
-		ss := make([]string, 0, n)
+		ss := make([]string, 0, min(n, 4096))
 		for i := uint64(0); i < n; i++ {
 			l, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, err
 			}
-			if l > 1<<16 {
+			if l > maxNameLen {
 				return nil, fmt.Errorf("trace: implausible name length %d", l)
 			}
 			buf := make([]byte, l)
@@ -132,7 +124,8 @@ func Decode(r io.Reader) (*Trace, error) {
 		}
 		return ss, nil
 	}
-	tr := &Trace{Version: ver}
+	tr := &Trace{Version: legacyVersion}
+	var err error
 	if tr.Routines, err = readStrings(); err != nil {
 		return nil, fmt.Errorf("trace: routine table: %w", err)
 	}
@@ -143,7 +136,7 @@ func Decode(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nThreads > 1<<20 {
+	if nThreads > maxThreads {
 		return nil, fmt.Errorf("trace: implausible thread count %d", nThreads)
 	}
 	for i := uint64(0); i < nThreads; i++ {
@@ -193,9 +186,3 @@ func Decode(r io.Reader) (*Trace, error) {
 }
 
 func threadIDFromWire(v uint64) guest.ThreadID { return guest.ThreadID(int32(uint32(v))) }
-
-func writeUvarint(bw *bufio.Writer, v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	bw.Write(buf[:n]) //nolint:errcheck // flushed error surfaces at Flush
-}

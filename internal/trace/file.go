@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile encodes the trace to path atomically: the bytes are written to
+// a temporary file in the same directory, synced, and renamed over path, so
+// an interrupted write never leaves a half-trace at the target. It returns
+// the number of bytes written.
+func WriteFile(path string, tr *Trace) (int64, error) {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	n, err := tr.Encode(f)
+	if err != nil {
+		return cleanup(fmt.Errorf("trace: encoding %s: %w", path, err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("trace: syncing %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(fmt.Errorf("trace: closing %s: %w", tmp, err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, nil
+}
+
+// ReadFile strictly decodes the trace stored at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// RecoverFile salvages what it can from the (possibly damaged) trace stored
+// at path; see Recover.
+func RecoverFile(path string) (*Trace, *RecoveryReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Recover(f)
+}
+
+// VerifyFile runs a checksum walk over the trace stored at path; see Verify.
+func VerifyFile(path string) (*VerifyReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Verify(f)
+}

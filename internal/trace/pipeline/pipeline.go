@@ -34,6 +34,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -55,6 +56,11 @@ type Options struct {
 	// Zero selects GOMAXPROCS. The profile is identical for every worker
 	// count.
 	Workers int
+
+	// MaxEvents, when positive, refuses traces with more events before any
+	// analysis allocation happens — a guard against pathological or
+	// corrupted inputs exhausting memory. Zero means unlimited.
+	MaxEvents int
 
 	// Profile configures the analyzers. ContextSensitive and OnActivation
 	// are not supported by the parallel pipeline (the first needs a shared
@@ -123,11 +129,23 @@ type Plan struct {
 // pipeline: pre-scan, fan-out to workers, deterministic merge. The result
 // is identical to core.FromTrace(tr, tieSeed, opts.Profile).
 func Analyze(tr *trace.Trace, opts Options) (*core.Profile, error) {
-	plan, err := BuildPlan(tr, opts.TieSeed, opts.Profile)
+	return AnalyzeContext(context.Background(), tr, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation: the pre-scan and the worker
+// pool observe ctx and return ctx.Err() promptly when it is canceled or its
+// deadline passes. It also enforces the Options.MaxEvents guard.
+func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (*core.Profile, error) {
+	if opts.MaxEvents > 0 {
+		if n := tr.NumEvents(); n > opts.MaxEvents {
+			return nil, fmt.Errorf("pipeline: trace has %d events, exceeding the max-events guard (%d); raise the limit to analyze it", n, opts.MaxEvents)
+		}
+	}
+	plan, err := BuildPlanContext(ctx, tr, opts.TieSeed, opts.Profile)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Run(opts.Workers)
+	return plan.RunContext(ctx, opts.Workers)
 }
 
 // BuildPlan runs the sequential pre-scan: one streaming pass over the merged
@@ -143,6 +161,13 @@ func Analyze(tr *trace.Trace, opts Options) (*core.Profile, error) {
 // at full 64-bit width. Either way no renumbering ever happens, and the two
 // modes store identical timestamp values, not merely order-equivalent ones.
 func BuildPlan(tr *trace.Trace, tieSeed int64, opts core.Options) (*Plan, error) {
+	return BuildPlanContext(context.Background(), tr, tieSeed, opts)
+}
+
+// BuildPlanContext is BuildPlan with cancellation: ctx is polled once per
+// merged scheduler run (the pre-scan's natural work unit), so a canceled
+// scan stops within one run and returns ctx.Err().
+func BuildPlanContext(ctx context.Context, tr *trace.Trace, tieSeed int64, opts core.Options) (*Plan, error) {
 	if opts.ContextSensitive {
 		return nil, fmt.Errorf("pipeline: ContextSensitive profiling requires the sequential replayer (core.FromTrace)")
 	}
@@ -219,9 +244,21 @@ func BuildPlan(tr *trace.Trace, tieSeed int64, opts core.Options) (*Plan, error)
 	// One flat inner loop per mode, fed whole same-thread runs by WalkRuns:
 	// no global write shadow under RMSOnly (and kernel writes do not bump),
 	// packed single-word stamps in narrow mode, full pairs in wide mode.
+	// Cancellation is polled once per run; once ctxErr is set the remaining
+	// runs are skipped cheaply.
+	var ctxErr error
+	checkCtx := func() bool {
+		if ctxErr == nil {
+			ctxErr = ctx.Err()
+		}
+		return ctxErr != nil
+	}
 	switch {
 	case opts.RMSOnly:
 		trace.WalkRuns(tr, tieSeed, func(ti, lo, hi int) {
+			if checkCtx() {
+				return
+			}
 			tt := &tr.Threads[ti]
 			for k := lo; k < hi; k++ {
 				e := &tt.Events[k]
@@ -239,6 +276,9 @@ func BuildPlan(tr *trace.Trace, tieSeed int64, opts core.Options) (*Plan, error)
 	case p.wide:
 		global := shadow.NewTable[writeStamp]()
 		trace.WalkRuns(tr, tieSeed, func(ti, lo, hi int) {
+			if checkCtx() {
+				return
+			}
 			tt := &tr.Threads[ti]
 			for k := lo; k < hi; k++ {
 				e := &tt.Events[k]
@@ -264,6 +304,9 @@ func BuildPlan(tr *trace.Trace, tieSeed int64, opts core.Options) (*Plan, error)
 	default:
 		global := shadow.NewTable[uint64]()
 		trace.WalkRuns(tr, tieSeed, func(ti, lo, hi int) {
+			if checkCtx() {
+				return
+			}
 			tt := &tr.Threads[ti]
 			for k := lo; k < hi; k++ {
 				e := &tt.Events[k]
@@ -288,6 +331,9 @@ func BuildPlan(tr *trace.Trace, tieSeed int64, opts core.Options) (*Plan, error)
 		})
 	}
 	closeSeg()
+	if ctxErr != nil {
+		return nil, fmt.Errorf("pipeline: pre-scan canceled: %w", ctxErr)
+	}
 	return p, nil
 }
 
@@ -310,30 +356,54 @@ func (p *Plan) NumSegments() int {
 // folded together in deterministic thread order. Run may be called multiple
 // times; every call returns an identical profile.
 func (p *Plan) Run(workers int) (*core.Profile, error) {
+	return p.RunContext(context.Background(), workers)
+}
+
+// RunContext is Run with cancellation and worker fault isolation: a panic
+// inside one per-thread analyzer is converted into an error carrying the
+// thread and segment context instead of crashing the process, the remaining
+// workers drain cleanly, and the first failure (in deterministic thread
+// order) is returned. When ctx is canceled, threads not yet started are
+// skipped and ctx.Err() is returned after in-flight threads finish.
+func (p *Plan) RunContext(ctx context.Context, workers int) (*core.Profile, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
 	results := make([]*core.Profile, len(p.threads))
+	errs := make([]error, len(p.threads))
 	if workers == 1 {
 		for i, tp := range p.threads {
-			results[i] = analyzeThread(p.tr, tp, p.opts, p.wide)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				break
+			}
+			results[i], errs[i] = analyzeThread(ctx, p.tr, tp, p.opts, p.wide)
 		}
 	} else {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, workers)
 		for i, tp := range p.threads {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(i int, tp *threadPlan) {
 				defer wg.Done()
-				results[i] = analyzeThread(p.tr, tp, p.opts, p.wide)
+				results[i], errs[i] = analyzeThread(ctx, p.tr, tp, p.opts, p.wide)
 				<-sem
 			}(i, tp)
 		}
 		wg.Wait()
 	}
 
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	out := core.NewProfile()
 	for _, r := range results {
 		out.Merge(r)

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/core"
@@ -28,28 +30,56 @@ type cell interface {
 // profiles depend only on timestamp order relations, which renumbering
 // preserves, so the results are identical. The differential tests in this
 // package hold the two implementations together.
-func analyzeThread(tr *trace.Trace, tp *threadPlan, opts core.Options, wide bool) *core.Profile {
+//
+// A panic anywhere in the analysis — e.g. inconsistent plan state from a
+// corrupted trace — is converted into an error carrying the thread and the
+// segment being processed, so one bad thread cannot crash the whole
+// pipeline run. ctx is polled once per segment.
+func analyzeThread(ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options, wide bool) (*core.Profile, error) {
 	if wide {
-		return runWorker[uint64](tr, tp, opts)
+		return runWorker[uint64](ctx, tr, tp, opts)
 	}
-	return runWorker[uint32](tr, tp, opts)
+	return runWorker[uint32](ctx, tr, tp, opts)
 }
 
-func runWorker[C cell](tr *trace.Trace, tp *threadPlan, opts core.Options) *core.Profile {
+// workerPanicHook, when non-nil, is invoked at the start of every
+// per-thread analysis; the robustness tests use it to inject worker panics.
+var workerPanicHook func(guest.ThreadID)
+
+func runWorker[C cell](ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options) (prof *core.Profile, err error) {
+	segIdx := -1
+	defer func() {
+		if r := recover(); r != nil {
+			seg := "before any segment"
+			if segIdx >= 0 && segIdx < len(tp.segments) {
+				s := tp.segments[segIdx]
+				seg = fmt.Sprintf("segment %d of %d (thread trace %d, events [%d:%d), start count %d)",
+					segIdx, len(tp.segments), s.src, s.lo, s.hi, s.startCount)
+			}
+			prof, err = nil, fmt.Errorf("pipeline: worker for thread %d panicked in %s: %v", tp.id, seg, r)
+		}
+	}()
+	if workerPanicHook != nil {
+		workerPanicHook(tp.id)
+	}
 	w := &worker[C]{
 		tr:   tr,
 		opts: opts,
 		ts:   shadow.NewTable[C](),
 		acts: make(map[guest.RoutineID]*core.Activations),
 	}
-	for _, seg := range tp.segments {
+	for i, seg := range tp.segments {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		segIdx = i
 		w.count = seg.startCount
 		events := tr.Threads[seg.src].Events[seg.lo:seg.hi]
 		for i := range events {
 			w.step(&events[i], tp)
 		}
 	}
-	return w.profile(tp)
+	return w.profile(tp), nil
 }
 
 // worker is the state of one per-thread analyzer.

@@ -58,7 +58,7 @@ func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
 		}
 
 		var buf bytes.Buffer
-		if err := tr.Encode(&buf); err != nil {
+		if _, err := tr.Encode(&buf); err != nil {
 			return false
 		}
 		got, err := trace.Decode(&buf)
@@ -267,7 +267,7 @@ func TestQuickBatchedDispatchISPL(t *testing.T) {
 				return nil, nil
 			}
 			var buf bytes.Buffer
-			if err := rec.Trace().Encode(&buf); err != nil {
+			if _, err := rec.Trace().Encode(&buf); err != nil {
 				return nil, nil
 			}
 			return export, buf.Bytes()
@@ -339,7 +339,7 @@ func TestQuickCombineSplitRoundTrip(t *testing.T) {
 			}
 		}
 
-		if badVersion > 1 && len(b.Threads) > 0 {
+		if badVersion > trace.FormatVersion() && len(b.Threads) > 0 {
 			b.Version = badVersion
 			_, err := trace.Combine(a, b)
 			var ve *trace.VersionError

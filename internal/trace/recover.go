@@ -1,0 +1,405 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/guest"
+)
+
+// DropCause classifies why Recover dropped part of a damaged trace.
+type DropCause int
+
+// Drop causes, from most to least common in practice.
+const (
+	// DropChecksum: the block's CRC32-C did not match (bit rot, torn
+	// write); framing was intact, so the scan continued past it.
+	DropChecksum DropCause = iota
+	// DropTruncated: the input ended in the middle of the block (killed
+	// recording run, short copy).
+	DropTruncated
+	// DropFraming: the block header itself was unreadable (unknown kind
+	// byte or implausible length); nothing after it can be trusted.
+	DropFraming
+	// DropInvalid: the checksum verified but the payload did not parse —
+	// an encoder bug or a deliberately malformed file.
+	DropInvalid
+)
+
+// String renders the cause as a short diagnostic word.
+func (c DropCause) String() string {
+	switch c {
+	case DropChecksum:
+		return "checksum"
+	case DropTruncated:
+		return "truncated"
+	case DropFraming:
+		return "framing"
+	case DropInvalid:
+		return "invalid"
+	}
+	return fmt.Sprintf("DropCause(%d)", int(c))
+}
+
+// DroppedBlock records one block Recover could not salvage.
+type DroppedBlock struct {
+	// Offset is the file offset of the block's kind byte.
+	Offset int64
+	// Kind is the block kind byte ('R', 'Y', 'E', 'F'), or 0 when the
+	// stream ended before one was read.
+	Kind byte
+	// Cause classifies the failure.
+	Cause DropCause
+	// Detail is a human-readable elaboration.
+	Detail string
+	// Thread is the best-effort thread attribution of a dropped event
+	// segment, parsed from the (untrusted) payload; valid only when
+	// HasThread is set.
+	Thread guest.ThreadID
+	// HasThread reports whether Thread could be parsed.
+	HasThread bool
+}
+
+// ThreadRecovery is the per-thread salvage outcome.
+type ThreadRecovery struct {
+	// ID is the guest thread id.
+	ID guest.ThreadID
+	// Segments and Events count what was salvaged for the thread.
+	Segments int
+	// Events is the number of salvaged events.
+	Events int
+}
+
+// RecoveryReport describes exactly what Recover salvaged and what it
+// dropped from a damaged trace.
+type RecoveryReport struct {
+	// Version is the trace's wire-format version byte.
+	Version byte
+	// SalvagedSegments and SalvagedEvents count the intact segments and
+	// their events across all threads.
+	SalvagedSegments int
+	// SalvagedEvents is the total salvaged event count.
+	SalvagedEvents int
+	// PerThread lists per-thread salvaged counts, in the threads' order of
+	// first appearance in the file.
+	PerThread []ThreadRecovery
+	// Dropped lists every block that could not be salvaged, with its file
+	// offset and failure cause.
+	Dropped []DroppedBlock
+	// Truncated reports that the input ended unexpectedly: mid-block, or
+	// at a block boundary but without a valid footer.
+	Truncated bool
+	// FooterValid reports that an intact footer block was found.
+	FooterValid bool
+	// ExpectedEvents is the total event count the footer claims, or -1
+	// when no intact footer was found.
+	ExpectedEvents int
+}
+
+// Complete reports whether the trace was salvaged in full: nothing dropped,
+// no truncation, and an intact footer.
+func (r *RecoveryReport) Complete() bool {
+	return r.FooterValid && !r.Truncated && len(r.Dropped) == 0
+}
+
+// String renders a multi-line human-readable summary of the recovery.
+func (r *RecoveryReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "recovered %d events in %d segments across %d threads",
+		r.SalvagedEvents, r.SalvagedSegments, len(r.PerThread))
+	switch {
+	case r.Complete():
+		sb.WriteString(" (trace intact)")
+	case r.FooterValid && r.ExpectedEvents >= 0:
+		fmt.Fprintf(&sb, " (footer expects %d events; %d lost)", r.ExpectedEvents, r.ExpectedEvents-r.SalvagedEvents)
+	case r.Truncated:
+		sb.WriteString(" (trace truncated: no footer)")
+	}
+	for _, d := range r.Dropped {
+		fmt.Fprintf(&sb, "\ndropped block at offset %d", d.Offset)
+		if d.Kind != 0 {
+			fmt.Fprintf(&sb, " (kind %q", d.Kind)
+			if d.HasThread {
+				fmt.Fprintf(&sb, ", thread %d", d.Thread)
+			}
+			sb.WriteString(")")
+		}
+		fmt.Fprintf(&sb, ": %s", d.Cause)
+		if d.Detail != "" {
+			fmt.Fprintf(&sb, ": %s", d.Detail)
+		}
+	}
+	return sb.String()
+}
+
+// Recover reads as much of a damaged v2 trace as possible: every segment
+// whose checksum verifies is salvaged, and the report records what was
+// dropped and why (checksum mismatch vs. truncation vs. framing damage,
+// with file offsets). The returned trace contains all intact segments in
+// file order and feeds through Combine, Replay and the analysis pipeline
+// unchanged. Recover never panics on arbitrary input.
+//
+// An error is returned only when the input cannot be identified as a trace
+// at all (bad magic, unknown version) or, for v1 traces — which carry no
+// checksums and no segment structure — when the strict decode fails.
+// Otherwise the error is nil and the report, which is always non-nil in
+// that case, describes the salvage, even when nothing was salvageable.
+func Recover(r io.Reader) (*Trace, *RecoveryReport, error) {
+	br := bufio.NewReader(r)
+	ver, err := readPrelude(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ver == legacyVersion {
+		tr, err := decodeV1(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: v1 trace has no segment checksums and cannot be partially recovered: %w", err)
+		}
+		rep := &RecoveryReport{Version: ver, FooterValid: true, ExpectedEvents: tr.NumEvents()}
+		for i := range tr.Threads {
+			tt := &tr.Threads[i]
+			rep.PerThread = append(rep.PerThread, ThreadRecovery{ID: tt.ID, Segments: 1, Events: len(tt.Events)})
+			rep.SalvagedEvents += len(tt.Events)
+			rep.SalvagedSegments++
+		}
+		return tr, rep, nil
+	}
+	if ver != formatVersion {
+		return nil, nil, &VersionError{Want: formatVersion, Got: ver}
+	}
+
+	t := &trackReader{br: br, n: preludeLen}
+	b := newTraceBuilder()
+	rep := &RecoveryReport{Version: ver, ExpectedEvents: -1}
+	segs := make(map[guest.ThreadID]int)
+
+scan:
+	for {
+		blk, err := readBlock(t)
+		if err == io.EOF {
+			rep.Truncated = !rep.FooterValid
+			break
+		}
+		if err != nil {
+			cause := DropTruncated
+			if errors.Is(err, errFraming) {
+				cause = DropFraming
+			}
+			rep.Dropped = append(rep.Dropped, DroppedBlock{
+				Offset: blk.offset, Kind: blk.kind, Cause: cause, Detail: err.Error(),
+			})
+			rep.Truncated = true
+			break
+		}
+		if !blk.crcOK {
+			d := DroppedBlock{Offset: blk.offset, Kind: blk.kind, Cause: DropChecksum, Detail: "CRC32-C mismatch"}
+			if blk.kind == blockEvents {
+				// Best-effort thread attribution from the untrusted payload.
+				if idWire, err := (&byteParser{b: blk.payload}).uvarint(); err == nil {
+					d.Thread, d.HasThread = threadIDFromWire(idWire), true
+				}
+			}
+			if blk.kind == blockRoutines || blk.kind == blockSyncs {
+				// A lost table delta makes every later name id unresolvable,
+				// so salvage stops here rather than misattribute routines.
+				d.Detail += "; name-table delta lost, recovery stopped"
+				rep.Dropped = append(rep.Dropped, d)
+				rep.Truncated = true
+				break
+			}
+			rep.Dropped = append(rep.Dropped, d)
+			continue
+		}
+		switch blk.kind {
+		case blockRoutines, blockSyncs:
+			names, perr := parseTablePayload(blk.payload)
+			if perr == nil {
+				if blk.kind == blockRoutines {
+					perr = b.addRoutines(names)
+				} else {
+					perr = b.addSyncs(names)
+				}
+			}
+			if perr != nil {
+				rep.Dropped = append(rep.Dropped, DroppedBlock{
+					Offset: blk.offset, Kind: blk.kind, Cause: DropInvalid,
+					Detail: perr.Error() + "; name-table delta lost, recovery stopped",
+				})
+				rep.Truncated = true
+				break scan
+			}
+		case blockEvents:
+			id, events, perr := parseSegmentPayload(blk.payload)
+			if perr == nil {
+				perr = b.addSegment(id, events)
+			}
+			if perr != nil {
+				rep.Dropped = append(rep.Dropped, DroppedBlock{
+					Offset: blk.offset, Kind: blk.kind, Cause: DropInvalid, Detail: perr.Error(),
+					Thread: id, HasThread: true,
+				})
+				continue
+			}
+			segs[id]++
+			rep.SalvagedSegments++
+			rep.SalvagedEvents += len(events)
+		case blockFooter:
+			_, fe, _, perr := parseFooterPayload(blk.payload)
+			if perr != nil {
+				rep.Dropped = append(rep.Dropped, DroppedBlock{
+					Offset: blk.offset, Kind: blk.kind, Cause: DropInvalid, Detail: perr.Error(),
+				})
+				continue
+			}
+			rep.FooterValid = true
+			rep.ExpectedEvents = int(fe)
+			break scan
+		}
+	}
+
+	tr := b.build()
+	for i := range tr.Threads {
+		tt := &tr.Threads[i]
+		rep.PerThread = append(rep.PerThread, ThreadRecovery{
+			ID: tt.ID, Segments: segs[tt.ID], Events: len(tt.Events),
+		})
+	}
+	return tr, rep, nil
+}
+
+// BlockInfo is one block's diagnostics from a Verify walk.
+type BlockInfo struct {
+	// Offset is the file offset of the block's kind byte.
+	Offset int64
+	// Kind is the block kind byte.
+	Kind byte
+	// PayloadLen is the declared payload length in bytes.
+	PayloadLen int
+	// Thread and Events describe an intact event segment; HasThread marks
+	// Thread as valid.
+	Thread guest.ThreadID
+	// HasThread reports whether Thread is valid.
+	HasThread bool
+	// Events is the segment's event count (intact event blocks only).
+	Events int
+	// Names is the table delta's entry count (intact R/Y blocks only).
+	Names int
+	// Err is nil for an intact block, else the reason it is bad.
+	Err error
+}
+
+// VerifyReport is the result of a checksum walk over a trace file.
+type VerifyReport struct {
+	// Version is the trace's wire-format version byte.
+	Version byte
+	// Blocks lists per-block diagnostics in file order (v2 only).
+	Blocks []BlockInfo
+	// Segments, Events and Threads count the intact event blocks, their
+	// events, and the distinct thread ids seen in them.
+	Segments int
+	// Events is the total intact event count.
+	Events int
+	// Threads is the number of distinct thread ids in intact segments.
+	Threads int
+	// Bad counts blocks with a non-nil Err.
+	Bad int
+	// FooterValid reports an intact, well-formed footer block.
+	FooterValid bool
+	// Truncated reports that the input ended unexpectedly.
+	Truncated bool
+	// StrictErr is the strict-decode outcome for v1 traces, which have no
+	// per-block structure to walk; nil means the trace decoded fully.
+	StrictErr error
+}
+
+// OK reports whether the trace verified clean: every checksum matched and
+// the footer was present (v2), or the strict decode succeeded (v1).
+func (vr *VerifyReport) OK() bool {
+	if vr.Version == legacyVersion {
+		return vr.StrictErr == nil
+	}
+	return vr.Bad == 0 && vr.FooterValid && !vr.Truncated
+}
+
+// Verify walks a trace file's blocks, checking every checksum without
+// materializing events, and reports per-block diagnostics. Unlike Recover
+// it keeps scanning past corrupt name-table blocks (it resolves no ids), and
+// stops only at framing damage or truncation. For v1 traces, which carry no
+// checksums, it falls back to a strict decode and reports only overall
+// success or failure in StrictErr.
+func Verify(r io.Reader) (*VerifyReport, error) {
+	br := bufio.NewReader(r)
+	ver, err := readPrelude(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver == legacyVersion {
+		vr := &VerifyReport{Version: ver}
+		tr, err := decodeV1(br)
+		if err != nil {
+			vr.StrictErr = err
+		} else {
+			vr.Events = tr.NumEvents()
+			vr.Threads = len(tr.Threads)
+		}
+		return vr, nil
+	}
+	if ver != formatVersion {
+		return nil, &VersionError{Want: formatVersion, Got: ver}
+	}
+
+	t := &trackReader{br: br, n: preludeLen}
+	vr := &VerifyReport{Version: ver}
+	threads := make(map[guest.ThreadID]bool)
+	for {
+		blk, err := readBlock(t)
+		if err == io.EOF {
+			vr.Truncated = !vr.FooterValid
+			vr.Threads = len(threads)
+			return vr, nil
+		}
+		info := BlockInfo{Offset: blk.offset, Kind: blk.kind, PayloadLen: len(blk.payload)}
+		if err != nil {
+			info.Err = err
+			vr.Blocks = append(vr.Blocks, info)
+			vr.Bad++
+			vr.Truncated = true
+			vr.Threads = len(threads)
+			return vr, nil
+		}
+		if !blk.crcOK {
+			info.Err = errors.New("CRC32-C mismatch")
+		} else {
+			switch blk.kind {
+			case blockRoutines, blockSyncs:
+				names, perr := parseTablePayload(blk.payload)
+				info.Names, info.Err = len(names), perr
+			case blockEvents:
+				id, events, perr := parseSegmentPayload(blk.payload)
+				info.Thread, info.HasThread, info.Events, info.Err = id, perr == nil, len(events), perr
+				if perr == nil {
+					vr.Segments++
+					vr.Events += len(events)
+					threads[id] = true
+				}
+			case blockFooter:
+				_, _, _, perr := parseFooterPayload(blk.payload)
+				info.Err = perr
+				if perr == nil {
+					vr.FooterValid = true
+				}
+			}
+		}
+		if info.Err != nil {
+			vr.Bad++
+		}
+		vr.Blocks = append(vr.Blocks, info)
+		if blk.kind == blockFooter && vr.FooterValid {
+			vr.Threads = len(threads)
+			return vr, nil
+		}
+	}
+}

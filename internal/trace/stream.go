@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/guest"
+)
+
+// StreamRecorder is a guest.Tool that records the execution straight to an
+// io.Writer in the segmented v2 format: whenever a thread's buffered events
+// reach the segment bound, the segment — preceded by the name-table entries
+// it references — is framed, checksummed and written out immediately. A
+// recording run killed at any point therefore leaves a file from which
+// Recover salvages every completed segment; only the unflushed tails (at
+// most the segment bound per thread) are lost. Contrast Recorder + Encode,
+// which buffer the whole execution in memory and write all-or-nothing.
+//
+// Write errors are sticky: the first one stops all further output and is
+// reported by Err and Close. A StreamRecorder must not be reused across
+// runs.
+type StreamRecorder struct {
+	w   io.Writer
+	env guest.Env
+
+	perTh map[guest.ThreadID]*streamThread
+	order []*streamThread
+
+	segCap                        int
+	flushedRoutines, flushedSyncs int
+
+	blocks  int
+	events  int
+	written int64
+
+	scratch []byte // reused block-framing buffer
+	payload []byte // reused payload buffer
+
+	err      error
+	finished bool
+}
+
+// streamThread buffers one thread's not-yet-flushed events.
+type streamThread struct {
+	id      guest.ThreadID
+	pending []Event
+}
+
+// NewStreamRecorder returns a streaming recorder writing to w. The format
+// prelude is written immediately; everything else follows as the recorded
+// run progresses. Check Err (or Close) for write failures.
+func NewStreamRecorder(w io.Writer) *StreamRecorder {
+	r := &StreamRecorder{
+		w:      w,
+		perTh:  make(map[guest.ThreadID]*streamThread),
+		segCap: DefaultSegmentEvents,
+	}
+	prelude := make([]byte, 0, preludeLen)
+	prelude = append(prelude, magic[:]...)
+	prelude = append(prelude, formatVersion)
+	r.write(prelude)
+	return r
+}
+
+// SetSegmentEvents overrides the per-segment event bound (default
+// DefaultSegmentEvents). Smaller segments tighten the crash-loss window at
+// the cost of more framing overhead. Call it before recording starts.
+func (r *StreamRecorder) SetSegmentEvents(n int) {
+	if n > 0 {
+		r.segCap = n
+	}
+}
+
+// Err returns the first write error encountered, if any.
+func (r *StreamRecorder) Err() error { return r.err }
+
+// Written returns the number of bytes successfully written so far.
+func (r *StreamRecorder) Written() int64 { return r.written }
+
+// Close flushes any buffered segments and the footer if the run's Finish
+// hook has not already done so, and returns the first write error of the
+// whole recording. It is idempotent.
+func (r *StreamRecorder) Close() error {
+	r.finish()
+	return r.err
+}
+
+// write appends raw bytes to the output, converting short writes to errors
+// and making the first failure sticky.
+func (r *StreamRecorder) write(b []byte) {
+	if r.err != nil {
+		return
+	}
+	if err := writeAll(r.w, b); err != nil {
+		r.err = err
+		return
+	}
+	r.written += int64(len(b))
+}
+
+// writeBlock frames and writes one block.
+func (r *StreamRecorder) writeBlock(kind byte, payload []byte) {
+	r.scratch = appendBlock(r.scratch[:0], kind, payload)
+	r.write(r.scratch)
+	if r.err == nil {
+		r.blocks++
+	}
+}
+
+// flushTables writes any routine/sync names interned since the last flush,
+// so every id referenced by a subsequently flushed segment resolves even in
+// a partially recovered file.
+func (r *StreamRecorder) flushTables() {
+	if r.env == nil || r.err != nil {
+		return
+	}
+	if n := r.env.NumRoutines(); n > r.flushedRoutines {
+		names := make([]string, 0, n-r.flushedRoutines)
+		for i := r.flushedRoutines; i < n; i++ {
+			names = append(names, r.env.RoutineName(guest.RoutineID(i)))
+		}
+		r.writeBlock(blockRoutines, appendTablePayload(r.payload[:0], names))
+		r.flushedRoutines = n
+	}
+	if n := r.env.NumSyncs(); n > r.flushedSyncs {
+		names := make([]string, 0, n-r.flushedSyncs)
+		for i := r.flushedSyncs; i < n; i++ {
+			names = append(names, r.env.SyncName(guest.SyncID(i)))
+		}
+		r.writeBlock(blockSyncs, appendTablePayload(r.payload[:0], names))
+		r.flushedSyncs = n
+	}
+}
+
+// flushThread writes the thread's buffered events as one segment.
+func (r *StreamRecorder) flushThread(st *streamThread) {
+	if len(st.pending) == 0 || r.err != nil {
+		return
+	}
+	r.flushTables()
+	r.payload = appendSegmentPayload(r.payload[:0], st.id, st.pending)
+	r.writeBlock(blockEvents, r.payload)
+	if r.err == nil {
+		r.events += len(st.pending)
+	}
+	st.pending = st.pending[:0]
+}
+
+// finish flushes every buffered segment and the footer exactly once.
+func (r *StreamRecorder) finish() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.flushTables()
+	for _, st := range r.order {
+		r.flushThread(st)
+	}
+	r.writeBlock(blockFooter, appendFooterPayload(r.payload[:0], r.blocks, r.events, len(r.order)))
+}
+
+func (r *StreamRecorder) add(t guest.ThreadID, k Kind, arg, aux uint64) {
+	if r.finished {
+		return
+	}
+	st := r.perTh[t]
+	if st == nil {
+		st = &streamThread{id: t, pending: make([]Event, 0, r.segCap)}
+		r.perTh[t] = st
+		r.order = append(r.order, st)
+	}
+	st.pending = append(st.pending, Event{
+		TS:     r.env.Now(),
+		Thread: t,
+		Kind:   k,
+		Arg:    arg,
+		Aux:    aux,
+	})
+	if len(st.pending) >= r.segCap {
+		r.flushThread(st)
+	}
+}
+
+// Attach implements guest.Tool.
+func (r *StreamRecorder) Attach(env guest.Env) {
+	if r.env != nil {
+		r.err = errors.New("trace: StreamRecorder reused across runs")
+		return
+	}
+	r.env = env
+}
+
+// Call implements guest.Tool.
+func (r *StreamRecorder) Call(t guest.ThreadID, rt guest.RoutineID, bb uint64) {
+	r.add(t, KindCall, uint64(rt), bb)
+}
+
+// Return implements guest.Tool.
+func (r *StreamRecorder) Return(t guest.ThreadID, rt guest.RoutineID, bb uint64) {
+	r.add(t, KindReturn, uint64(rt), bb)
+}
+
+// Read implements guest.Tool.
+func (r *StreamRecorder) Read(t guest.ThreadID, a guest.Addr) { r.add(t, KindRead, uint64(a), 0) }
+
+// Write implements guest.Tool.
+func (r *StreamRecorder) Write(t guest.ThreadID, a guest.Addr) { r.add(t, KindWrite, uint64(a), 0) }
+
+// MemBatch implements guest.MemEventSink, mirroring Recorder.MemBatch:
+// batched recording produces byte-identical traces to per-event recording.
+func (r *StreamRecorder) MemBatch(t guest.ThreadID, startTS uint64, events []guest.MemEvent) {
+	if r.finished {
+		return
+	}
+	for i, e := range events {
+		var k Kind
+		switch {
+		case e.IsKernel() && e.IsWrite():
+			k = KindKernelWrite
+		case e.IsKernel():
+			k = KindKernelRead
+		case e.IsWrite():
+			k = KindWrite
+		default:
+			k = KindRead
+		}
+		st := r.perTh[t]
+		if st == nil {
+			st = &streamThread{id: t, pending: make([]Event, 0, r.segCap)}
+			r.perTh[t] = st
+			r.order = append(r.order, st)
+		}
+		st.pending = append(st.pending, Event{
+			TS:     startTS + uint64(i),
+			Thread: t,
+			Kind:   k,
+			Arg:    uint64(e.Addr()),
+		})
+		if len(st.pending) >= r.segCap {
+			r.flushThread(st)
+		}
+	}
+}
+
+// KernelRead implements guest.Tool.
+func (r *StreamRecorder) KernelRead(t guest.ThreadID, a guest.Addr) {
+	r.add(t, KindKernelRead, uint64(a), 0)
+}
+
+// KernelWrite implements guest.Tool.
+func (r *StreamRecorder) KernelWrite(t guest.ThreadID, a guest.Addr) {
+	r.add(t, KindKernelWrite, uint64(a), 0)
+}
+
+// SwitchThread implements guest.Tool: switches are dropped, as in Recorder
+// (the merge step re-synthesizes them).
+func (r *StreamRecorder) SwitchThread(from, to guest.ThreadID) {}
+
+// ThreadStart implements guest.Tool.
+func (r *StreamRecorder) ThreadStart(t, parent guest.ThreadID) {
+	r.add(t, KindThreadStart, uint64(uint32(parent)), 0)
+}
+
+// ThreadExit implements guest.Tool.
+func (r *StreamRecorder) ThreadExit(t guest.ThreadID) { r.add(t, KindThreadExit, 0, 0) }
+
+// Sync implements guest.Tool.
+func (r *StreamRecorder) Sync(t guest.ThreadID, kind guest.SyncKind, s guest.SyncID) {
+	k := KindSyncRelease
+	if kind == guest.SyncAcquire {
+		k = KindSyncAcquire
+	}
+	r.add(t, k, uint64(s), 0)
+}
+
+// Alloc implements guest.Tool.
+func (r *StreamRecorder) Alloc(t guest.ThreadID, base guest.Addr, n int) {
+	r.add(t, KindAlloc, uint64(base), uint64(n))
+}
+
+// Free implements guest.Tool.
+func (r *StreamRecorder) Free(t guest.ThreadID, base guest.Addr, n int) {
+	r.add(t, KindFree, uint64(base), uint64(n))
+}
+
+// Finish implements guest.Tool: remaining segments and the footer are
+// flushed, completing the file.
+func (r *StreamRecorder) Finish() { r.finish() }

@@ -1,0 +1,137 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+)
+
+// TestStreamRecorderMatchesRecorder runs the in-memory Recorder and the
+// StreamRecorder side by side over the same execution: the streamed file
+// must decode strictly (footer and all) to the same per-thread events, even
+// with a tiny segment bound forcing many flushes.
+func TestStreamRecorderMatchesRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	rec := trace.NewRecorder()
+	sr := trace.NewStreamRecorder(&buf)
+	sr.SetSegmentEvents(8)
+	exampleRun(t, 5, rec, sr)
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Written() != int64(buf.Len()) {
+		t.Fatalf("Written() = %d, buffer has %d bytes", sr.Written(), buf.Len())
+	}
+
+	streamed, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict decode of streamed trace: %v", err)
+	}
+	want := rec.Trace()
+	if streamed.NumEvents() != want.NumEvents() {
+		t.Fatalf("streamed %d events, recorder saw %d", streamed.NumEvents(), want.NumEvents())
+	}
+	wantEvents := threadEvents(want)
+	for i := range streamed.Threads {
+		tt := &streamed.Threads[i]
+		ref := wantEvents[int32(tt.ID)]
+		if len(tt.Events) != len(ref) {
+			t.Fatalf("thread %d: streamed %d events, want %d", tt.ID, len(tt.Events), len(ref))
+		}
+		for j := range tt.Events {
+			if tt.Events[j] != ref[j] {
+				t.Fatalf("thread %d event %d = %+v, want %+v", tt.ID, j, tt.Events[j], ref[j])
+			}
+		}
+	}
+	if len(want.Routines) > 0 && streamed.RoutineName(0) != want.RoutineName(0) {
+		t.Fatalf("routine table mismatch: %q vs %q", streamed.RoutineName(0), want.RoutineName(0))
+	}
+}
+
+// TestStreamRecorderCrashSalvage kills the output mid-run with a byte-exact
+// ShortWriter: Recover must salvage every completed segment from the prefix,
+// each an exact prefix of the reference recording, without error.
+func TestStreamRecorderCrashSalvage(t *testing.T) {
+	// Reference run to size the full encoding.
+	var full bytes.Buffer
+	rec := trace.NewRecorder()
+	srFull := trace.NewStreamRecorder(&full)
+	srFull.SetSegmentEvents(8)
+	exampleRun(t, 5, rec, srFull)
+	if err := srFull.Close(); err != nil {
+		t.Fatal(err)
+	}
+	refEvents := threadEvents(rec.Trace())
+
+	for _, frac := range []int{4, 2, 3} {
+		limit := int64(full.Len() * (frac - 1) / frac)
+		var buf bytes.Buffer
+		sr := trace.NewStreamRecorder(faultinject.ShortWriter(&buf, limit))
+		sr.SetSegmentEvents(8)
+		exampleRun(t, 5, sr)
+		if err := sr.Close(); !errors.Is(err, io.ErrShortWrite) {
+			t.Fatalf("limit %d: Close = %v, want ErrShortWrite", limit, err)
+		}
+		if int64(buf.Len()) != limit {
+			t.Fatalf("limit %d: underlying writer saw %d bytes", limit, buf.Len())
+		}
+
+		rtr, rep, err := trace.Recover(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("limit %d: Recover: %v", limit, err)
+		}
+		if !rep.Truncated {
+			t.Fatalf("limit %d: killed run not reported truncated", limit)
+		}
+		if rep.SalvagedEvents == 0 {
+			t.Fatalf("limit %d: nothing salvaged from a %d-byte prefix", limit, limit)
+		}
+		for i := range rtr.Threads {
+			tt := &rtr.Threads[i]
+			ref := refEvents[int32(tt.ID)]
+			if len(tt.Events) > len(ref) {
+				t.Fatalf("limit %d: thread %d salvaged %d events, reference run has %d", limit, tt.ID, len(tt.Events), len(ref))
+			}
+			for j := range tt.Events {
+				if tt.Events[j] != ref[j] {
+					t.Fatalf("limit %d: thread %d event %d diverges from the reference run", limit, tt.ID, j)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamRecorderFailingWriter checks that an injected hard write error is
+// sticky and surfaces through both Err and Close.
+func TestStreamRecorderFailingWriter(t *testing.T) {
+	var buf bytes.Buffer
+	sr := trace.NewStreamRecorder(faultinject.FailingWriter(&buf, faultinject.After(3)))
+	sr.SetSegmentEvents(4)
+	exampleRun(t, 5, sr)
+	if !errors.Is(sr.Err(), faultinject.ErrInjected) {
+		t.Fatalf("Err() = %v, want ErrInjected", sr.Err())
+	}
+	if !errors.Is(sr.Close(), faultinject.ErrInjected) {
+		t.Fatal("Close() lost the sticky write error")
+	}
+}
+
+// TestStreamRecorderRejectsReuse: attaching the recorder to a second run is
+// an error, not silent corruption.
+func TestStreamRecorderRejectsReuse(t *testing.T) {
+	var buf bytes.Buffer
+	sr := trace.NewStreamRecorder(&buf)
+	exampleRun(t, 5, sr)
+	if sr.Close() != nil {
+		t.Fatal(sr.Err())
+	}
+	exampleRun(t, 5, sr)
+	if sr.Err() == nil {
+		t.Fatal("reusing a StreamRecorder across runs was not rejected")
+	}
+}

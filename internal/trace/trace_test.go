@@ -150,7 +150,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	tr := rec.Trace()
 
 	var buf bytes.Buffer
-	if err := tr.Encode(&buf); err != nil {
+	if _, err := tr.Encode(&buf); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("encoded %d events in %d bytes (%.2f bytes/event)",
@@ -219,7 +219,7 @@ func TestReplayAfterSerialization(t *testing.T) {
 	exampleRun(t, 4, online, rec)
 
 	var buf bytes.Buffer
-	if err := rec.Trace().Encode(&buf); err != nil {
+	if _, err := rec.Trace().Encode(&buf); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := trace.Decode(&buf)
@@ -342,14 +342,14 @@ func TestCombineShards(t *testing.T) {
 // producing a garbage interleaving.
 func TestCombineRejectsVersionMismatch(t *testing.T) {
 	a := &trace.Trace{Routines: []string{"r"}, Threads: []trace.ThreadTrace{{ID: 1}}}
-	b := &trace.Trace{Version: 2, Routines: []string{"r"}, Threads: []trace.ThreadTrace{{ID: 2}}}
+	b := &trace.Trace{Version: 99, Routines: []string{"r"}, Threads: []trace.ThreadTrace{{ID: 2}}}
 	_, err := trace.Combine(a, b)
 	var ve *trace.VersionError
 	if !errors.As(err, &ve) {
 		t.Fatalf("Combine error = %v, want *trace.VersionError", err)
 	}
-	if ve.Want != trace.FormatVersion() || ve.Got != 2 {
-		t.Errorf("VersionError = %+v, want Want=%d Got=2", ve, trace.FormatVersion())
+	if ve.Want != trace.FormatVersion() || ve.Got != 99 {
+		t.Errorf("VersionError = %+v, want Want=%d Got=99", ve, trace.FormatVersion())
 	}
 }
 
@@ -371,7 +371,7 @@ func TestDecodeVersionError(t *testing.T) {
 	rec := trace.NewRecorder()
 	exampleRun(t, 6, rec)
 	var buf bytes.Buffer
-	if err := rec.Trace().Encode(&buf); err != nil {
+	if _, err := rec.Trace().Encode(&buf); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()

@@ -24,6 +24,7 @@ var lintDirs = []string{
 	"internal/trace",
 	"internal/trace/pipeline",
 	"internal/core",
+	"internal/faultinject",
 }
 
 func lintSources(t *testing.T, dir string) []string {

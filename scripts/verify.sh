@@ -2,9 +2,27 @@
 # Tier-1 verification gate: build, tests (including the doc-comment and
 # gofmt lints in lint_test.go), vet, and a formatting check. Run from the
 # repository root. Fails fast on the first broken step.
+#
+# Optional flags:
+#   -race   additionally run the full test suite under the race detector
+#   -fuzz   additionally run a 30-second fuzz smoke of the trace decoder
+#           and recovery paths
 set -eu
 
 cd "$(dirname "$0")/.."
+
+run_race=0
+run_fuzz=0
+for arg in "$@"; do
+	case "$arg" in
+	-race) run_race=1 ;;
+	-fuzz) run_fuzz=1 ;;
+	*)
+		echo "usage: scripts/verify.sh [-race] [-fuzz]" >&2
+		exit 2
+		;;
+	esac
+done
 
 echo "== go build ./..."
 go build ./...
@@ -21,6 +39,18 @@ if [ -n "$unformatted" ]; then
 	echo "gofmt: the following files need formatting:" >&2
 	echo "$unformatted" >&2
 	exit 1
+fi
+
+if [ "$run_race" = 1 ]; then
+	echo "== go test -race ./..."
+	go test -race ./...
+fi
+
+if [ "$run_fuzz" = 1 ]; then
+	echo "== fuzz smoke: FuzzDecode (30s)"
+	go test -fuzz=FuzzDecode -fuzztime=30s ./internal/trace
+	echo "== fuzz smoke: FuzzRecover (30s)"
+	go test -fuzz=FuzzRecover -fuzztime=30s ./internal/trace
 fi
 
 echo "verify: all checks passed"
