@@ -52,6 +52,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/ispl"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/tools"
 	"repro/internal/trace"
 	"repro/internal/trace/pipeline"
@@ -139,6 +140,19 @@ type (
 	// TraceVerifyReport is the per-block result of a VerifyTrace checksum
 	// walk.
 	TraceVerifyReport = trace.VerifyReport
+	// AnalyzeOptions configures the parallel trace-analysis pipeline
+	// (workers, tie seed, event limit, telemetry, progress callback).
+	AnalyzeOptions = pipeline.Options
+)
+
+// Observability types.
+type (
+	// TelemetryRegistry collects the toolkit's runtime metrics. A nil
+	// registry is accepted everywhere one is taken and disables
+	// collection at near-zero cost.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of a registry's metrics.
+	TelemetrySnapshot = telemetry.Snapshot
 )
 
 // Comparison tools.
@@ -261,6 +275,17 @@ func AnalyzeTraceContext(ctx context.Context, tr *Trace, tieSeed int64, workers,
 		TieSeed: tieSeed, Workers: workers, MaxEvents: maxEvents, Profile: opts,
 	})
 }
+
+// AnalyzeTraceOptions is the fully-optioned form of AnalyzeTrace: the
+// AnalyzeOptions struct additionally carries a telemetry registry (the
+// pipeline publishes pipeline/* metrics into it) and a progress callback
+// invoked with (processed, total) event counts as segments complete.
+func AnalyzeTraceOptions(ctx context.Context, tr *Trace, opts AnalyzeOptions) (*Profile, error) {
+	return pipeline.AnalyzeContext(ctx, tr, opts)
+}
+
+// NewTelemetryRegistry returns an empty metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
 
 // EncodeTrace and DecodeTrace serialize traces in the binary trace format
 // (the segmented, checksummed v2 format; see docs/TRACE_FORMAT.md).

@@ -18,6 +18,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/report"
 	"repro/internal/shadow"
+	"repro/internal/telemetry"
 	"repro/internal/tools"
 	"repro/internal/trace"
 	"repro/internal/trace/pipeline"
@@ -519,6 +520,38 @@ func BenchmarkInlineOverhead(b *testing.B) {
 				}
 				for i := 0; i < b.N; i++ {
 					prof := core.New(core.Options{})
+					runWorkload(b, c.name, params, prof)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost of metrics collection on the
+// profiler's hot path: the same profiled runs as BenchmarkInlineOverhead's
+// batched rows, with telemetry disabled (nil registry — every metric hook
+// no-ops on its nil receiver) and enabled (a live registry attached to the
+// machine and the profiler). The observability acceptance bar is <2%
+// overhead when enabled; docs/OBSERVABILITY.md records measured numbers.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	cases := []struct {
+		name    string
+		size    int
+		threads int
+	}{
+		{"mysqld", 24, 8},
+		{"vips", 16, 4},
+	}
+	for _, c := range cases {
+		for _, mode := range []string{"disabled", "enabled"} {
+			b.Run(c.name+"/"+mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var reg *telemetry.Registry
+					if mode == "enabled" {
+						reg = telemetry.NewRegistry()
+					}
+					params := workloads.Params{Size: c.size, Threads: c.threads, Telemetry: reg}
+					prof := core.New(core.Options{Telemetry: reg})
 					runWorkload(b, c.name, params, prof)
 				}
 			})

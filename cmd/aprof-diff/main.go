@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"repro/aprof"
+	"repro/internal/profflag"
 	"repro/internal/report"
 )
 
@@ -34,12 +35,21 @@ func main() {
 		regressEx  = flag.Bool("fail-on-regression", true, "exit 1 when regressions are found")
 		maxDisplay = flag.Int("top", 30, "rows to display")
 	)
+	prof := profflag.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: aprof-diff [flags] old.json new.json")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	oldP, err := load(flag.Arg(0))
 	if err != nil {

@@ -19,7 +19,9 @@ import (
 
 	"repro/aprof"
 	"repro/internal/ispl"
+	"repro/internal/profflag"
 	"repro/internal/report"
+	"repro/internal/shadow"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		timeslice = flag.Int("timeslice", 0, "scheduler quantum in guest operations")
 		top       = flag.Int("top", 15, "routines in the summary table")
 	)
+	prof := profflag.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: aprof-ispl [flags] program.ispl")
@@ -39,13 +42,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := runFile(flag.Arg(0), *fitR, *plot, *disasm, *runOnly, *contexts, *timeslice, *top); err != nil {
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "aprof-ispl:", err)
+		os.Exit(1)
+	}
+	reg := prof.Registry()
+	if err := runFile(flag.Arg(0), *fitR, *plot, *disasm, *runOnly, *contexts, *timeslice, *top, reg); err != nil {
+		fmt.Fprintln(os.Stderr, "aprof-ispl:", err)
+		os.Exit(1)
+	}
+	shadow.PublishTelemetry(reg)
+	if err := prof.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "aprof-ispl:", err)
 		os.Exit(1)
 	}
 }
 
-func runFile(path, fitR, plot string, disasm, runOnly, contexts bool, timeslice, top int) error {
+func runFile(path, fitR, plot string, disasm, runOnly, contexts bool, timeslice, top int, reg *aprof.TelemetryRegistry) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -62,7 +75,7 @@ func runFile(path, fitR, plot string, disasm, runOnly, contexts bool, timeslice,
 		return nil
 	}
 
-	cfg := aprof.Config{Timeslice: timeslice}
+	cfg := aprof.Config{Timeslice: timeslice, Telemetry: reg}
 	if runOnly {
 		out, m, err := prog.Run(cfg)
 		if err != nil {
@@ -75,7 +88,7 @@ func runFile(path, fitR, plot string, disasm, runOnly, contexts bool, timeslice,
 		return nil
 	}
 
-	prof := aprof.NewProfiler(aprof.Options{ContextSensitive: contexts})
+	prof := aprof.NewProfiler(aprof.Options{ContextSensitive: contexts, Telemetry: reg})
 	out, m, err := prog.Run(cfg, prof)
 	if err != nil {
 		return err

@@ -6,9 +6,10 @@
 //	aprof-trace record -workload mysqld -o run.trace [-threads 8 -size 12 -stream]
 //	aprof-trace info run.trace
 //	aprof-trace dump run.trace [-limit 50]
-//	aprof-trace verify run.trace
+//	aprof-trace verify run.trace [-json]
 //	aprof-trace replay run.trace [-tieseed 7]
-//	aprof-trace analyze run.trace [-workers 4 -tieseed 7 -recover -max-events N -timeout 30s]
+//	aprof-trace analyze run.trace [-workers 4 -tieseed 7 -recover -json -max-events N -timeout 30s]
+//	aprof-trace analyze -workload mysqld [-threads 8 -size 12]
 //	aprof-trace stats run.trace
 //
 // replay and analyze compute the same profile; replay drives the inline
@@ -22,9 +23,18 @@
 // verify walks a trace's checksums and exits non-zero if any block is
 // damaged; analyze -recover salvages what it can from a damaged trace
 // before profiling it.
+//
+// Every subcommand that does real work shares the -telemetry[=file.json],
+// -exectrace, -cpuprofile and -memprofile flags (see internal/profflag and
+// docs/OBSERVABILITY.md). analyze and streamed record draw a live progress
+// line on stderr when it is a terminal (-progress=false disables it).
+// analyze -workload records the workload in-process and analyzes the
+// resulting trace in one run, cross-checking the pipeline profile against
+// the inline profiler's.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -34,8 +44,25 @@ import (
 	"repro/aprof"
 	"repro/internal/profflag"
 	"repro/internal/report"
+	"repro/internal/shadow"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// stderrIsTTY reports whether stderr is a terminal; it gates the default
+// for the -progress flags so piped runs stay clean.
+func stderrIsTTY() bool {
+	st, err := os.Stderr.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
+}
+
+// publishLayers copies the process-wide shadow-memory and trace-I/O
+// tallies into reg so a -telemetry snapshot covers every layer, not just
+// the ones with per-run registries. Safe with a nil registry.
+func publishLayers(reg *telemetry.Registry) {
+	shadow.PublishTelemetry(reg)
+	trace.PublishTelemetry(reg)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -79,6 +106,7 @@ func record(args []string) error {
 	size := fs.Int("size", 0, "problem size")
 	seed := fs.Int64("seed", 0, "workload seed")
 	stream := fs.Bool("stream", false, "stream checksummed segments to the file during the run (crash-safe)")
+	showProgress := fs.Bool("progress", stderrIsTTY(), "draw a live progress line on stderr (streamed recording only)")
 	prof := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,7 +117,8 @@ func record(args []string) error {
 	if err := prof.Start(); err != nil {
 		return err
 	}
-	params := aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed}
+	reg := prof.Registry()
+	params := aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed, Telemetry: reg}
 	events := 0
 	if *stream {
 		// Crash-safe path: segments hit the file as they complete, so a
@@ -99,6 +128,15 @@ func record(args []string) error {
 			return err
 		}
 		rec := aprof.NewStreamRecorder(f)
+		rec.SetTelemetry(reg)
+		var pl *telemetry.Progress
+		if *showProgress {
+			pl = telemetry.NewProgress(os.Stderr, "record", 0)
+			rec.SetProgress(func(events, segments int, bytes int64) {
+				pl.SetNote(fmt.Sprintf("%d segments, %d bytes", segments, bytes))
+				pl.Update(uint64(events))
+			})
+		}
 		if _, err := aprof.RunWorkload(*workload, params, rec); err != nil {
 			f.Close()
 			return err
@@ -107,6 +145,7 @@ func record(args []string) error {
 			f.Close()
 			return fmt.Errorf("record: writing %s: %w", *out, err)
 		}
+		pl.Done()
 		if err := f.Close(); err != nil {
 			return err
 		}
@@ -128,20 +167,33 @@ func record(args []string) error {
 		events = rec.Trace().NumEvents()
 	}
 	fmt.Printf("recorded %d events from %s to %s\n", events, *workload, *out)
+	publishLayers(reg)
 	return prof.Stop()
 }
 
 // verify walks the trace's blocks, reports per-block diagnostics, and exits
 // non-zero if any checksum fails, the footer is missing, or the file is
-// truncated.
+// truncated. With -json the report is printed as machine-readable JSON on
+// stdout instead of a table; the exit code is unchanged.
 func verify(args []string) error {
-	if len(args) < 1 {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print the verify report as JSON on stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
 		return fmt.Errorf("verify: trace file required")
 	}
-	path := args[0]
+	path := fs.Arg(0)
 	vr, err := aprof.VerifyTraceFile(path)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		if err := vr.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		return verifyVerdict(vr, path)
 	}
 	if vr.Version == 1 {
 		if vr.StrictErr != nil {
@@ -171,6 +223,21 @@ func verify(args []string) error {
 	fmt.Printf("\n%s: %d events in %d segments across %d threads\n", path, vr.Events, vr.Segments, vr.Threads)
 	if vr.OK() {
 		fmt.Println("all checksums verify; footer present")
+	}
+	return verifyVerdict(vr, path)
+}
+
+// verifyVerdict maps a verify report to the subcommand's exit status: nil
+// when the trace is intact, a descriptive error otherwise. Shared by the
+// table and -json output modes so both exit identically.
+func verifyVerdict(vr *aprof.TraceVerifyReport, path string) error {
+	if vr.Version == 1 {
+		if vr.StrictErr != nil {
+			return fmt.Errorf("verify: %s: legacy v1 trace failed to decode: %w", path, vr.StrictErr)
+		}
+		return nil
+	}
+	if vr.OK() {
 		return nil
 	}
 	switch {
@@ -294,41 +361,68 @@ func replay(args []string) error {
 
 // analyze computes the trace's profile with the parallel pipeline; the
 // output is identical to replay's. With -recover, a damaged trace is first
-// salvaged and the recovery summary printed before profiling what survived.
+// salvaged and the recovery summary printed before profiling what survived
+// (-json renders that summary as JSON on stderr; the exit code is
+// unchanged). With -workload the trace is recorded in-process immediately
+// before analysis — one command exercising recording, encoding, decoding
+// and the pipeline — and the pipeline profile is cross-checked against the
+// inline profiler's.
 func analyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	tieSeed := fs.Int64("tieseed", 0, "tie-breaking seed for the merge")
 	workers := fs.Int("workers", 0, "analysis goroutines (0: GOMAXPROCS)")
 	top := fs.Int("top", 15, "routines to show")
 	rescue := fs.Bool("recover", false, "salvage intact segments from a damaged trace instead of failing")
+	jsonOut := fs.Bool("json", false, "with -recover, print the recovery report as JSON on stderr")
 	maxEvents := fs.Int("max-events", 0, "refuse traces with more events (0: unlimited)")
 	timeout := fs.Duration("timeout", 0, "abort the analysis after this long (0: no limit)")
+	showProgress := fs.Bool("progress", stderrIsTTY(), "draw a live progress line on stderr")
+	workload := fs.String("workload", "", "record this workload in-process and analyze it (no trace file argument)")
+	threads := fs.Int("threads", 0, "worker threads (with -workload)")
+	size := fs.Int("size", 0, "problem size (with -workload)")
+	seed := fs.Int64("seed", 0, "workload seed (with -workload)")
 	prof := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() < 1 {
-		return fmt.Errorf("analyze: trace file required")
+	if err := prof.Start(); err != nil {
+		return err
 	}
+	reg := prof.Registry()
 	var tr *aprof.Trace
+	var inline *aprof.Profile
 	var err error
-	if *rescue {
+	switch {
+	case *workload != "":
+		if fs.NArg() > 0 {
+			return fmt.Errorf("analyze: -workload and a trace file are mutually exclusive")
+		}
+		params := aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed, Telemetry: reg}
+		tr, inline, err = recordInProcess(*workload, params, reg)
+		if err != nil {
+			return err
+		}
+	case fs.NArg() < 1:
+		return fmt.Errorf("analyze: trace file required")
+	case *rescue:
 		var rep *aprof.TraceRecoveryReport
 		tr, rep, err = aprof.RecoverTraceFile(fs.Arg(0))
 		if err != nil {
 			return err
 		}
-		if !rep.Complete() {
+		rep.Publish(reg)
+		if *jsonOut {
+			if err := rep.WriteJSON(os.Stderr); err != nil {
+				return err
+			}
+		} else if !rep.Complete() {
 			fmt.Fprintln(os.Stderr, rep)
 		}
-	} else {
+	default:
 		tr, err = load(fs.Arg(0))
 		if err != nil {
 			return err
 		}
-	}
-	if err := prof.Start(); err != nil {
-		return err
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -336,12 +430,49 @@ func analyze(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	p, err := aprof.AnalyzeTraceContext(ctx, tr, *tieSeed, *workers, *maxEvents, aprof.Options{})
+	opts := aprof.AnalyzeOptions{
+		TieSeed: *tieSeed, Workers: *workers, MaxEvents: *maxEvents,
+		Telemetry: reg,
+	}
+	var pl *telemetry.Progress
+	if *showProgress {
+		pl = telemetry.NewProgress(os.Stderr, "analyze", uint64(tr.NumEvents()))
+		opts.Progress = func(done, total uint64) { pl.Update(done) }
+	}
+	p, err := aprof.AnalyzeTraceOptions(ctx, tr, opts)
+	pl.Done()
 	if err != nil {
 		return err
 	}
+	if inline != nil && !p.Equal(inline) {
+		return fmt.Errorf("analyze: pipeline profile differs from the inline profiler's (%d differences)",
+			len(p.Diff(inline)))
+	}
 	printProfile(p, *top)
+	publishLayers(reg)
 	return prof.Stop()
+}
+
+// recordInProcess runs the workload with a streaming recorder and an inline
+// profiler attached, then strictly decodes the recorded bytes: the returned
+// trace has passed the same checksum walk a file round-trip would, and the
+// inline profile lets analyze cross-check the pipeline result.
+func recordInProcess(name string, params aprof.WorkloadParams, reg *aprof.TelemetryRegistry) (*aprof.Trace, *aprof.Profile, error) {
+	var buf bytes.Buffer
+	rec := aprof.NewStreamRecorder(&buf)
+	rec.SetTelemetry(reg)
+	inline := aprof.NewProfiler(aprof.Options{Telemetry: reg})
+	if _, err := aprof.RunWorkload(name, params, rec, inline); err != nil {
+		return nil, nil, err
+	}
+	if err := rec.Close(); err != nil {
+		return nil, nil, fmt.Errorf("analyze: encoding %s: %w", name, err)
+	}
+	tr, err := aprof.DecodeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, nil, fmt.Errorf("analyze: decoding %s: %w", name, err)
+	}
+	return tr, inline.Profile(), nil
 }
 
 // printProfile renders a profile as a per-routine summary table, heaviest

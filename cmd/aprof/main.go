@@ -19,7 +19,10 @@ import (
 	"sort"
 
 	"repro/aprof"
+	"repro/internal/profflag"
 	"repro/internal/report"
+	"repro/internal/shadow"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -43,6 +46,7 @@ func main() {
 		csvOut    = flag.String("csv", "", "with -plot: also write the worst-case points as CSV to this file")
 		record    = flag.String("record", "", "record the execution trace to this file")
 	)
+	prof := profflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -55,11 +59,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	params := aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed, Timeslice: *timeslice}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "aprof:", err)
+		os.Exit(1)
+	}
+	reg := prof.Registry()
+	params := aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed,
+		Timeslice: *timeslice, Telemetry: reg}
 	opts := runOpts{top: *top, plot: *plot, fit: *fitR, induced: *induced,
 		perThread: *perThread, csvOut: *csvOut,
-		contexts: *contexts, jsonOut: *jsonOut, htmlOut: *htmlOut, record: *record, full: *full}
+		contexts: *contexts, jsonOut: *jsonOut, htmlOut: *htmlOut, record: *record, full: *full,
+		reg: reg}
 	if err := run(*workload, *tool, params, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "aprof:", err)
+		os.Exit(1)
+	}
+	shadow.PublishTelemetry(reg)
+	trace.PublishTelemetry(reg)
+	if err := prof.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "aprof:", err)
 		os.Exit(1)
 	}
@@ -88,6 +105,7 @@ type runOpts struct {
 	jsonOut   string
 	htmlOut   string
 	record    string
+	reg       *aprof.TelemetryRegistry
 }
 
 func run(workload, tool string, params aprof.WorkloadParams, o runOpts) error {
@@ -96,10 +114,10 @@ func run(workload, tool string, params aprof.WorkloadParams, o runOpts) error {
 	var prof *aprof.Profiler
 	switch tool {
 	case "aprof":
-		prof = aprof.NewProfiler(aprof.Options{ContextSensitive: o.contexts})
+		prof = aprof.NewProfiler(aprof.Options{ContextSensitive: o.contexts, Telemetry: o.reg})
 		tls = append(tls, prof)
 	case "aprof-rms":
-		prof = aprof.NewProfiler(aprof.Options{RMSOnly: true})
+		prof = aprof.NewProfiler(aprof.Options{RMSOnly: true, Telemetry: o.reg})
 		tls = append(tls, prof)
 	case "nulgrind":
 		tls = append(tls, aprof.NewNulgrind())

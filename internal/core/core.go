@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/guest"
 	"repro/internal/shadow"
+	"repro/internal/telemetry"
 )
 
 // Options configures a Profiler. The zero value enables everything: trms
@@ -68,6 +69,14 @@ type Options struct {
 	// shadow's time and space costs, which is what the paper's Table 1
 	// compares aprof-trms against.
 	RMSOnly bool
+
+	// Telemetry, when non-nil, receives the profiler's self-metrics
+	// (core/* counters: events consumed, renumbering passes, induced
+	// first-accesses, routine-table and context-tree sizes, peak shadow
+	// bytes) when Finish runs. The profiler tallies into plain locals and
+	// publishes once, so the per-event hot paths carry no atomic traffic;
+	// nil disables publication.
+	Telemetry *telemetry.Registry
 }
 
 // defaultRenumberThreshold leaves headroom below the 32-bit limit so a
@@ -121,6 +130,10 @@ type Profiler struct {
 	ctxTree   *ContextTree // non-nil when Options.ContextSensitive
 	renumbers uint64
 	peakBytes uint64
+	// events tallies every event the profiler consumed (plain counter,
+	// published to Options.Telemetry at Finish; batches count len(events)
+	// in one add, keeping the tally off the per-event path).
+	events uint64
 }
 
 // threadView is the per-thread profiling state: the thread's shadow memory
@@ -272,12 +285,14 @@ func (p *Profiler) Attach(env guest.Env) { p.env = env }
 
 // ThreadStart implements guest.Tool.
 func (p *Profiler) ThreadStart(t, parent guest.ThreadID) {
+	p.events++
 	p.view(t)
 }
 
 // ThreadExit implements guest.Tool. The thread's shadow memory is released;
 // its routine aggregates are retired and feed the final profile.
 func (p *Profiler) ThreadExit(t guest.ThreadID) {
+	p.events++
 	p.recordPeak()
 	tv := p.threads[t]
 	if tv == nil {
@@ -303,11 +318,13 @@ func (p *Profiler) ThreadExit(t guest.ThreadID) {
 // counter so that a write by one thread and a subsequent read by another are
 // always separated in timestamp order.
 func (p *Profiler) SwitchThread(from, to guest.ThreadID) {
+	p.events++
 	p.bump()
 }
 
 // Call implements guest.Tool.
 func (p *Profiler) Call(t guest.ThreadID, r guest.RoutineID, bb uint64) {
+	p.events++
 	ts := p.bump()
 	tv := p.view(t)
 	tv.stack = append(tv.stack, frame{rtn: r, ts: ts, bbEnter: bb})
@@ -326,6 +343,7 @@ func (p *Profiler) Call(t guest.ThreadID, r guest.RoutineID, bb uint64) {
 // per routine id; no routine name is resolved here (except for the
 // OnActivation stream, which carries names by contract).
 func (p *Profiler) Return(t guest.ThreadID, r guest.RoutineID, bb uint64) {
+	p.events++
 	tv := p.view(t)
 	n := len(tv.stack)
 	if n == 0 {
@@ -358,6 +376,7 @@ func (p *Profiler) Return(t guest.ThreadID, r guest.RoutineID, bb uint64) {
 // Read implements guest.Tool. This is the algorithm of Fig. 11 extended with
 // the parallel rms computation and the induced-input provenance split.
 func (p *Profiler) Read(t guest.ThreadID, a guest.Addr) {
+	p.events++
 	p.readAt(p.view(t), a)
 }
 
@@ -441,6 +460,7 @@ func (p *Profiler) readAt(tv *threadView, a guest.Addr) {
 // timestamps move to the current counter value, so the thread's own later
 // reads never appear induced (ts_t[l] == wts[l]).
 func (p *Profiler) Write(t guest.ThreadID, a guest.Addr) {
+	p.events++
 	p.writeAt(p.view(t), a)
 }
 
@@ -464,6 +484,7 @@ func (p *Profiler) writeAt(tv *threadView, a guest.Addr) {
 // speedup; its per-event work is the readAt/writeAt/KernelWrite logic with
 // every rediscovered invariant removed.
 func (p *Profiler) MemBatch(t guest.ThreadID, startTS uint64, events []guest.MemEvent) {
+	p.events += uint64(len(events))
 	tv := p.view(t)
 	cnt := p.count
 	// Persistent shadow cursors: guest access patterns are overwhelmingly
@@ -610,6 +631,7 @@ func (p *Profiler) KernelRead(t guest.ThreadID, a guest.Addr) {
 // timestamp, so a subsequent read of the cell — and only an actual read —
 // registers as external input (Fig. 12).
 func (p *Profiler) KernelWrite(t guest.ThreadID, a guest.Addr) {
+	p.events++
 	if p.opts.RMSOnly {
 		return
 	}
@@ -627,7 +649,32 @@ func (p *Profiler) Alloc(guest.ThreadID, guest.Addr, int) {}
 func (p *Profiler) Free(guest.ThreadID, guest.Addr, int) {}
 
 // Finish implements guest.Tool.
-func (p *Profiler) Finish() { p.recordPeak() }
+func (p *Profiler) Finish() {
+	p.recordPeak()
+	p.publishTelemetry()
+}
+
+// publishTelemetry pushes the end-of-run tallies into Options.Telemetry.
+// Size metrics use SetMax so concurrent profilers sharing a registry (the
+// pipeline's per-thread workers) report high-water marks, while counters
+// accumulate across them.
+func (p *Profiler) publishTelemetry() {
+	reg := p.opts.Telemetry
+	if reg == nil {
+		return
+	}
+	reg.Counter("core/events_consumed").Add(p.events)
+	reg.Counter("core/renumbers").Add(p.renumbers)
+	reg.Counter("core/induced_thread").Add(p.inducedThread)
+	reg.Counter("core/induced_external").Add(p.inducedExternal)
+	if p.env != nil {
+		reg.Gauge("core/routine_table").SetMax(int64(p.env.NumRoutines()))
+	}
+	if p.ctxTree != nil {
+		reg.Gauge("core/context_tree_nodes").SetMax(int64(p.ctxTree.NumContexts()))
+	}
+	reg.Gauge("core/shadow_peak_bytes").SetMax(int64(p.peakBytes))
+}
 
 func (p *Profiler) recordPeak() {
 	if b := p.GlobalShadowBytes() + p.ThreadShadowBytes(); b > p.peakBytes {

@@ -13,12 +13,17 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/guest"
+	"repro/internal/shadow"
+	"repro/internal/telemetry"
 	"repro/internal/tools"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -33,8 +38,31 @@ type Config struct {
 	Repeat int
 	// BenchJSON, when non-empty, is a path where experiments that measure
 	// performance ("validation", "inline") additionally write their raw
-	// numbers as JSON.
+	// numbers as JSON. A telemetry snapshot of one instrumented run is
+	// written next to it (BENCH_X.json -> BENCH_X_TELEMETRY.json).
 	BenchJSON string
+}
+
+// writeBenchTelemetry publishes the process-wide shadow and trace tallies
+// into reg and writes its snapshot next to Config.BenchJSON
+// (BENCH_INLINE.json -> BENCH_INLINE_TELEMETRY.json). No-op when BenchJSON
+// is unset or reg is nil.
+func writeBenchTelemetry(cfg Config, reg *telemetry.Registry) error {
+	if cfg.BenchJSON == "" || reg == nil {
+		return nil
+	}
+	shadow.PublishTelemetry(reg)
+	trace.PublishTelemetry(reg)
+	path := strings.TrimSuffix(cfg.BenchJSON, ".json") + "_TELEMETRY.json"
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func (c Config) repeats() int {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -195,6 +196,22 @@ func runInline(cfg Config) error {
 			return err
 		}
 		if err := os.WriteFile(cfg.BenchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		// One extra instrumented run per workload, outside the timing
+		// loops, captures the guest/core/shadow metric snapshot that
+		// accompanies the raw numbers.
+		reg := telemetry.NewRegistry()
+		for _, wl := range inlineWorkloads {
+			params := workloads.Params{Size: wl.size, Threads: wl.threads, Telemetry: reg}
+			if cfg.Quick {
+				params.Size = max(wl.size/2, 4)
+			}
+			if _, err := workloads.RunByName(wl.name, params, core.New(core.Options{Telemetry: reg})); err != nil {
+				return err
+			}
+		}
+		if err := writeBenchTelemetry(cfg, reg); err != nil {
 			return err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/trace/pipeline"
 	"repro/internal/workloads"
@@ -345,6 +346,15 @@ func validatePerformance(w io.Writer, cfg Config) error {
 			return err
 		}
 		if err := os.WriteFile(cfg.BenchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		// One extra instrumented analysis, outside the timing loops,
+		// captures the pipeline metric snapshot accompanying the numbers.
+		reg := telemetry.NewRegistry()
+		if _, err := pipeline.Analyze(tr, pipeline.Options{Workers: 4, Telemetry: reg}); err != nil {
+			return err
+		}
+		if err := writeBenchTelemetry(cfg, reg); err != nil {
 			return err
 		}
 	}

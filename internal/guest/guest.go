@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/telemetry"
 )
 
 // Addr is a virtual memory address. Each address names one memory cell
@@ -91,6 +93,14 @@ type Config struct {
 	// byte-identical); the flag exists so the unbatched dispatch cost
 	// remains measurable and so batching bugs can be bisected.
 	Unbatched bool
+
+	// Telemetry, when non-nil, receives the machine's self-metrics
+	// (guest/* counters: operations, memory events, batch flushes, thread
+	// switches, kernel I/O) at the end of the run. The machine keeps plain
+	// local tallies during execution and publishes them once, so enabling
+	// telemetry adds no per-event atomic traffic; nil disables publication
+	// entirely.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultTimeslice is the scheduler quantum, in guest operations, used when
@@ -135,6 +145,12 @@ type Machine struct {
 	batchStart  uint64   // ops value of the batch's first event
 	replaying   bool     // inside the legacy replay shim
 	replayTS    uint64   // Now() override while replaying
+
+	// Self-telemetry tallies (see Config.Telemetry). Plain counters: the
+	// machine is serialized, and they are published to the registry only
+	// at the end of the run. Memory events are tallied per batch flush,
+	// not per event, so the batched hot path stays untouched.
+	stats guestStats
 
 	// Aux is scratch storage for guest-program frameworks built on top of
 	// the machine (e.g. the workload library's OpenMP-style thread team).
@@ -265,7 +281,35 @@ func (m *Machine) Run(body func(*Thread)) error {
 	for _, t := range m.tools {
 		t.Finish()
 	}
+	m.publishTelemetry()
 	return m.aborted
+}
+
+// guestStats holds the machine's plain (non-atomic) self-metric tallies.
+type guestStats struct {
+	memEvents    uint64 // memory events dispatched to tools (incl. kernel I/O)
+	kernelEvents uint64 // kernel-mediated subset of memEvents
+	flushes      uint64 // batch flushes (batched mode only)
+	switches     uint64 // scheduler handoffs
+}
+
+// publishTelemetry pushes the end-of-run tallies into Config.Telemetry.
+// Counters accumulate, so several machines sharing one registry (e.g. an
+// experiment sweep) sum their totals.
+func (m *Machine) publishTelemetry() {
+	reg := m.cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	reg.Counter("guest/ops").Add(m.ops)
+	reg.Counter("guest/bb_total").Add(m.BBTotal())
+	reg.Counter("guest/mem_events").Add(m.stats.memEvents)
+	reg.Counter("guest/kernel_io").Add(m.stats.kernelEvents)
+	reg.Counter("guest/batch_flushes").Add(m.stats.flushes)
+	reg.Counter("guest/thread_switches").Add(m.stats.switches)
+	reg.Counter("guest/threads_started").Add(uint64(len(m.threads)))
+	reg.Gauge("guest/routines").Set(int64(len(m.routineNames)))
+	reg.Gauge("guest/sync_objects").Set(int64(len(m.syncNames)))
 }
 
 func (m *Machine) newThread(parent ThreadID, name string, body func(*Thread)) *Thread {

@@ -217,6 +217,8 @@ func (m *Machine) flushMem() {
 	}
 	evs := m.batch[:m.batchLen]
 	m.batchLen = 0
+	m.stats.memEvents += uint64(len(evs)) // hoisted per-event tally: one add per flush
+	m.stats.flushes++
 	for i, tl := range m.tools {
 		if s := m.sinks[i]; s != nil {
 			s.MemBatch(m.batchThread, m.batchStart, evs)
@@ -270,6 +272,7 @@ func (m *Machine) emitReturn(t ThreadID, r RoutineID, bb uint64) {
 func (m *Machine) emitRead(t ThreadID, a Addr) {
 	m.ops++
 	if m.direct {
+		m.stats.memEvents++
 		for _, tl := range m.tools {
 			tl.Read(t, a)
 		}
@@ -286,6 +289,7 @@ func (m *Machine) emitRead(t ThreadID, a Addr) {
 func (m *Machine) emitWrite(t ThreadID, a Addr) {
 	m.ops++
 	if m.direct {
+		m.stats.memEvents++
 		for _, tl := range m.tools {
 			tl.Write(t, a)
 		}
@@ -301,7 +305,9 @@ func (m *Machine) emitWrite(t ThreadID, a Addr) {
 
 func (m *Machine) emitKernelRead(t ThreadID, a Addr) {
 	m.ops++
+	m.stats.kernelEvents++
 	if m.direct {
+		m.stats.memEvents++
 		for _, tl := range m.tools {
 			tl.KernelRead(t, a)
 		}
@@ -317,7 +323,9 @@ func (m *Machine) emitKernelRead(t ThreadID, a Addr) {
 
 func (m *Machine) emitKernelWrite(t ThreadID, a Addr) {
 	m.ops++
+	m.stats.kernelEvents++
 	if m.direct {
+		m.stats.memEvents++
 		for _, tl := range m.tools {
 			tl.KernelWrite(t, a)
 		}
@@ -333,6 +341,7 @@ func (m *Machine) emitKernelWrite(t ThreadID, a Addr) {
 
 func (m *Machine) emitSwitch(from, to ThreadID) {
 	m.ops++
+	m.stats.switches++
 	m.flushMem()
 	for _, tl := range m.tools {
 		tl.SwitchThread(from, to)

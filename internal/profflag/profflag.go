@@ -9,28 +9,39 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"repro/internal/telemetry"
 )
 
-// Flags holds the profiling destinations parsed from a flag set.
+// Flags holds the profiling and telemetry destinations parsed from a
+// flag set.
 type Flags struct {
-	cpu string
-	mem string
+	cpu       string
+	mem       string
+	exectrace string
+	tele      telemetryValue
 
-	cpuFile *os.File
+	cpuFile   *os.File
+	traceFile *os.File
+	reg       *telemetry.Registry
 }
 
-// Register adds -cpuprofile and -memprofile to fs and returns the handle
-// that starts and stops collection.
+// Register adds -cpuprofile, -memprofile, -telemetry and -exectrace to fs
+// and returns the handle that starts and stops collection.
 func Register(fs *flag.FlagSet) *Flags {
 	p := &Flags{}
 	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to `file`")
+	p.registerTelemetry(fs)
 	return p
 }
 
-// Start begins CPU profiling if -cpuprofile was given. It must be called
-// after the flag set is parsed.
+// Start begins CPU profiling and execution tracing if -cpuprofile or
+// -exectrace were given. It must be called after the flag set is parsed.
 func (p *Flags) Start() error {
+	if err := p.startTrace(); err != nil {
+		return err
+	}
 	if p.cpu == "" {
 		return nil
 	}
@@ -46,10 +57,14 @@ func (p *Flags) Start() error {
 	return nil
 }
 
-// Stop finishes the CPU profile and, if -memprofile was given, writes a
-// heap profile after a final garbage collection. It is safe to call even if
-// Start failed or profiling was not requested.
+// Stop finishes the CPU profile, flushes the telemetry snapshot and the
+// execution trace, and, if -memprofile was given, writes a heap profile
+// after a final garbage collection. It is safe to call even if Start
+// failed or none of the outputs were requested.
 func (p *Flags) Stop() error {
+	if err := p.stopTelemetry(); err != nil {
+		return err
+	}
 	if p.cpuFile != nil {
 		pprof.StopCPUProfile()
 		if err := p.cpuFile.Close(); err != nil {

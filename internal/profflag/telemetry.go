@@ -1,0 +1,121 @@
+package profflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/trace"
+
+	"repro/internal/telemetry"
+)
+
+// telemetryValue is the flag.Value behind -telemetry. The flag is
+// boolean-shaped (`-telemetry` alone enables text output on stderr) but
+// also accepts a path (`-telemetry=metrics.json` writes a JSON snapshot
+// there), so one flag covers both interactive and scripted use.
+type telemetryValue struct {
+	enabled bool
+	path    string
+}
+
+// String renders the flag's current state for flag-package help output.
+func (v *telemetryValue) String() string {
+	if !v.enabled {
+		return ""
+	}
+	if v.path == "" {
+		return "true"
+	}
+	return v.path
+}
+
+// Set enables telemetry. The boolean spellings accepted by the flag
+// package ("true", "false", "1", ...) toggle stderr text output; any
+// other value is taken as a JSON snapshot path.
+func (v *telemetryValue) Set(s string) error {
+	switch s {
+	case "", "true", "1", "t", "T", "TRUE", "True":
+		v.enabled, v.path = true, ""
+	case "false", "0", "f", "F", "FALSE", "False":
+		v.enabled, v.path = false, ""
+	default:
+		v.enabled, v.path = true, s
+	}
+	return nil
+}
+
+// IsBoolFlag lets `-telemetry` appear without a value.
+func (v *telemetryValue) IsBoolFlag() bool { return true }
+
+// registerTelemetry adds -telemetry and -exectrace to fs alongside the
+// pprof flags; Register calls it so every tool sharing this package
+// exposes the same observability surface.
+func (p *Flags) registerTelemetry(fs *flag.FlagSet) {
+	fs.Var(&p.tele, "telemetry", "collect runtime metrics; bare flag prints them to stderr, `=file.json` writes a JSON snapshot")
+	fs.StringVar(&p.exectrace, "exectrace", "", "write a runtime/trace execution trace to `file` (view with go tool trace)")
+}
+
+// Registry returns the metrics registry when -telemetry was given, and nil
+// otherwise. A nil registry is valid everywhere metrics are taken — every
+// instrumentation hook degrades to a no-op — so callers pass the result
+// through unconditionally.
+func (p *Flags) Registry() *telemetry.Registry {
+	if !p.tele.enabled {
+		return nil
+	}
+	if p.reg == nil {
+		p.reg = telemetry.NewRegistry()
+	}
+	return p.reg
+}
+
+// startTrace begins the runtime/trace session if -exectrace was given.
+func (p *Flags) startTrace() error {
+	if p.exectrace == "" {
+		return nil
+	}
+	f, err := os.Create(p.exectrace)
+	if err != nil {
+		return fmt.Errorf("exectrace: %w", err)
+	}
+	if err := trace.Start(f); err != nil {
+		f.Close()
+		return fmt.Errorf("exectrace: %w", err)
+	}
+	p.traceFile = f
+	return nil
+}
+
+// stopTelemetry flushes the telemetry snapshot (JSON to the requested
+// path, or text to stderr) and closes the execution trace, if either was
+// requested.
+func (p *Flags) stopTelemetry() error {
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil {
+			return fmt.Errorf("exectrace: %w", err)
+		}
+		p.traceFile = nil
+	}
+	if reg := p.Registry(); reg != nil {
+		if p.tele.path != "" {
+			f, err := os.Create(p.tele.path)
+			if err != nil {
+				return fmt.Errorf("telemetry: %w", err)
+			}
+			if err := reg.WriteJSON(f); err != nil {
+				f.Close()
+				return fmt.Errorf("telemetry: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("telemetry: %w", err)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "--- telemetry ---")
+			if err := reg.WriteText(os.Stderr); err != nil {
+				return fmt.Errorf("telemetry: %w", err)
+			}
+		}
+	}
+	return nil
+}

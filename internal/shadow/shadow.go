@@ -12,8 +12,10 @@ package shadow
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/guest"
+	"repro/internal/telemetry"
 )
 
 // Shadow geometry. An address decomposes into primary index (high bits),
@@ -95,6 +97,32 @@ var (
 	secPool64   sync.Pool
 )
 
+// stats tallies pool traffic process-wide (the pools themselves are global
+// and shared by concurrent pipeline workers, so the tallies are atomic).
+// Every counter fires at chunk/secondary allocation granularity — once per
+// 16 K shadow cells — so the cost is noise even with telemetry disabled.
+var stats struct {
+	chunksAllocated atomic.Uint64 // fresh chunk slabs from the heap
+	chunksRecycled  atomic.Uint64 // chunk slabs reused from the pool
+	chunksPooled    atomic.Uint64 // chunk slabs returned by Release
+	secsAllocated   atomic.Uint64 // fresh secondary index tables
+	secsRecycled    atomic.Uint64 // secondaries reused from the pool
+	secsPooled      atomic.Uint64 // secondaries returned by Release
+}
+
+// PublishTelemetry copies the process-wide shadow allocation tallies into
+// reg as shadow/* gauges. Gauges (Set, not Add) make publication
+// idempotent: the counters are global, so republishing reports the current
+// totals rather than double-counting. Safe with a nil registry.
+func PublishTelemetry(reg *telemetry.Registry) {
+	reg.Gauge("shadow/chunks_allocated").Set(int64(stats.chunksAllocated.Load()))
+	reg.Gauge("shadow/chunks_recycled").Set(int64(stats.chunksRecycled.Load()))
+	reg.Gauge("shadow/chunks_pooled").Set(int64(stats.chunksPooled.Load()))
+	reg.Gauge("shadow/secondaries_allocated").Set(int64(stats.secsAllocated.Load()))
+	reg.Gauge("shadow/secondaries_recycled").Set(int64(stats.secsRecycled.Load()))
+	reg.Gauge("shadow/secondaries_pooled").Set(int64(stats.secsPooled.Load()))
+}
+
 // newChunk returns a zeroed chunk, recycling a pooled slab when one is
 // available for the element type.
 func newChunk[T comparable]() *chunk[T] {
@@ -104,15 +132,18 @@ func newChunk[T comparable]() *chunk[T] {
 		if v := chunkPool32.Get(); v != nil {
 			ch := v.(*chunk[uint32])
 			clear(ch.vals[:])
+			stats.chunksRecycled.Add(1)
 			return any(ch).(*chunk[T])
 		}
 	case uint64:
 		if v := chunkPool64.Get(); v != nil {
 			ch := v.(*chunk[uint64])
 			clear(ch.vals[:])
+			stats.chunksRecycled.Add(1)
 			return any(ch).(*chunk[T])
 		}
 	}
+	stats.chunksAllocated.Add(1)
 	return new(chunk[T])
 }
 
@@ -123,13 +154,16 @@ func newSecondary[T comparable]() *secondary[T] {
 	switch any(z).(type) {
 	case uint32:
 		if v := secPool32.Get(); v != nil {
+			stats.secsRecycled.Add(1)
 			return any(v.(*secondary[uint32])).(*secondary[T])
 		}
 	case uint64:
 		if v := secPool64.Get(); v != nil {
+			stats.secsRecycled.Add(1)
 			return any(v.(*secondary[uint64])).(*secondary[T])
 		}
 	}
+	stats.secsAllocated.Add(1)
 	return new(secondary[T])
 }
 
@@ -145,8 +179,10 @@ func (t *Table[T]) Release() {
 		switch any(z).(type) {
 		case uint32:
 			chunkPool32.Put(any(ch).(*chunk[uint32]))
+			stats.chunksPooled.Add(1)
 		case uint64:
 			chunkPool64.Put(any(ch).(*chunk[uint64]))
+			stats.chunksPooled.Add(1)
 		}
 	}
 	t.allocated = nil
@@ -156,8 +192,10 @@ func (t *Table[T]) Release() {
 		switch any(z).(type) {
 		case uint32:
 			secPool32.Put(any(sec).(*secondary[uint32]))
+			stats.secsPooled.Add(1)
 		case uint64:
 			secPool64.Put(any(sec).(*secondary[uint64]))
+			stats.secsPooled.Add(1)
 		}
 	}
 	t.secList = nil

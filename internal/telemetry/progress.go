@@ -1,0 +1,154 @@
+// Live progress reporting: a rate-limited, single-line stderr renderer
+// used by `aprof-trace analyze` and `record`. It is deliberately decoupled
+// from Registry — progress works without -telemetry (the pipeline's
+// Progress option feeds it directly).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress renders a live "done/total (pct) rate ETA" line, overwriting
+// itself with \r on each update. Updates are rate-limited (default 10/s)
+// so callers may invoke Update from hot loops and from multiple goroutines
+// (it is mutex-protected, matching the pipeline's concurrent Progress
+// callbacks). Call Done when finished to print the final state and a
+// newline. A nil *Progress ignores all calls.
+type Progress struct {
+	mu      sync.Mutex
+	w       io.Writer
+	label   string
+	total   uint64
+	start   time.Time
+	last    time.Time
+	minGap  time.Duration
+	note    string
+	done    uint64
+	wrote   bool
+	lastLen int
+}
+
+// NewProgress returns a Progress writing to w. label prefixes the line
+// (e.g. "analyze"); total is the expected number of units, or zero when
+// unknown (rate is shown but no percentage or ETA).
+func NewProgress(w io.Writer, label string, total uint64) *Progress {
+	return &Progress{w: w, label: label, total: total, start: time.Now(), minGap: 100 * time.Millisecond}
+}
+
+// SetNote sets a free-form suffix shown at the end of the line (e.g.
+// "12 segments"). No-op on a nil receiver.
+func (p *Progress) SetNote(note string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.note = note
+	p.mu.Unlock()
+}
+
+// Update reports that done units have completed so far (an absolute value,
+// not a delta) and redraws the line if enough time has passed since the
+// last draw. Safe for concurrent use; no-op on a nil receiver.
+func (p *Progress) Update(done uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if done > p.done {
+		p.done = done
+	}
+	now := time.Now()
+	if now.Sub(p.last) < p.minGap {
+		return
+	}
+	p.last = now
+	p.render(now)
+}
+
+// Done redraws the final state and terminates the line with a newline (only
+// if anything was ever drawn). No-op on a nil receiver.
+func (p *Progress) Done() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.render(time.Now())
+	if p.wrote {
+		fmt.Fprintln(p.w)
+		p.wrote = false
+	}
+}
+
+// render draws the current line; the caller holds p.mu.
+func (p *Progress) render(now time.Time) {
+	elapsed := now.Sub(p.start).Seconds()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", p.label, groupDigits(p.done))
+	if p.total > 0 {
+		fmt.Fprintf(&b, "/%s", groupDigits(p.total))
+	}
+	b.WriteString(" events")
+	if p.total > 0 {
+		fmt.Fprintf(&b, " (%d%%)", 100*p.done/p.total)
+	}
+	if elapsed > 0 {
+		rate := float64(p.done) / elapsed
+		fmt.Fprintf(&b, " %s/s", siRate(rate))
+		if p.total > 0 && rate > 0 && p.done < p.total {
+			eta := time.Duration(float64(p.total-p.done) / rate * float64(time.Second))
+			fmt.Fprintf(&b, " ETA %s", eta.Round(time.Second))
+		}
+	}
+	if p.note != "" {
+		b.WriteString("  ")
+		b.WriteString(p.note)
+	}
+	line := b.String()
+	pad := p.lastLen - len(line)
+	p.lastLen = len(line)
+	if pad > 0 {
+		line += strings.Repeat(" ", pad)
+	}
+	fmt.Fprintf(p.w, "\r%s", line)
+	p.wrote = true
+}
+
+// groupDigits formats n with thousands separators (1234567 -> "1,234,567").
+func groupDigits(n uint64) string {
+	s := fmt.Sprint(n)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}
+
+// siRate formats an events-per-second rate with an SI suffix ("1.2M").
+func siRate(r float64) string {
+	switch {
+	case r >= 1e9:
+		return fmt.Sprintf("%.1fG", r/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}

@@ -1,0 +1,64 @@
+// Span timers and execution-trace integration: spans record wall-clock
+// durations into registry histograms and, when `go test -trace` /
+// runtime/trace collection is active, open matching runtime/trace regions
+// so `go tool trace` shows the profiler's own phases (pre-scan, per-thread
+// analysis, merge) on the timeline. pprof labels tag worker goroutines so
+// CPU profiles split by pipeline thread.
+package telemetry
+
+import (
+	"context"
+	"runtime/pprof"
+	"runtime/trace"
+	"time"
+)
+
+// Span is an in-flight timed section returned by Registry.StartSpan. End
+// stops the timer, records the duration (in nanoseconds) into the span's
+// histogram, and closes the runtime/trace region. The zero Span is inert.
+type Span struct {
+	h      *Histogram
+	start  time.Time
+	region *trace.Region
+}
+
+// StartSpan opens a timed section named name. The duration is recorded in
+// the histogram "<name>_ns" when End is called. A runtime/trace region
+// with the same name is opened regardless of whether the registry is nil,
+// so `go tool trace` timelines work even with metrics disabled (regions
+// are near-free when tracing is off).
+func (r *Registry) StartSpan(ctx context.Context, name string) Span {
+	s := Span{region: trace.StartRegion(ctx, name)}
+	if r != nil {
+		s.h = r.Histogram(name + "_ns")
+		s.start = time.Now()
+	}
+	return s
+}
+
+// End closes the span: the elapsed time is observed into the histogram and
+// the runtime/trace region ends. Safe to call on the zero Span.
+func (s Span) End() {
+	if s.h != nil {
+		s.h.Observe(uint64(time.Since(s.start)))
+	}
+	if s.region != nil {
+		s.region.End()
+	}
+}
+
+// StartTask opens a runtime/trace task (a named interval that groups child
+// regions in `go tool trace`). The returned context must be passed to
+// StartSpan/Do calls belonging to the task; call end when the task
+// completes. Works with a nil registry.
+func StartTask(ctx context.Context, name string) (context.Context, func()) {
+	ctx, task := trace.NewTask(ctx, name)
+	return ctx, task.End
+}
+
+// Do runs fn with the pprof label key=value attached, so CPU and goroutine
+// profiles taken while fn runs can be split by the label (e.g. per pipeline
+// worker). It composes with StartSpan via the shared context.
+func Do(ctx context.Context, key, value string, fn func(ctx context.Context)) {
+	pprof.Do(ctx, pprof.Labels(key, value), fn)
+}

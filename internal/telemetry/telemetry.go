@@ -1,0 +1,353 @@
+// Package telemetry is the profiler's self-observability core: a
+// dependency-free set of atomic counters, gauges, bounded histograms and
+// span timers collected in named registries, with a deterministic JSON
+// snapshot API and an expvar-style text exposition.
+//
+// The package is designed around two constraints from the hot paths it
+// instruments (the guest machine steps tens of millions of operations per
+// second; pipeline workers replay trace segments concurrently):
+//
+//   - Disabled must be (near) free. Every metric method is safe on a nil
+//     receiver and compiles to a single predictable branch, and a nil
+//     *Registry hands out nil metrics, so instrumented code holds plain
+//     struct fields and never checks a "telemetry enabled?" flag itself.
+//
+//   - Enabled must stay off the per-event path. Layers accumulate plain
+//     (non-atomic) local tallies and publish them with one Counter.Add at
+//     batch boundaries — the same hoisting discipline the guest machine
+//     uses for its memory-event ring.
+//
+// Metric names are slash-separated, "layer/metric" (e.g. "guest/mem_events",
+// "pipeline/queue_wait_ns"); see docs/OBSERVABILITY.md for the catalog.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// safe on a nil receiver: a nil Counter ignores Add and loads as zero,
+// which is how disabled telemetry costs a single branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count (zero on a nil receiver).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous signed value (level, high-water mark, ratio in
+// fixed-point). All methods are safe on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger (atomic high-water mark).
+// No-op on a nil receiver.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (zero on a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of a Histogram: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. power-of-two ranges
+// [2^(i-1), 2^i). 65 buckets cover the full uint64 range (bucket 0 is v==0),
+// so a Histogram is bounded at 65*8 bytes of counts regardless of input.
+const histBuckets = 65
+
+// Histogram is a bounded histogram over uint64 observations with
+// power-of-two buckets, plus exact count/sum and min/max. It is safe for
+// concurrent Observe from many goroutines and safe on a nil receiver.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // stored as ^value so zero means "unset"
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one observation. No-op on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+	inv := ^v // min is stored inverted so the zero value means "no observations"
+	for {
+		cur := h.min.Load()
+		if cur != 0 && inv <= cur {
+			break
+		}
+		if h.min.CompareAndSwap(cur, inv) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (zero on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (zero on a nil receiver).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// call NewRegistry. A nil *Registry is the disabled state: its lookup
+// methods return nil metrics whose methods no-op, so instrumented code can
+// resolve metric handles unconditionally.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Returns nil (a valid disabled counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Returns nil (a valid disabled gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use. Returns nil (a valid disabled histogram) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = new(Histogram)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count
+// observations with values in [Lo, Hi].
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the point-in-time state of one histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Maps are
+// keyed by metric name; encoding/json sorts map keys, so marshaling a
+// Snapshot is deterministic for a quiesced registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// snapshotHistogram copies one histogram. Not atomic across fields: callers
+// snapshot quiesced registries (after a run) or accept small skews.
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	if m := h.min.Load(); m != 0 {
+		s.Min = ^m
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := Bucket{Count: n}
+		if i > 0 {
+			b.Lo = 1 << (i - 1)
+			b.Hi = 1<<i - 1
+			if i == 64 {
+				b.Hi = ^uint64(0)
+			}
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}
+
+// Snapshot returns a point-in-time copy of all metrics. On a nil registry
+// it returns an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = snapshotHistogram(h)
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON. The output is
+// deterministic for a quiesced registry (map keys sort). Safe on a nil
+// registry (writes an empty snapshot).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes an expvar-style plain-text exposition: one sorted
+// "name value" line per counter and gauge, and a summary line per
+// histogram. Safe on a nil registry (writes nothing).
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var err error
+		switch {
+		case hasCounter(s, name):
+			_, err = fmt.Fprintf(w, "%s %d\n", name, s.Counters[name])
+		case hasGauge(s, name):
+			_, err = fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name])
+		default:
+			h := s.Histograms[name]
+			_, err = fmt.Fprintf(w, "%s count=%d sum=%d min=%d max=%d mean=%.1f\n",
+				name, h.Count, h.Sum, h.Min, h.Max, h.Mean)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hasCounter(s Snapshot, name string) bool { _, ok := s.Counters[name]; return ok }
+func hasGauge(s Snapshot, name string) bool   { _, ok := s.Gauges[name]; return ok }

@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("guest/ops")
+	c.Add(10)
+	c.Inc()
+	if got := c.Load(); got != 11 {
+		t.Fatalf("counter = %d, want 11", got)
+	}
+	if again := r.Counter("guest/ops"); again != c {
+		t.Fatal("Counter did not return the same handle for the same name")
+	}
+
+	g := r.Gauge("core/shadow_peak_bytes")
+	g.Set(100)
+	g.Add(-40)
+	if got := g.Load(); got != 60 {
+		t.Fatalf("gauge = %d, want 60", got)
+	}
+	g.SetMax(50)
+	if got := g.Load(); got != 60 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(90)
+	if got := g.Load(); got != 90 {
+		t.Fatalf("SetMax = %d, want 90", got)
+	}
+}
+
+func TestNilReceiversAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Add(5)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	h.Observe(42)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must load as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var p *Progress
+	p.Update(1)
+	p.SetNote("n")
+	p.Done()
+	var sp Span
+	sp.End()
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pipeline/queue_wait_ns")
+	for _, v := range []uint64{0, 1, 2, 3, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	want := uint64(0 + 1 + 2 + 3 + 1000 + 1<<40)
+	if h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+	hs := r.Snapshot().Histograms["pipeline/queue_wait_ns"]
+	if hs.Min != 0 || hs.Max != 1<<40 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", hs.Min, hs.Max, uint64(1)<<40)
+	}
+	var total uint64
+	for _, b := range hs.Buckets {
+		total += b.Count
+		if b.Count == 0 {
+			t.Fatal("snapshot contains an empty bucket")
+		}
+	}
+	if total != 6 {
+		t.Fatalf("bucket counts sum to %d, want 6", total)
+	}
+	// Bucket edges: 2 and 3 share the [2,3] bucket.
+	found := false
+	for _, b := range hs.Buckets {
+		if b.Lo == 2 && b.Hi == 3 && b.Count == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing [2,3] bucket with count 2: %+v", hs.Buckets)
+	}
+}
+
+// TestSnapshotDeterminism is the satellite requirement: two snapshots of a
+// quiesced registry must be equal, both structurally and as JSON bytes.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("guest/ops").Add(123)
+	r.Counter("trace/segments_written").Add(4)
+	r.Gauge("pipeline/workers").Set(8)
+	h := r.Histogram("pipeline/merge_ns")
+	h.Observe(100)
+	h.Observe(2000)
+
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", s1, s2)
+	}
+	var b1, b2 bytes.Buffer
+	if err := r.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("JSON snapshots differ:\n%s\n%s", b1.String(), b2.String())
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if decoded.Counters["guest/ops"] != 123 {
+		t.Fatalf("round-tripped counter = %d, want 123", decoded.Counters["guest/ops"])
+	}
+}
+
+// TestConcurrentHammer is the satellite -race test: hammer counters, gauges
+// and histograms from as many goroutines as the pipeline would use, through
+// both pre-resolved handles and registry lookups.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	c := r.Counter("pipeline/events_processed")
+	h := r.Histogram("pipeline/segment_ns")
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+				h.Observe(uint64(i))
+				r.Counter("pipeline/segments_processed").Inc()
+				r.Gauge("pipeline/high_water").SetMax(int64(i))
+				if i%64 == 0 {
+					_ = r.Snapshot() // snapshots race against writers safely
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Counter("pipeline/segments_processed").Load(); got != workers*perWorker {
+		t.Fatalf("looked-up counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("pipeline/high_water").Load(); got != perWorker-1 {
+		t.Fatalf("high water = %d, want %d", got, perWorker-1)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b/count").Add(2)
+	r.Gauge("a/level").Set(-3)
+	r.Histogram("c/hist").Observe(7)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %q", len(lines), buf.String())
+	}
+	if lines[0] != "a/level -3" || lines[1] != "b/count 2" {
+		t.Fatalf("lines not sorted name-value pairs: %q", lines)
+	}
+	if !strings.HasPrefix(lines[2], "c/hist count=1 sum=7") {
+		t.Fatalf("histogram line = %q", lines[2])
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	ctx, end := StartTask(context.Background(), "test-task")
+	sp := r.StartSpan(ctx, "test/phase")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	end()
+	hs := r.Snapshot().Histograms["test/phase_ns"]
+	if hs.Count != 1 {
+		t.Fatalf("span histogram count = %d, want 1", hs.Count)
+	}
+	if hs.Sum < uint64(time.Millisecond/2) {
+		t.Fatalf("span recorded %dns, want >= ~1ms", hs.Sum)
+	}
+	// Spans on a nil registry still work (region-only mode).
+	var nilReg *Registry
+	nilReg.StartSpan(ctx, "x").End()
+	Do(ctx, "worker", "3", func(ctx context.Context) {})
+}
+
+func TestProgressRendering(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "analyze", 1000)
+	p.minGap = 0 // draw every update for the test
+	p.Update(250)
+	p.SetNote("3 segments")
+	p.Update(1000)
+	p.Done()
+	out := buf.String()
+	if !strings.Contains(out, "analyze: 250/1,000 events (25%)") {
+		t.Fatalf("missing first frame in %q", out)
+	}
+	if !strings.Contains(out, "1,000/1,000 events (100%)") {
+		t.Fatalf("missing final frame in %q", out)
+	}
+	if !strings.Contains(out, "3 segments") {
+		t.Fatalf("missing note in %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Done must end the line with a newline: %q", out)
+	}
+	// Updates never regress even if called out of order.
+	var buf2 bytes.Buffer
+	p2 := NewProgress(&buf2, "x", 0)
+	p2.minGap = 0
+	p2.Update(10)
+	p2.Update(5)
+	p2.Done()
+	if !strings.Contains(buf2.String(), "10 events") {
+		t.Fatalf("monotonic done lost: %q", buf2.String())
+	}
+}
+
+func TestGroupDigits(t *testing.T) {
+	cases := map[uint64]string{0: "0", 12: "12", 123: "123", 1234: "1,234",
+		1234567: "1,234,567", 1000000: "1,000,000"}
+	for n, want := range cases {
+		if got := groupDigits(n); got != want {
+			t.Errorf("groupDigits(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -204,6 +204,8 @@ func (tr *Trace) Encode(w io.Writer) (int64, error) {
 	if err := emit(scratch); err != nil {
 		return total, err
 	}
+	ioStats.bytesEncoded.Add(uint64(total))
+	ioStats.blocksEncoded.Add(uint64(blocks + 1))
 	return total, nil
 }
 
@@ -277,6 +279,11 @@ func readBlock(t *trackReader) (block, error) {
 		return blk, fmt.Errorf("%w: block checksum: %v", errTruncated, err)
 	}
 	blk.crcOK = binary.LittleEndian.Uint32(sum[:]) == crc
+	ioStats.blocksRead.Add(1)
+	ioStats.bytesRead.Add(uint64(len(payload)))
+	if !blk.crcOK {
+		ioStats.crcFailures.Add(1)
+	}
 	return blk, nil
 }
 
@@ -491,6 +498,8 @@ func (b *traceBuilder) addSyncs(names []string) error {
 }
 
 func (b *traceBuilder) addSegment(id guest.ThreadID, events []Event) error {
+	ioStats.segmentsDecoded.Add(1)
+	ioStats.eventsDecoded.Add(uint64(len(events)))
 	idx, ok := b.byID[id]
 	if !ok {
 		if len(b.tr.Threads) >= maxThreads {

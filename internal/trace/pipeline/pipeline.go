@@ -37,11 +37,15 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/guest"
 	"repro/internal/shadow"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -68,6 +72,24 @@ type Options struct {
 	// stream); Analyze rejects them. RenumberThreshold is ignored: the
 	// pipeline's 64-bit counters never overflow.
 	Profile core.Options
+
+	// Telemetry, when non-nil, receives the pipeline's self-metrics:
+	// pipeline/* counters (events and segments processed, threads
+	// analyzed), histograms (queue wait, per-thread analysis time, merge
+	// time) and gauges (worker count, utilization percent). It also turns
+	// the analysis phases into runtime/trace regions under an
+	// "aprof.analyze" task, so `go tool trace` shows them. Nil disables
+	// metric collection (regions still open; they are near-free when
+	// execution tracing is off).
+	Telemetry *telemetry.Registry
+
+	// Progress, when non-nil, is invoked as segments of the trace complete
+	// with the cumulative number of processed events and the total event
+	// count of the plan. It works independently of Telemetry — a bare
+	// progress line needs no registry. Callbacks fire from worker
+	// goroutines concurrently; the callee must be safe for concurrent use
+	// (telemetry.Progress is).
+	Progress func(processed, total uint64)
 }
 
 // kernelWriter marks a cell whose latest write was performed by the kernel
@@ -123,6 +145,22 @@ type Plan struct {
 	opts    core.Options
 	wide    bool          // see BuildPlan: counter may exceed 32 bits
 	threads []*threadPlan // in order of first appearance in the merged order
+
+	// Telemetry and Progress mirror the same-named Options fields for
+	// callers driving BuildPlan/Run directly; AnalyzeContext copies them
+	// from its Options. Set them between BuildPlan and Run.
+	Telemetry *telemetry.Registry
+	Progress  func(processed, total uint64)
+}
+
+// NumEvents returns the total number of events across the plan's threads —
+// the denominator a Progress callback receives.
+func (p *Plan) NumEvents() uint64 {
+	var n uint64
+	for _, tp := range p.threads {
+		n += uint64(tp.events)
+	}
+	return n
 }
 
 // Analyze computes the trace's input-sensitive profile with the parallel
@@ -141,10 +179,16 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (*core.P
 			return nil, fmt.Errorf("pipeline: trace has %d events, exceeding the max-events guard (%d); raise the limit to analyze it", n, opts.MaxEvents)
 		}
 	}
+	ctx, endTask := telemetry.StartTask(ctx, "aprof.analyze")
+	defer endTask()
+	span := opts.Telemetry.StartSpan(ctx, "pipeline/prescan")
 	plan, err := BuildPlanContext(ctx, tr, opts.TieSeed, opts.Profile)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
+	plan.Telemetry = opts.Telemetry
+	plan.Progress = opts.Progress
 	return plan.RunContext(ctx, opts.Workers)
 }
 
@@ -369,7 +413,49 @@ func (p *Plan) RunContext(ctx context.Context, workers int) (*core.Profile, erro
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	reg := p.Telemetry
+	reg.Gauge("pipeline/workers").Set(int64(workers))
 
+	// Progress plumbing: workers accumulate processed events into one
+	// shared atomic at segment granularity and report the running total.
+	// The onSegment hook stays nil when neither progress nor telemetry is
+	// wanted, so the default run carries no atomic traffic.
+	total := p.NumEvents()
+	var processed atomic.Uint64
+	var onSegment func(events int)
+	evCounter := reg.Counter("pipeline/events_processed")
+	segCounter := reg.Counter("pipeline/segments_processed")
+	if p.Progress != nil || reg != nil {
+		progress := p.Progress
+		onSegment = func(events int) {
+			done := processed.Add(uint64(events))
+			evCounter.Add(uint64(events))
+			segCounter.Inc()
+			if progress != nil {
+				progress(done, total)
+			}
+		}
+	}
+
+	// analyze wraps one thread's analysis with its telemetry: a span (a
+	// runtime/trace region plus the pipeline/thread_ns histogram), a pprof
+	// label so CPU profiles split by guest thread, and the shared busy-time
+	// tally behind the utilization gauge.
+	var busyNS atomic.Int64
+	analyze := func(ctx context.Context, i int, tp *threadPlan) (*core.Profile, error) {
+		var prof *core.Profile
+		var err error
+		telemetry.Do(ctx, "aprof.thread", strconv.Itoa(int(tp.id)), func(ctx context.Context) {
+			span := reg.StartSpan(ctx, "pipeline/thread")
+			start := time.Now()
+			prof, err = analyzeThread(ctx, p.tr, tp, p.opts, p.wide, onSegment)
+			busyNS.Add(int64(time.Since(start)))
+			span.End()
+		})
+		return prof, err
+	}
+
+	runStart := time.Now()
 	results := make([]*core.Profile, len(p.threads))
 	errs := make([]error, len(p.threads))
 	if workers == 1 {
@@ -378,10 +464,11 @@ func (p *Plan) RunContext(ctx context.Context, workers int) (*core.Profile, erro
 				errs[i] = err
 				break
 			}
-			results[i], errs[i] = analyzeThread(ctx, p.tr, tp, p.opts, p.wide)
+			results[i], errs[i] = analyze(ctx, i, tp)
 		}
 	} else {
 		var wg sync.WaitGroup
+		queueHist := reg.Histogram("pipeline/queue_wait_ns")
 		sem := make(chan struct{}, workers)
 		for i, tp := range p.threads {
 			if err := ctx.Err(); err != nil {
@@ -389,14 +476,23 @@ func (p *Plan) RunContext(ctx context.Context, workers int) (*core.Profile, erro
 				break
 			}
 			wg.Add(1)
+			enqueued := time.Now()
 			sem <- struct{}{}
+			queueHist.Observe(uint64(time.Since(enqueued)))
 			go func(i int, tp *threadPlan) {
 				defer wg.Done()
-				results[i], errs[i] = analyzeThread(ctx, p.tr, tp, p.opts, p.wide)
+				results[i], errs[i] = analyze(ctx, i, tp)
 				<-sem
 			}(i, tp)
 		}
 		wg.Wait()
+	}
+	if reg != nil {
+		reg.Counter("pipeline/threads_analyzed").Add(uint64(len(p.threads)))
+		if wall := time.Since(runStart); wall > 0 && workers > 0 {
+			util := 100 * busyNS.Load() / (int64(wall) * int64(workers))
+			reg.Gauge("pipeline/utilization_pct").Set(util)
+		}
 	}
 
 	for _, err := range errs {
@@ -404,9 +500,11 @@ func (p *Plan) RunContext(ctx context.Context, workers int) (*core.Profile, erro
 			return nil, err
 		}
 	}
+	mergeSpan := reg.StartSpan(ctx, "pipeline/merge")
 	out := core.NewProfile()
 	for _, r := range results {
 		out.Merge(r)
 	}
+	mergeSpan.End()
 	return out, nil
 }

@@ -35,18 +35,20 @@ type cell interface {
 // corrupted trace — is converted into an error carrying the thread and the
 // segment being processed, so one bad thread cannot crash the whole
 // pipeline run. ctx is polled once per segment.
-func analyzeThread(ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options, wide bool) (*core.Profile, error) {
+// onSegment, when non-nil, is invoked after each completed segment with its
+// event count — the grain of the pipeline's progress reporting.
+func analyzeThread(ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options, wide bool, onSegment func(int)) (*core.Profile, error) {
 	if wide {
-		return runWorker[uint64](ctx, tr, tp, opts)
+		return runWorker[uint64](ctx, tr, tp, opts, onSegment)
 	}
-	return runWorker[uint32](ctx, tr, tp, opts)
+	return runWorker[uint32](ctx, tr, tp, opts, onSegment)
 }
 
 // workerPanicHook, when non-nil, is invoked at the start of every
 // per-thread analysis; the robustness tests use it to inject worker panics.
 var workerPanicHook func(guest.ThreadID)
 
-func runWorker[C cell](ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options) (prof *core.Profile, err error) {
+func runWorker[C cell](ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options, onSegment func(int)) (prof *core.Profile, err error) {
 	segIdx := -1
 	defer func() {
 		if r := recover(); r != nil {
@@ -77,6 +79,9 @@ func runWorker[C cell](ctx context.Context, tr *trace.Trace, tp *threadPlan, opt
 		events := tr.Threads[seg.src].Events[seg.lo:seg.hi]
 		for i := range events {
 			w.step(&events[i], tp)
+		}
+		if onSegment != nil {
+			onSegment(len(events))
 		}
 	}
 	return w.profile(tp), nil

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/guest"
+	"repro/internal/telemetry"
 )
 
 // StreamRecorder is a guest.Tool that records the execution straight to an
@@ -29,9 +30,18 @@ type StreamRecorder struct {
 	segCap                        int
 	flushedRoutines, flushedSyncs int
 
-	blocks  int
-	events  int
-	written int64
+	blocks   int
+	events   int
+	segments int
+	written  int64
+
+	// Telemetry counter handles (nil, and thus free, unless SetTelemetry
+	// ran) and the per-flush progress callback (SetProgress).
+	tmBlocks   *telemetry.Counter
+	tmSegments *telemetry.Counter
+	tmEvents   *telemetry.Counter
+	tmBytes    *telemetry.Counter
+	onFlush    func(events, segments int, bytes int64)
 
 	scratch []byte // reused block-framing buffer
 	payload []byte // reused payload buffer
@@ -96,6 +106,7 @@ func (r *StreamRecorder) write(b []byte) {
 		return
 	}
 	r.written += int64(len(b))
+	r.tmBytes.Add(uint64(len(b)))
 }
 
 // writeBlock frames and writes one block.
@@ -104,6 +115,7 @@ func (r *StreamRecorder) writeBlock(kind byte, payload []byte) {
 	r.write(r.scratch)
 	if r.err == nil {
 		r.blocks++
+		r.tmBlocks.Inc()
 	}
 }
 
@@ -142,6 +154,12 @@ func (r *StreamRecorder) flushThread(st *streamThread) {
 	r.writeBlock(blockEvents, r.payload)
 	if r.err == nil {
 		r.events += len(st.pending)
+		r.segments++
+		r.tmSegments.Inc()
+		r.tmEvents.Add(uint64(len(st.pending)))
+		if r.onFlush != nil {
+			r.onFlush(r.events, r.segments, r.written)
+		}
 	}
 	st.pending = st.pending[:0]
 }

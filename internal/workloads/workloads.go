@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/guest"
+	"repro/internal/telemetry"
 )
 
 // Params scales a workload.
@@ -35,6 +36,9 @@ type Params struct {
 	// (guest.Config.Unbatched); used by the differential tests and the
 	// inline-overhead benchmarks.
 	Unbatched bool
+	// Telemetry, when non-nil, receives the machine's guest/* metrics at
+	// the end of the run (guest.Config.Telemetry).
+	Telemetry *telemetry.Registry
 }
 
 func (p Params) withDefaults(s Spec) Params {
@@ -106,7 +110,10 @@ func Suite(suite string) []Spec {
 // Run executes the workload on a fresh machine with the given tools.
 func Run(s Spec, p Params, tools ...guest.Tool) (*guest.Machine, error) {
 	p = p.withDefaults(s)
-	m := guest.NewMachine(guest.Config{Timeslice: p.Timeslice, Tools: tools, Unbatched: p.Unbatched})
+	m := guest.NewMachine(guest.Config{
+		Timeslice: p.Timeslice, Tools: tools,
+		Unbatched: p.Unbatched, Telemetry: p.Telemetry,
+	})
 	body := s.Build(m, p)
 	return m, m.Run(func(th *guest.Thread) {
 		body(th)

@@ -25,6 +25,8 @@ var lintDirs = []string{
 	"internal/trace/pipeline",
 	"internal/core",
 	"internal/faultinject",
+	"internal/telemetry",
+	"internal/profflag",
 }
 
 func lintSources(t *testing.T, dir string) []string {

@@ -41,6 +41,22 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
+echo "== telemetry smoke: aprof-trace analyze -workload -telemetry"
+snap="${TELEMETRY_SNAPSHOT:-/tmp/aprof_telemetry_smoke.json}"
+go run ./cmd/aprof-trace analyze -workload mysqld -progress=false \
+	-telemetry="$snap" -top 3 >/dev/null
+# The one-shot run records, encodes, decodes and pipeline-analyzes the
+# workload, so a valid snapshot must carry nonzero counters from every
+# layer: guest, core, shadow, trace and pipeline.
+for key in guest/mem_events core/events_consumed shadow/chunks_allocated \
+	trace/events_written pipeline/events_processed; do
+	if ! grep -E "\"$key\": [1-9]" "$snap" >/dev/null; then
+		echo "telemetry smoke: $key missing or zero in $snap" >&2
+		exit 1
+	fi
+done
+echo "telemetry snapshot OK: $snap"
+
 if [ "$run_race" = 1 ]; then
 	echo "== go test -race ./..."
 	go test -race ./...
