@@ -50,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fit"
 	"repro/internal/guest"
+	"repro/internal/invariant"
 	"repro/internal/ispl"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -122,6 +123,52 @@ type (
 	// ContextNode is one calling context within a ContextTree.
 	ContextNode = core.ContextNode
 )
+
+// Invariant-checking types (Options.CheckLevel and internal/invariant).
+type (
+	// CheckLevel selects how much invariant checking the profiler runs.
+	CheckLevel = core.CheckLevel
+	// Violation is one detected invariant violation.
+	Violation = core.Violation
+	// InvariantReport aggregates invariant violations from any source.
+	InvariantReport = invariant.Report
+	// MetamorphConfig configures one metamorphic differential run.
+	MetamorphConfig = invariant.Config
+	// MetamorphResult is the outcome of one metamorphic run.
+	MetamorphResult = invariant.Result
+	// MetamorphVariant is one perturbed re-derivation's outcome.
+	MetamorphVariant = invariant.Variant
+)
+
+// The profiler's checking levels: none, per-activation (cheap), plus
+// renumbering and shadow-memory verification (deep).
+const (
+	CheckOff   = core.CheckOff
+	CheckCheap = core.CheckCheap
+	CheckDeep  = core.CheckDeep
+)
+
+// ParseCheckLevel parses "off", "cheap" or "deep".
+func ParseCheckLevel(s string) (CheckLevel, error) { return core.ParseCheckLevel(s) }
+
+// CheckTraceInvariants validates a trace's structural invariants
+// (timestamp monotonicity, call/return balance).
+func CheckTraceInvariants(tr *Trace) *InvariantReport { return invariant.CheckTrace(tr) }
+
+// CheckProfileInvariants validates a profile's paper-level well-formedness
+// (trms/rms relations, histogram consistency).
+func CheckProfileInvariants(p *Profile) *InvariantReport { return invariant.CheckProfile(p) }
+
+// CheckEventConservation cross-checks guest-emitted against
+// profiler-consumed event tallies in a run's telemetry registry.
+func CheckEventConservation(reg *TelemetryRegistry) *InvariantReport {
+	return invariant.CheckConservation(reg)
+}
+
+// RunMetamorph executes the metamorphic differential suite for one
+// workload: the profile is re-derived under perturbed don't-care
+// parameters and all derivations must agree.
+func RunMetamorph(cfg MetamorphConfig) (*MetamorphResult, error) { return invariant.Run(cfg) }
 
 // Trace types.
 type (

@@ -527,6 +527,37 @@ func BenchmarkInlineOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckOverhead measures the cost of the paper-derived invariant
+// checks (core.Options.CheckLevel) on the inline profiler: the same runs as
+// BenchmarkInlineOverhead's batched rows at every check level. The
+// acceptance bar is <5% for CheckCheap (O(1) per call/return, nothing on
+// the memory-event path); CheckDeep additionally pays per renumbering pass
+// and a shadow scan at Finish, which the default threshold makes rare.
+func BenchmarkCheckOverhead(b *testing.B) {
+	cases := []struct {
+		name    string
+		size    int
+		threads int
+	}{
+		{"mysqld", 24, 8},
+		{"vips", 16, 4},
+	}
+	for _, c := range cases {
+		for _, level := range []core.CheckLevel{core.CheckOff, core.CheckCheap, core.CheckDeep} {
+			b.Run(c.name+"/"+level.String(), func(b *testing.B) {
+				params := workloads.Params{Size: c.size, Threads: c.threads}
+				for i := 0; i < b.N; i++ {
+					prof := core.New(core.Options{CheckLevel: level})
+					runWorkload(b, c.name, params, prof)
+					if n := prof.ViolationCount(); n != 0 {
+						b.Fatalf("%d invariant violations during benchmark", n)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTelemetryOverhead measures the cost of metrics collection on the
 // profiler's hot path: the same profiled runs as BenchmarkInlineOverhead's
 // batched rows, with telemetry disabled (nil registry — every metric hook

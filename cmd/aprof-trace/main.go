@@ -11,6 +11,7 @@
 //	aprof-trace analyze run.trace [-workers 4 -tieseed 7 -recover -json -max-events N -timeout 30s]
 //	aprof-trace analyze -workload mysqld [-threads 8 -size 12]
 //	aprof-trace stats run.trace
+//	aprof-trace check [-workload mysqld | -suite micro] [-level deep -renumber 64 -quick -v]
 //
 // replay and analyze compute the same profile; replay drives the inline
 // profiler through the merged event stream sequentially, while analyze uses
@@ -31,6 +32,10 @@
 // analyze -workload records the workload in-process and analyzes the
 // resulting trace in one run, cross-checking the pipeline profile against
 // the inline profiler's.
+//
+// check runs the metamorphic invariant suite (docs/CORRECTNESS.md): each
+// workload is profiled under deep invariant checking and re-derived under
+// perturbed don't-care parameters, which must not change the profile.
 package main
 
 import (
@@ -84,6 +89,8 @@ func main() {
 		err = analyze(os.Args[2:])
 	case "stats":
 		err = stats(os.Args[2:])
+	case "check":
+		err = check(os.Args[2:])
 	default:
 		usage()
 	}
@@ -94,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aprof-trace record|info|dump|verify|replay|analyze|stats ...")
+	fmt.Fprintln(os.Stderr, "usage: aprof-trace record|info|dump|verify|replay|analyze|stats|check ...")
 	os.Exit(2)
 }
 
@@ -496,4 +503,84 @@ func printProfile(p *aprof.Profile, top int) {
 			fmt.Sprint(r.a.SumCost), fmt.Sprint(r.a.SumTRMS), fmt.Sprint(r.a.SumRMS)})
 	}
 	report.Table(os.Stdout, []string{"routine", "calls", "cost(BB)", "trms", "rms"}, table)
+}
+
+// check runs the metamorphic invariant suite: each selected workload is
+// profiled once under deep invariant checking, then re-derived under
+// perturbed don't-care parameters (analysis route, worker count, tie seed,
+// renumbering cadence, trace segment size, event batching, scheduler
+// timeslice); the derivations must agree and no paper-level invariant may
+// fire. Exits non-zero on any disagreement or violation.
+func check(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	workload := fs.String("workload", "", "check a single workload (default: all registered)")
+	suite := fs.String("suite", "", "check one workload suite (micro, parsec, mysql, omp2012, seq, ispl)")
+	level := fs.String("level", "deep", "invariant check level for the checked runs: cheap or deep")
+	renumber := fs.Uint("renumber", 64, "RenumberThreshold of the forced-renumbering variants")
+	threads := fs.Int("threads", 0, "worker threads (0: workload default)")
+	size := fs.Int("size", 0, "problem size (0: workload default)")
+	seed := fs.Int64("seed", 0, "workload seed")
+	quick := fs.Bool("quick", false, "trim each perturbation axis to a single value")
+	verbose := fs.Bool("v", false, "print every variant, not only failures")
+	prof := profflag.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lv, err := aprof.ParseCheckLevel(*level)
+	if err != nil || lv == aprof.CheckOff {
+		return fmt.Errorf("check: -level must be cheap or deep")
+	}
+
+	var names []string
+	switch {
+	case *workload != "" && *suite != "":
+		return fmt.Errorf("check: -workload and -suite are mutually exclusive")
+	case *workload != "":
+		names = []string{*workload}
+	case *suite != "":
+		for _, s := range aprof.WorkloadSuite(*suite) {
+			names = append(names, s.Name)
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("check: suite %q has no workloads", *suite)
+		}
+	default:
+		names = aprof.Workloads()
+	}
+
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	failed := 0
+	for _, name := range names {
+		res, err := aprof.RunMetamorph(aprof.MetamorphConfig{
+			Workload:          name,
+			Params:            aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed},
+			Level:             lv,
+			RenumberThreshold: uint32(*renumber),
+			Quick:             *quick,
+		})
+		if err != nil {
+			return fmt.Errorf("check: %s: %w", name, err)
+		}
+		if res.OK() {
+			if *verbose {
+				fmt.Println(res)
+			} else {
+				fmt.Printf("%-20s ok (%d variants, %d events, %d threads)\n",
+					name, len(res.Variants), res.Events, res.Threads)
+			}
+			continue
+		}
+		failed++
+		fmt.Println(res)
+	}
+	if err := prof.Stop(); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("check: %d of %d workloads failed", failed, len(names))
+	}
+	fmt.Printf("check: %d workloads ok\n", len(names))
+	return nil
 }

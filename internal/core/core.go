@@ -70,6 +70,20 @@ type Options struct {
 	// compares aprof-trms against.
 	RMSOnly bool
 
+	// CheckLevel enables the paper-derived invariant checks (see the
+	// CheckLevel constants). CheckCheap validates every completed
+	// activation's metrics and the activation-timestamp order; CheckDeep
+	// additionally verifies renumbering passes preserve the Fig. 13 order
+	// relations and scans the shadow memories at Finish. Violations are
+	// collected (Violations) or streamed (OnViolation); they never abort
+	// the analysis.
+	CheckLevel CheckLevel
+
+	// OnViolation, when non-nil, receives each invariant violation as it
+	// is detected instead of it being collected for Violations. Delivery
+	// stops after maxRecordedViolations; ViolationCount keeps counting.
+	OnViolation func(Violation)
+
 	// Telemetry, when non-nil, receives the profiler's self-metrics
 	// (core/* counters: events consumed, renumbering passes, induced
 	// first-accesses, routine-table and context-tree sizes, peak shadow
@@ -130,6 +144,12 @@ type Profiler struct {
 	ctxTree   *ContextTree // non-nil when Options.ContextSensitive
 	renumbers uint64
 	peakBytes uint64
+
+	// checks mirrors Options.CheckLevel (one branch on the call/return
+	// paths); violations and violCount collect what the checks find.
+	checks     CheckLevel
+	violations []Violation
+	violCount  uint64
 	// events tallies every event the profiler consumed (plain counter,
 	// published to Options.Telemetry at Finish; batches count len(events)
 	// in one add, keeping the tally off the per-event path).
@@ -192,6 +212,7 @@ func New(opts Options) *Profiler {
 	p := &Profiler{
 		opts:      opts,
 		threshold: threshold,
+		checks:    opts.CheckLevel,
 		global:    shadow.NewTable[uint64](),
 		threads:   make(map[guest.ThreadID]*threadView),
 	}
@@ -328,6 +349,9 @@ func (p *Profiler) Call(t guest.ThreadID, r guest.RoutineID, bb uint64) {
 	ts := p.bump()
 	tv := p.view(t)
 	tv.stack = append(tv.stack, frame{rtn: r, ts: ts, bbEnter: bb})
+	if p.checks != CheckOff {
+		p.checkCall(tv)
+	}
 	if p.ctxTree != nil {
 		n := tv.ctx
 		if n == nil {
@@ -350,6 +374,9 @@ func (p *Profiler) Return(t guest.ThreadID, r guest.RoutineID, bb uint64) {
 		return
 	}
 	f := &tv.stack[n-1]
+	if p.checks != CheckOff {
+		p.checkReturn(tv, f)
+	}
 
 	cost := bb - f.bbEnter
 	tv.record(f, cost)
@@ -651,6 +678,9 @@ func (p *Profiler) Free(guest.ThreadID, guest.Addr, int) {}
 // Finish implements guest.Tool.
 func (p *Profiler) Finish() {
 	p.recordPeak()
+	if p.checks == CheckDeep {
+		p.checkFinish()
+	}
 	p.publishTelemetry()
 }
 
@@ -674,6 +704,9 @@ func (p *Profiler) publishTelemetry() {
 		reg.Gauge("core/context_tree_nodes").SetMax(int64(p.ctxTree.NumContexts()))
 	}
 	reg.Gauge("core/shadow_peak_bytes").SetMax(int64(p.peakBytes))
+	if p.checks != CheckOff {
+		reg.Counter("core/invariant_violations").Add(p.violCount)
+	}
 }
 
 func (p *Profiler) recordPeak() {

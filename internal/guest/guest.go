@@ -94,6 +94,15 @@ type Config struct {
 	// remains measurable and so batching bugs can be bisected.
 	Unbatched bool
 
+	// BatchMax caps how many memory events accumulate in the batch ring
+	// before a flush. Zero selects the ring's full capacity (256); other
+	// values are clamped to [2, 256]. Tools observe identical event
+	// streams for every value — the cap changes only how the stream is
+	// chopped into MemBatch calls — which makes it a don't-care parameter
+	// the metamorphic invariant harness perturbs. Ignored in Unbatched
+	// mode.
+	BatchMax int
+
 	// Telemetry, when non-nil, receives the machine's self-metrics
 	// (guest/* counters: operations, memory events, batch flushes, thread
 	// switches, kernel I/O) at the end of the run. The machine keeps plain
@@ -139,6 +148,7 @@ type Machine struct {
 	// batch ring and flush at the next non-memory event.
 	direct      bool
 	sinks       []MemEventSink // parallel to tools; nil for legacy tools
+	batchEdge   uint32         // flush trigger: BatchMax-2 (see the emit helpers)
 	batch       [memBatchCap]MemEvent
 	batchLen    uint32
 	batchThread ThreadID // thread that issued the pending batch
@@ -169,6 +179,14 @@ func NewMachine(cfg Config) *Machine {
 		routines: make(map[string]RoutineID),
 	}
 	m.direct = cfg.Unbatched || len(cfg.Tools) == 0
+	batchMax := cfg.BatchMax
+	if batchMax <= 0 || batchMax > memBatchCap {
+		batchMax = memBatchCap
+	}
+	if batchMax < 2 {
+		batchMax = 2
+	}
+	m.batchEdge = uint32(batchMax - 2)
 	m.sinks = make([]MemEventSink, len(cfg.Tools))
 	for i, tl := range cfg.Tools {
 		m.sinks[i], _ = tl.(MemEventSink)
@@ -291,6 +309,8 @@ type guestStats struct {
 	kernelEvents uint64 // kernel-mediated subset of memEvents
 	flushes      uint64 // batch flushes (batched mode only)
 	switches     uint64 // scheduler handoffs
+	calls        uint64 // routine activations
+	returns      uint64 // routine completions
 }
 
 // publishTelemetry pushes the end-of-run tallies into Config.Telemetry.
@@ -307,6 +327,8 @@ func (m *Machine) publishTelemetry() {
 	reg.Counter("guest/kernel_io").Add(m.stats.kernelEvents)
 	reg.Counter("guest/batch_flushes").Add(m.stats.flushes)
 	reg.Counter("guest/thread_switches").Add(m.stats.switches)
+	reg.Counter("guest/calls").Add(m.stats.calls)
+	reg.Counter("guest/returns").Add(m.stats.returns)
 	reg.Counter("guest/threads_started").Add(uint64(len(m.threads)))
 	reg.Gauge("guest/routines").Set(int64(len(m.routineNames)))
 	reg.Gauge("guest/sync_objects").Set(int64(len(m.syncNames)))

@@ -191,10 +191,12 @@ const memBatchCap = 256
 // The emit helpers append memory events to the pending batch directly (the
 // append is open-coded in each helper so the hot path costs no extra call):
 // the event is stored at the ring's write index — masked, which also proves
-// the store in bounds — and one unsigned compare routes both rare cases
-// (first event of a batch, ring full) to bufferMemEdge. The caller has
-// already advanced m.ops, so a batch's events have consecutive timestamps
-// starting at batchStart.
+// the store in bounds — and one unsigned compare against m.batchEdge
+// (Config.BatchMax - 2, so the flush fires once BatchMax events are
+// pending; memBatchCap-2 by default) routes both rare cases (first event
+// of a batch, batch full) to bufferMemEdge. The caller has already
+// advanced m.ops, so a batch's events have consecutive timestamps starting
+// at batchStart.
 // bufferMemEdge handles the ring's boundary cases out of line. Memory events
 // are only emitted by the executing thread, so the batch's issuing thread is
 // always m.running.
@@ -255,6 +257,7 @@ func (m *Machine) replayBatch(tl Tool, evs []MemEvent) {
 
 func (m *Machine) emitCall(t ThreadID, r RoutineID, bb uint64) {
 	m.ops++
+	m.stats.calls++
 	m.flushMem()
 	for _, tl := range m.tools {
 		tl.Call(t, r, bb)
@@ -263,6 +266,7 @@ func (m *Machine) emitCall(t ThreadID, r RoutineID, bb uint64) {
 
 func (m *Machine) emitReturn(t ThreadID, r RoutineID, bb uint64) {
 	m.ops++
+	m.stats.returns++
 	m.flushMem()
 	for _, tl := range m.tools {
 		tl.Return(t, r, bb)
@@ -281,7 +285,7 @@ func (m *Machine) emitRead(t ThreadID, a Addr) {
 	n := m.batchLen
 	m.batch[n&(memBatchCap-1)] = ReadEvent(a)
 	m.batchLen = n + 1
-	if n-1 >= memBatchCap-2 {
+	if n-1 >= m.batchEdge {
 		m.bufferMemEdge()
 	}
 }
@@ -298,7 +302,7 @@ func (m *Machine) emitWrite(t ThreadID, a Addr) {
 	n := m.batchLen
 	m.batch[n&(memBatchCap-1)] = WriteEvent(a)
 	m.batchLen = n + 1
-	if n-1 >= memBatchCap-2 {
+	if n-1 >= m.batchEdge {
 		m.bufferMemEdge()
 	}
 }
@@ -316,7 +320,7 @@ func (m *Machine) emitKernelRead(t ThreadID, a Addr) {
 	n := m.batchLen
 	m.batch[n&(memBatchCap-1)] = KernelReadEvent(a)
 	m.batchLen = n + 1
-	if n-1 >= memBatchCap-2 {
+	if n-1 >= m.batchEdge {
 		m.bufferMemEdge()
 	}
 }
@@ -334,7 +338,7 @@ func (m *Machine) emitKernelWrite(t ThreadID, a Addr) {
 	n := m.batchLen
 	m.batch[n&(memBatchCap-1)] = KernelWriteEvent(a)
 	m.batchLen = n + 1
-	if n-1 >= memBatchCap-2 {
+	if n-1 >= m.batchEdge {
 		m.bufferMemEdge()
 	}
 }

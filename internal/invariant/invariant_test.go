@@ -1,0 +1,245 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/invariant"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// hasCheck reports whether the report holds at least one violation of the
+// named check.
+func hasCheck(r *invariant.Report, check string) bool {
+	for _, v := range r.Violations {
+		if v.Check == check {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNames lists the distinct checks violated, for failure messages.
+func checkNames(r *invariant.Report) string {
+	var names []string
+	for _, v := range r.Violations {
+		names = append(names, v.Check)
+	}
+	return strings.Join(names, ", ")
+}
+
+// TestCheckTraceViolations drives CheckTrace over hand-built traces, each
+// seeding exactly one class of violation, and asserts the precise check
+// identifier fires (and nothing fires on the well-formed control).
+func TestCheckTraceViolations(t *testing.T) {
+	mk := func(events ...trace.Event) *trace.Trace {
+		return &trace.Trace{
+			Routines: []string{"main", "work"},
+			Threads:  []trace.ThreadTrace{{ID: 1, Events: events}},
+		}
+	}
+	cases := []struct {
+		name string
+		tr   *trace.Trace
+		want string // violated check, or "" for clean
+	}{
+		{
+			name: "well-formed",
+			tr: mk(
+				trace.Event{TS: 1, Thread: 1, Kind: trace.KindCall, Arg: 0},
+				trace.Event{TS: 2, Thread: 1, Kind: trace.KindCall, Arg: 1},
+				trace.Event{TS: 3, Thread: 1, Kind: trace.KindReturn, Arg: 1},
+				trace.Event{TS: 4, Thread: 1, Kind: trace.KindReturn, Arg: 0},
+			),
+		},
+		{
+			name: "truncated tail is legal",
+			tr: mk(
+				trace.Event{TS: 1, Thread: 1, Kind: trace.KindCall, Arg: 0},
+				trace.Event{TS: 2, Thread: 1, Kind: trace.KindCall, Arg: 1},
+			),
+		},
+		{
+			name: "non-monotone timestamp",
+			tr: mk(
+				trace.Event{TS: 5, Thread: 1, Kind: trace.KindCall, Arg: 0},
+				trace.Event{TS: 5, Thread: 1, Kind: trace.KindReturn, Arg: 0},
+			),
+			want: "trace/ts-monotone",
+		},
+		{
+			name: "timestamp goes backwards",
+			tr: mk(
+				trace.Event{TS: 9, Thread: 1, Kind: trace.KindCall, Arg: 0},
+				trace.Event{TS: 3, Thread: 1, Kind: trace.KindReturn, Arg: 0},
+			),
+			want: "trace/ts-monotone",
+		},
+		{
+			name: "unbalanced return",
+			tr: mk(
+				trace.Event{TS: 1, Thread: 1, Kind: trace.KindReturn, Arg: 0},
+			),
+			want: "trace/unbalanced-return",
+		},
+		{
+			name: "return routine mismatch",
+			tr: mk(
+				trace.Event{TS: 1, Thread: 1, Kind: trace.KindCall, Arg: 0},
+				trace.Event{TS: 2, Thread: 1, Kind: trace.KindReturn, Arg: 1},
+			),
+			want: "trace/return-mismatch",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := invariant.CheckTrace(tc.tr)
+			if tc.want == "" {
+				if !rep.OK() {
+					t.Fatalf("clean trace flagged: %s", rep)
+				}
+				return
+			}
+			if !hasCheck(rep, tc.want) {
+				t.Fatalf("want %s, got [%s]", tc.want, checkNames(rep))
+			}
+		})
+	}
+}
+
+// validActivations builds a consistent aggregate of two recorded
+// activations for corruption by the profile tests.
+func validActivations(tid guest.ThreadID) *core.Activations {
+	a := core.NewActivations(tid)
+	a.Record(5, 3, 1, 1, 10) // trms=5 = rms 3 + induced 1+1
+	a.Record(2, 2, 0, 0, 4)
+	return a
+}
+
+func profileWith(a *core.Activations) *core.Profile {
+	p := core.NewProfile()
+	p.AddActivations("work", a)
+	p.InducedThread = a.InducedThread
+	p.InducedExternal = a.InducedExternal
+	return p
+}
+
+// TestCheckProfileViolations corrupts one field of a valid profile per case
+// and asserts the matching check fires.
+func TestCheckProfileViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(p *core.Profile, a *core.Activations)
+		want    string
+	}{
+		{"clean", func(p *core.Profile, a *core.Activations) {}, ""},
+		{
+			"trms below rms",
+			func(p *core.Profile, a *core.Activations) { a.SumTRMS = a.SumRMS - 1 },
+			"profile/trms-ge-rms",
+		},
+		{
+			"trms above induced bound",
+			func(p *core.Profile, a *core.Activations) {
+				a.SumTRMS = a.SumRMS + a.InducedThread + a.InducedExternal + 1
+			},
+			"profile/trms-bound",
+		},
+		{
+			"lost activation in histogram",
+			func(p *core.Profile, a *core.Activations) { a.Calls++ },
+			"profile/histogram",
+		},
+		{
+			"histogram cost drift",
+			func(p *core.Profile, a *core.Activations) {
+				for _, pt := range a.ByTRMS {
+					pt.SumCost++
+					break
+				}
+			},
+			"profile/histogram",
+		},
+		{
+			"bucket cost outside min/max bounds",
+			func(p *core.Profile, a *core.Activations) {
+				for _, pt := range a.ByTRMS {
+					pt.MinCost = pt.MaxCost + 1
+					break
+				}
+			},
+			"profile/histogram",
+		},
+		{
+			"induced without global tally",
+			func(p *core.Profile, a *core.Activations) { p.InducedThread = 0; p.InducedExternal = 0 },
+			"profile/induced-global",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := validActivations(1)
+			p := profileWith(a)
+			tc.corrupt(p, a)
+			rep := invariant.CheckProfile(p)
+			if tc.want == "" {
+				if !rep.OK() {
+					t.Fatalf("clean profile flagged: %s", rep)
+				}
+				return
+			}
+			if !hasCheck(rep, tc.want) {
+				t.Fatalf("want %s, got [%s]", tc.want, checkNames(rep))
+			}
+		})
+	}
+}
+
+// TestCheckConservation seeds a registry with balanced and unbalanced
+// tallies; a lost event must surface as conservation/events.
+func TestCheckConservation(t *testing.T) {
+	seed := func(mem, switches, calls, returns, started, consumed uint64) *telemetry.Registry {
+		reg := telemetry.NewRegistry()
+		reg.Counter("guest/mem_events").Add(mem)
+		reg.Counter("guest/thread_switches").Add(switches)
+		reg.Counter("guest/calls").Add(calls)
+		reg.Counter("guest/returns").Add(returns)
+		reg.Counter("guest/threads_started").Add(started)
+		reg.Counter("core/events_consumed").Add(consumed)
+		return reg
+	}
+	if rep := invariant.CheckConservation(seed(100, 5, 10, 10, 3, 100+5+10+10+6)); !rep.OK() {
+		t.Fatalf("balanced tallies flagged: %s", rep)
+	}
+	rep := invariant.CheckConservation(seed(100, 5, 10, 10, 3, 100+5+10+10+6-1))
+	if !hasCheck(rep, "conservation/events") {
+		t.Fatalf("lost event not flagged, got [%s]", checkNames(rep))
+	}
+	if !strings.Contains(rep.String(), "1 lost") {
+		t.Fatalf("detail does not quantify the loss: %s", rep)
+	}
+	if rep := invariant.CheckConservation(nil); !rep.OK() {
+		t.Fatal("nil registry must be a no-op")
+	}
+}
+
+// TestReportBasics covers aggregation and rendering.
+func TestReportBasics(t *testing.T) {
+	var r invariant.Report
+	if !r.OK() || r.String() != "no violations" {
+		t.Fatalf("empty report: OK=%v String=%q", r.OK(), r.String())
+	}
+	r.Add(core.Violation{Check: "a/b", Detail: "x"})
+	var o invariant.Report
+	o.Add(core.Violation{Check: "c/d", Detail: "y"})
+	r.Merge(&o)
+	if r.OK() || len(r.Violations) != 2 {
+		t.Fatalf("merge lost violations: %s", r.String())
+	}
+	if !strings.Contains(r.String(), "a/b") || !strings.Contains(r.String(), "c/d") {
+		t.Fatalf("rendering dropped a violation: %s", r.String())
+	}
+}

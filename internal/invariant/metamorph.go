@@ -1,0 +1,419 @@
+package invariant
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/trace/pipeline"
+	"repro/internal/workloads"
+)
+
+// Metamorphic differential testing: a workload's profile must not depend
+// on parameters the paper's algorithm never consults. The runner executes
+// one workload and then re-derives its profile under perturbations of
+// those don't-care parameters, requiring byte-identical canonical exports
+// (Profile.Export) for every perturbation that provably cannot change the
+// result:
+//
+//   - analysis route: inline profiler vs. sequential trace replay vs. the
+//     parallel pipeline at several worker counts;
+//   - merge tie seed: recorded timestamps are globally unique, so the
+//     tie-breaker is never consulted;
+//   - renumbering cadence: a tiny RenumberThreshold forces many Fig. 13
+//     passes, which preserve every order relation the algorithm reads;
+//   - CheckLevel: the checks observe, never steer;
+//   - trace segment size: framing only, invisible after decoding;
+//   - event batching: dispatch granularity inside the guest machine.
+//
+// The scheduler timeslice is deliberately weaker: thread-induced
+// first-accesses (the trms extension, paper Fig. 2) depend on the actual
+// interleaving, so for multithreaded workloads a different quantum
+// legitimately changes trms. Those variants assert the tier of properties
+// that must still hold — identical routine sets, identical per-routine
+// activation counts, and a well-formed profile — and escalate to strict
+// byte-identity when the workload is single-threaded.
+
+// Config selects the workload and perturbation depth of one metamorphic run.
+type Config struct {
+	// Workload names a registered workload (workloads.Get).
+	Workload string
+	// Params scales the baseline run. Timeslice, Unbatched and BatchMax
+	// must be zero: they are the perturbation axes. Telemetry is managed
+	// by the runner (conservation is checked per run).
+	Params workloads.Params
+	// Level is the CheckLevel applied to the checked runs (default
+	// CheckDeep).
+	Level core.CheckLevel
+	// RenumberThreshold is the tiny threshold of the forced-renumbering
+	// variants (default 64).
+	RenumberThreshold uint32
+	// Quick trims each perturbation axis to a single value; the full
+	// matrix is the default.
+	Quick bool
+}
+
+// Variant is the outcome of one perturbed re-derivation.
+type Variant struct {
+	// Name identifies the perturbation ("replay", "workers=8", ...).
+	Name string
+	// Strict records whether byte-identity was required (true) or only
+	// the weak property tier (false; multithreaded timeslice variants).
+	Strict bool
+	// OK reports whether the variant agreed with the baseline.
+	OK bool
+	// Detail describes the disagreement when OK is false.
+	Detail string
+}
+
+// Result is the outcome of one metamorphic run.
+type Result struct {
+	// Workload is the workload analyzed.
+	Workload string
+	// Events and Threads describe the recorded baseline trace.
+	Events  int
+	Threads int
+	// Variants holds every perturbation's outcome.
+	Variants []Variant
+	// Report aggregates the invariant violations of the baseline run and
+	// all checked variants (live profiler checks, trace and profile
+	// checkers, conservation).
+	Report *Report
+}
+
+// OK reports whether every variant agreed and no invariant was violated.
+func (r *Result) OK() bool {
+	if !r.Report.OK() {
+		return false
+	}
+	for _, v := range r.Variants {
+		if !v.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a one-line-per-variant summary.
+func (r *Result) String() string {
+	var sb bytes.Buffer
+	fmt.Fprintf(&sb, "%s: %d events, %d threads\n", r.Workload, r.Events, r.Threads)
+	for _, v := range r.Variants {
+		status := "ok"
+		if !v.OK {
+			status = "FAIL: " + v.Detail
+		}
+		tier := "strict"
+		if !v.Strict {
+			tier = "weak"
+		}
+		fmt.Fprintf(&sb, "  %-24s %-6s %s\n", v.Name, tier, status)
+	}
+	fmt.Fprintf(&sb, "  invariants: %d violation(s)", len(r.Report.Violations))
+	return sb.String()
+}
+
+// Run executes the metamorphic suite for one workload: a recorded,
+// invariant-checked baseline run, then the perturbation matrix.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Level == core.CheckOff {
+		cfg.Level = core.CheckDeep
+	}
+	if cfg.RenumberThreshold == 0 {
+		cfg.RenumberThreshold = 64
+	}
+	if cfg.Params.Timeslice != 0 || cfg.Params.Unbatched || cfg.Params.BatchMax != 0 || cfg.Params.Telemetry != nil {
+		return nil, fmt.Errorf("invariant: Params.Timeslice/Unbatched/BatchMax/Telemetry are perturbation axes; leave them zero")
+	}
+	spec, err := workloads.Get(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Workload: cfg.Workload, Report: &Report{}}
+
+	// Baseline: one run with the checked inline profiler and the streaming
+	// recorder side by side. The recorded trace feeds every re-analysis
+	// variant; the exported inline profile is the reference output.
+	var buf bytes.Buffer
+	rec := trace.NewStreamRecorder(&buf)
+	base, err := runInline(spec, cfg.Params, core.Options{CheckLevel: cfg.Level}, res.Report, rec)
+	if err != nil {
+		return nil, fmt.Errorf("invariant: baseline run: %w", err)
+	}
+	tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("invariant: decoding baseline trace: %w", err)
+	}
+	res.Threads = len(tr.Threads)
+	for i := range tr.Threads {
+		res.Events += len(tr.Threads[i].Events)
+	}
+	res.Report.Merge(CheckTrace(tr))
+
+	strict := func(name string, run func() ([]byte, error)) {
+		v := Variant{Name: name, Strict: true}
+		got, err := run()
+		switch {
+		case err != nil:
+			v.Detail = err.Error()
+		case !bytes.Equal(got, base):
+			v.Detail = fmt.Sprintf("profile diverges from baseline (%d vs %d bytes)", len(got), len(base))
+		default:
+			v.OK = true
+		}
+		res.Variants = append(res.Variants, v)
+	}
+
+	// Analysis-route and tie-seed axes: replay and pipeline re-analyses of
+	// the recorded trace.
+	strict("replay", func() ([]byte, error) { return replayExport(tr, 1, core.Options{}) })
+	strict("replay/checked", func() ([]byte, error) {
+		return replayExport(tr, 1, core.Options{CheckLevel: cfg.Level, OnViolation: res.Report.Add})
+	})
+	strict(fmt.Sprintf("renumber=%d", cfg.RenumberThreshold), func() ([]byte, error) {
+		return replayExport(tr, 1, core.Options{RenumberThreshold: cfg.RenumberThreshold})
+	})
+	strict(fmt.Sprintf("renumber=%d/checked", cfg.RenumberThreshold), func() ([]byte, error) {
+		return replayExport(tr, 1, core.Options{RenumberThreshold: cfg.RenumberThreshold, CheckLevel: core.CheckDeep, OnViolation: res.Report.Add})
+	})
+	tieSeeds := []int64{99}
+	if !cfg.Quick {
+		tieSeeds = []int64{0, 99}
+	}
+	for _, seed := range tieSeeds {
+		seed := seed
+		strict(fmt.Sprintf("tieseed=%d", seed), func() ([]byte, error) { return replayExport(tr, seed, core.Options{}) })
+	}
+	work := []int{2}
+	if !cfg.Quick {
+		work = []int{1, 2, 8}
+	}
+	for _, w := range work {
+		w := w
+		strict(fmt.Sprintf("workers=%d", w), func() ([]byte, error) { return pipelineExport(tr, 1, w, core.Options{}) })
+	}
+	strict("workers=8/tieseed=99", func() ([]byte, error) { return pipelineExport(tr, 99, 8, core.Options{}) })
+	strict("workers=2/checked", func() ([]byte, error) { return pipelineExport(tr, 1, 2, core.Options{CheckLevel: cfg.Level}) })
+
+	// Segment-size axis: re-record the (deterministic) workload with a
+	// different streaming segment capacity; the decoded trace must carry
+	// the same events, and its replay the same profile.
+	segs := []int{7}
+	if !cfg.Quick {
+		segs = []int{1, 7}
+	}
+	for _, n := range segs {
+		res.Variants = append(res.Variants, segmentVariant(spec, cfg.Params, tr, base, n))
+	}
+
+	// Guest-dispatch axes: re-run the workload with perturbed batching;
+	// the inline profile must be byte-identical.
+	strict("unbatched", func() ([]byte, error) {
+		return rerunExport(spec, cfg.Params, res.Report, func(p *workloads.Params) { p.Unbatched = true })
+	})
+	batch := []int{2}
+	if !cfg.Quick {
+		batch = []int{2, 16}
+	}
+	for _, n := range batch {
+		n := n
+		strict(fmt.Sprintf("batchmax=%d", n), func() ([]byte, error) {
+			return rerunExport(spec, cfg.Params, res.Report, func(p *workloads.Params) { p.BatchMax = n })
+		})
+	}
+
+	// Scheduler-timeslice axis: strict only for single-threaded baselines
+	// (one thread means no interleaving and no thread-induced accesses);
+	// weak tier otherwise — see the package comment.
+	slices := []int{37}
+	if !cfg.Quick {
+		slices = []int{37, 250}
+	}
+	for _, q := range slices {
+		res.Variants = append(res.Variants,
+			timesliceVariant(spec, cfg.Params, res.Report, base, tr, q))
+	}
+
+	return res, nil
+}
+
+// runInline runs the workload on a fresh machine with a checked inline
+// profiler (plus any extra tools), wiring violations into rep and checking
+// profile well-formedness and event conservation, and returns the
+// profile's canonical export.
+func runInline(spec workloads.Spec, params workloads.Params, opts core.Options, rep *Report, extra ...guest.Tool) ([]byte, error) {
+	reg := telemetry.NewRegistry()
+	params.Telemetry = reg
+	opts.Telemetry = reg
+	if opts.OnViolation == nil {
+		opts.OnViolation = rep.Add
+	}
+	prof := core.New(opts)
+	tools := append([]guest.Tool{prof}, extra...)
+	if _, err := workloads.Run(spec, params, tools...); err != nil {
+		return nil, err
+	}
+	p := prof.Profile()
+	rep.Merge(CheckProfile(p))
+	rep.Merge(CheckConservation(reg))
+	return p.Export()
+}
+
+// replayExport re-analyzes the trace sequentially (core.FromTrace).
+func replayExport(tr *trace.Trace, tieSeed int64, opts core.Options) ([]byte, error) {
+	p, err := core.FromTrace(tr, tieSeed, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Export()
+}
+
+// pipelineExport re-analyzes the trace with the parallel pipeline.
+func pipelineExport(tr *trace.Trace, tieSeed int64, workers int, opts core.Options) ([]byte, error) {
+	p, err := pipeline.Analyze(tr, pipeline.Options{TieSeed: tieSeed, Workers: workers, Profile: opts})
+	if err != nil {
+		return nil, err
+	}
+	return p.Export()
+}
+
+// rerunExport re-runs the workload with mutated parameters and a checked
+// inline profiler, returning the new profile's export.
+func rerunExport(spec workloads.Spec, params workloads.Params, rep *Report, mutate func(*workloads.Params)) ([]byte, error) {
+	mutate(&params)
+	return runInline(spec, params, core.Options{CheckLevel: core.CheckCheap}, rep)
+}
+
+// segmentVariant re-records the workload with segment capacity n and
+// requires both the decoded trace and its replayed profile to match the
+// baseline.
+func segmentVariant(spec workloads.Spec, params workloads.Params, baseTr *trace.Trace, base []byte, n int) Variant {
+	v := Variant{Name: fmt.Sprintf("segment=%d", n), Strict: true}
+	var buf bytes.Buffer
+	rec := trace.NewStreamRecorder(&buf)
+	rec.SetSegmentEvents(n)
+	if _, err := workloads.Run(spec, params, rec); err != nil {
+		v.Detail = err.Error()
+		return v
+	}
+	tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		v.Detail = "decode: " + err.Error()
+		return v
+	}
+	if !tracesEqual(baseTr, tr) {
+		v.Detail = "re-recorded trace differs from baseline trace"
+		return v
+	}
+	got, err := replayExport(tr, 1, core.Options{})
+	if err != nil {
+		v.Detail = err.Error()
+		return v
+	}
+	if !bytes.Equal(got, base) {
+		v.Detail = fmt.Sprintf("profile diverges from baseline (%d vs %d bytes)", len(got), len(base))
+		return v
+	}
+	v.OK = true
+	return v
+}
+
+// timesliceVariant re-runs the workload under a different scheduler
+// quantum. Single-threaded baselines demand byte-identity; multithreaded
+// ones the weak tier: same routine set, same per-routine merged activation
+// counts, well-formed profile.
+func timesliceVariant(spec workloads.Spec, params workloads.Params, rep *Report, base []byte, baseTr *trace.Trace, quantum int) Variant {
+	name := fmt.Sprintf("timeslice=%d", quantum)
+	params.Timeslice = quantum
+	singleThreaded := len(baseTr.Threads) == 1
+	if singleThreaded {
+		v := Variant{Name: name, Strict: true}
+		got, err := runInline(spec, params, core.Options{CheckLevel: core.CheckCheap}, rep)
+		switch {
+		case err != nil:
+			v.Detail = err.Error()
+		case !bytes.Equal(got, base):
+			v.Detail = fmt.Sprintf("profile diverges from baseline (%d vs %d bytes)", len(got), len(base))
+		default:
+			v.OK = true
+		}
+		return v
+	}
+
+	v := Variant{Name: name, Strict: false}
+	prof := core.New(core.Options{CheckLevel: core.CheckCheap, OnViolation: rep.Add})
+	if _, err := workloads.Run(spec, params, prof); err != nil {
+		v.Detail = err.Error()
+		return v
+	}
+	got := prof.Profile()
+	if bad := CheckProfile(got); !bad.OK() {
+		rep.Merge(bad)
+		v.Detail = "perturbed profile violates well-formedness"
+		return v
+	}
+	want, err := core.FromTrace(baseTr, 1, core.Options{})
+	if err != nil {
+		v.Detail = err.Error()
+		return v
+	}
+	if detail := compareWeak(want, got); detail != "" {
+		v.Detail = detail
+		return v
+	}
+	v.OK = true
+	return v
+}
+
+// compareWeak checks the timeslice-invariant property tier: the perturbed
+// run visits exactly the same routines, each exactly as often. (trms, and
+// through ancestor attribution even rms and cost splits, may shift with
+// the interleaving; activation counts cannot — the scheduler does not
+// decide what the program calls.)
+func compareWeak(want, got *core.Profile) string {
+	wantNames, gotNames := want.RoutineNames(), got.RoutineNames()
+	if len(wantNames) != len(gotNames) {
+		return fmt.Sprintf("routine set changed: %d vs %d routines", len(wantNames), len(gotNames))
+	}
+	for i, name := range wantNames {
+		if gotNames[i] != name {
+			return fmt.Sprintf("routine set changed: %q vs %q", name, gotNames[i])
+		}
+		w := want.Routines[name].Merged()
+		g := got.Routines[name].Merged()
+		if w.Calls != g.Calls {
+			return fmt.Sprintf("%s: activation count changed: %d vs %d", name, w.Calls, g.Calls)
+		}
+	}
+	return ""
+}
+
+// tracesEqual compares two traces event for event, matching threads by id:
+// the order thread traces appear in the container depends on segment flush
+// order, which is exactly the framing detail the segment-size axis perturbs.
+func tracesEqual(a, b *trace.Trace) bool {
+	if len(a.Threads) != len(b.Threads) {
+		return false
+	}
+	byID := make(map[guest.ThreadID]*trace.ThreadTrace, len(b.Threads))
+	for i := range b.Threads {
+		byID[b.Threads[i].ID] = &b.Threads[i]
+	}
+	for i := range a.Threads {
+		ta := &a.Threads[i]
+		tb := byID[ta.ID]
+		if tb == nil || len(ta.Events) != len(tb.Events) {
+			return false
+		}
+		for j := range ta.Events {
+			if ta.Events[j] != tb.Events[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package invariant_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/workloads"
+)
+
+// TestMetamorphMicro runs the full perturbation matrix on representative
+// micro workloads: every variant (strict and weak alike) must agree with
+// the baseline and no invariant may fire.
+func TestMetamorphMicro(t *testing.T) {
+	cases := []struct {
+		workload string
+		params   workloads.Params
+	}{
+		{"fig1a", workloads.Params{Size: 24}},
+		{"producer-consumer", workloads.Params{Size: 32}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.workload, func(t *testing.T) {
+			res, err := invariant.Run(invariant.Config{
+				Workload:          tc.workload,
+				Params:            tc.params,
+				RenumberThreshold: 48,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				t.Fatalf("metamorphic run failed:\n%s", res)
+			}
+			if res.Events == 0 || len(res.Variants) < 10 {
+				t.Fatalf("suspiciously small run: %d events, %d variants", res.Events, len(res.Variants))
+			}
+		})
+	}
+}
+
+// TestMetamorphQuickParallel covers the trimmed matrix on a multithreaded
+// workload, exercising the weak timeslice tier.
+func TestMetamorphQuickParallel(t *testing.T) {
+	res, err := invariant.Run(invariant.Config{
+		Workload: "dedup",
+		Params:   workloads.Params{Size: 16, Threads: 3},
+		Quick:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("metamorphic run failed:\n%s", res)
+	}
+	weak := 0
+	for _, v := range res.Variants {
+		if !v.Strict {
+			weak++
+		}
+	}
+	if weak == 0 {
+		t.Fatal("multithreaded run produced no weak-tier variants")
+	}
+}
+
+// TestMetamorphRejectsPerturbedParams: the perturbation axes must be left
+// to the runner.
+func TestMetamorphRejectsPerturbedParams(t *testing.T) {
+	if _, err := invariant.Run(invariant.Config{Workload: "fig1a", Params: workloads.Params{Timeslice: 10}}); err == nil {
+		t.Fatal("Timeslice in Params not rejected")
+	}
+	if _, err := invariant.Run(invariant.Config{Workload: "no-such-workload"}); err == nil {
+		t.Fatal("unknown workload not rejected")
+	}
+}
+
+// TestCheckLevelDoesNotAlterProfile is the observational-purity differential:
+// the same workload profiled at CheckOff, CheckCheap and CheckDeep exports
+// byte-identical profiles — the checks observe, never steer.
+func TestCheckLevelDoesNotAlterProfile(t *testing.T) {
+	run := func(level core.CheckLevel, thr uint32) []byte {
+		t.Helper()
+		prof := core.New(core.Options{CheckLevel: level, RenumberThreshold: thr})
+		if _, err := workloads.RunByName("mysqld", workloads.Params{Size: 16, Threads: 3}, prof); err != nil {
+			t.Fatal(err)
+		}
+		if n := prof.ViolationCount(); n != 0 {
+			t.Fatalf("level %v: %d unexpected violations: %v", level, n, prof.Violations())
+		}
+		b, err := prof.Profile().Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	base := run(core.CheckOff, 0)
+	for _, tc := range []struct {
+		name  string
+		level core.CheckLevel
+		thr   uint32
+	}{
+		{"cheap", core.CheckCheap, 0},
+		{"deep", core.CheckDeep, 0},
+		{"deep+renumber", core.CheckDeep, 64},
+	} {
+		if got := run(tc.level, tc.thr); !bytes.Equal(got, base) {
+			t.Fatalf("%s: profile differs from CheckOff baseline", tc.name)
+		}
+	}
+}

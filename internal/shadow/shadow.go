@@ -379,6 +379,22 @@ func (t *Table[T]) Range(f func(a guest.Addr, v T)) {
 // Chunks returns the number of allocated chunks.
 func (t *Table[T]) Chunks() int { return t.chunks }
 
+// NonZero counts the shadow cells holding a non-zero value. It walks every
+// allocated chunk, so it is a diagnostic (used by the deep invariant checks
+// to pre-size their relation snapshots), not a hot-path accessor.
+func (t *Table[T]) NonZero() int {
+	var zero T
+	n := 0
+	t.RangeChunks(func(_ guest.Addr, vals *[ChunkSize]T) {
+		for off := range vals {
+			if vals[off] != zero {
+				n++
+			}
+		}
+	})
+	return n
+}
+
 // FootprintBytes reports the memory consumed by the table's allocated shadow
 // chunks — the component that scales with the memory the program touches.
 // The fixed-size index tables (IndexBytes) are reported separately: at the

@@ -26,17 +26,30 @@ type Progress struct {
 	start   time.Time
 	last    time.Time
 	minGap  time.Duration
+	now     func() time.Time // clock; injectable for tests
 	note    string
 	done    uint64
 	wrote   bool
 	lastLen int
 }
 
+// minRateWindow is the shortest elapsed time over which a rate (and from
+// it an ETA) is considered meaningful. An Update microseconds after
+// NewProgress would otherwise divide by a near-zero elapsed and report an
+// absurd rate with a near-zero ETA.
+const minRateWindow = 10 * time.Millisecond
+
+// maxETA caps the rendered ETA. With a tiny measured rate the
+// remaining/rate quotient can exceed what time.Duration can represent
+// (the float-to-int conversion would be unspecified); anything this large
+// is noise to a human anyway.
+const maxETA = 999 * time.Hour
+
 // NewProgress returns a Progress writing to w. label prefixes the line
 // (e.g. "analyze"); total is the expected number of units, or zero when
 // unknown (rate is shown but no percentage or ETA).
 func NewProgress(w io.Writer, label string, total uint64) *Progress {
-	return &Progress{w: w, label: label, total: total, start: time.Now(), minGap: 100 * time.Millisecond}
+	return &Progress{w: w, label: label, total: total, start: time.Now(), minGap: 100 * time.Millisecond, now: time.Now}
 }
 
 // SetNote sets a free-form suffix shown at the end of the line (e.g.
@@ -62,7 +75,7 @@ func (p *Progress) Update(done uint64) {
 	if done > p.done {
 		p.done = done
 	}
-	now := time.Now()
+	now := p.now()
 	if now.Sub(p.last) < p.minGap {
 		return
 	}
@@ -78,7 +91,7 @@ func (p *Progress) Done() {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.render(time.Now())
+	p.render(p.now())
 	if p.wrote {
 		fmt.Fprintln(p.w)
 		p.wrote = false
@@ -87,7 +100,7 @@ func (p *Progress) Done() {
 
 // render draws the current line; the caller holds p.mu.
 func (p *Progress) render(now time.Time) {
-	elapsed := now.Sub(p.start).Seconds()
+	elapsed := now.Sub(p.start)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %s", p.label, groupDigits(p.done))
 	if p.total > 0 {
@@ -95,13 +108,26 @@ func (p *Progress) render(now time.Time) {
 	}
 	b.WriteString(" events")
 	if p.total > 0 {
-		fmt.Fprintf(&b, " (%d%%)", 100*p.done/p.total)
+		// total is the caller's estimate and may undershoot: clamp the
+		// percentage at 100 instead of reporting 250% (and instead of
+		// letting the remaining-work subtraction below underflow).
+		pct := uint64(100)
+		if p.done < p.total {
+			pct = 100 * p.done / p.total
+		}
+		fmt.Fprintf(&b, " (%d%%)", pct)
 	}
-	if elapsed > 0 {
-		rate := float64(p.done) / elapsed
+	// Rates (and the ETA derived from one) need a measurement window:
+	// over less than minRateWindow the quotient is noise — absurdly large
+	// rates with near-zero ETAs.
+	if elapsed >= minRateWindow {
+		rate := float64(p.done) / elapsed.Seconds()
 		fmt.Fprintf(&b, " %s/s", siRate(rate))
 		if p.total > 0 && rate > 0 && p.done < p.total {
-			eta := time.Duration(float64(p.total-p.done) / rate * float64(time.Second))
+			eta := maxETA
+			if secs := float64(p.total-p.done) / rate; secs < maxETA.Seconds() {
+				eta = time.Duration(secs * float64(time.Second))
+			}
 			fmt.Fprintf(&b, " ETA %s", eta.Round(time.Second))
 		}
 	}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for driving Progress
+// deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func (c *fakeClock) install(p *Progress) *Progress {
+	p.now = c.now
+	p.start = c.t
+	p.minGap = 0 // draw on every Update so assertions see each state
+	return p
+}
+
+// lastLine returns the final \r-separated frame written to the progress
+// writer, without the trailing newline Done appends.
+func lastLine(sb *strings.Builder) string {
+	s := strings.TrimRight(sb.String(), "\n")
+	if i := strings.LastIndexByte(s, '\r'); i >= 0 {
+		s = s[i+1:]
+	}
+	return strings.TrimRight(s, " ")
+}
+
+func TestProgressBasicLine(t *testing.T) {
+	var sb strings.Builder
+	clk := newFakeClock()
+	p := clk.install(NewProgress(&sb, "analyze", 1000))
+
+	clk.advance(2 * time.Second)
+	p.Update(500)
+	got := lastLine(&sb)
+	want := "analyze: 500/1,000 events (50%) 250/s ETA 2s"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+// TestProgressDoneOverTotal is the regression test for the unsigned
+// underflow: when done exceeds the caller's total estimate, the old code
+// computed total-done on uint64 operands, yielding percentages above 100
+// and (without the done < total guard) ETAs of hundreds of millennia. The
+// line must clamp at 100% and drop the ETA.
+func TestProgressDoneOverTotal(t *testing.T) {
+	var sb strings.Builder
+	clk := newFakeClock()
+	p := clk.install(NewProgress(&sb, "analyze", 100))
+
+	clk.advance(1 * time.Second)
+	p.Update(250)
+	got := lastLine(&sb)
+	want := "analyze: 250/100 events (100%) 250/s"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+	if strings.Contains(got, "ETA") {
+		t.Fatalf("line %q shows an ETA with no work remaining", got)
+	}
+}
+
+// TestProgressTinyElapsed: an update moments after construction must not
+// divide by a near-zero elapsed (absurd rate, 0s ETA). Below the
+// minRateWindow no rate or ETA is rendered at all.
+func TestProgressTinyElapsed(t *testing.T) {
+	var sb strings.Builder
+	clk := newFakeClock()
+	p := clk.install(NewProgress(&sb, "rec", 1000))
+
+	clk.advance(time.Microsecond)
+	p.Update(900)
+	got := lastLine(&sb)
+	want := "rec: 900/1,000 events (90%)"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+// TestProgressZeroRate: elapsed time but no completed units gives rate 0;
+// the ETA (a division by that rate) must be suppressed, not rendered as
+// +Inf or overflowed into a negative duration.
+func TestProgressZeroRate(t *testing.T) {
+	var sb strings.Builder
+	clk := newFakeClock()
+	p := clk.install(NewProgress(&sb, "rec", 1000))
+
+	clk.advance(5 * time.Second)
+	p.Update(0)
+	got := lastLine(&sb)
+	want := "rec: 0/1,000 events (0%) 0/s"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+// TestProgressETACap: a pathologically slow rate must render the capped
+// ETA instead of feeding an out-of-range float into time.Duration.
+func TestProgressETACap(t *testing.T) {
+	var sb strings.Builder
+	clk := newFakeClock()
+	p := clk.install(NewProgress(&sb, "rec", 1<<62))
+
+	clk.advance(time.Hour)
+	p.Update(1)
+	got := lastLine(&sb)
+	if !strings.Contains(got, "ETA 999h0m0s") {
+		t.Fatalf("line = %q, want the capped ETA 999h0m0s", got)
+	}
+}
+
+func TestProgressUnknownTotal(t *testing.T) {
+	var sb strings.Builder
+	clk := newFakeClock()
+	p := clk.install(NewProgress(&sb, "scan", 0))
+
+	clk.advance(time.Second)
+	p.Update(1500)
+	got := lastLine(&sb)
+	want := "scan: 1,500 events 1.5k/s"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+func TestProgressDoneNewline(t *testing.T) {
+	var sb strings.Builder
+	clk := newFakeClock()
+	p := clk.install(NewProgress(&sb, "x", 10))
+	clk.advance(time.Second)
+	p.Update(10)
+	p.Done()
+	if !strings.HasSuffix(sb.String(), "\n") {
+		t.Fatalf("Done did not terminate the line: %q", sb.String())
+	}
+}
+
+func TestProgressNilReceiver(t *testing.T) {
+	var p *Progress
+	p.Update(1) // must not panic
+	p.SetNote("x")
+	p.Done()
+}

@@ -1,0 +1,181 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+)
+
+// checkAccounting asserts the RecoveryReport block-accounting identity:
+// every block the scan saw is either salvaged or dropped, and the
+// per-cause tallies sum to the dropped count.
+func checkAccounting(t *testing.T, rep *trace.RecoveryReport, ctx string) {
+	t.Helper()
+	if rep.SalvagedBlocks+len(rep.Dropped) != rep.BlocksSeen {
+		t.Fatalf("%s: salvaged %d + dropped %d != blocks seen %d",
+			ctx, rep.SalvagedBlocks, len(rep.Dropped), rep.BlocksSeen)
+	}
+	byCause := 0
+	for _, n := range rep.DroppedByCause() {
+		byCause += n
+	}
+	if byCause != len(rep.Dropped) {
+		t.Fatalf("%s: dropped-by-cause tallies sum to %d, want %d", ctx, byCause, len(rep.Dropped))
+	}
+}
+
+// TestRecoverAccountingClean: on an undamaged trace every block seen is
+// salvaged, and the block count agrees with an independent Verify walk.
+func TestRecoverAccountingClean(t *testing.T) {
+	_, data := encodeExample(t)
+	_, rep, err := trace.Recover(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, rep, "clean")
+	if len(rep.Dropped) != 0 || rep.SalvagedBlocks != rep.BlocksSeen {
+		t.Fatalf("clean trace dropped blocks: %+v", rep.Dropped)
+	}
+	vr := findBlocks(t, data)
+	if rep.BlocksSeen != len(vr.Blocks) {
+		t.Fatalf("Recover saw %d blocks, Verify walked %d", rep.BlocksSeen, len(vr.Blocks))
+	}
+	if vr.Intact()+vr.Bad != len(vr.Blocks) {
+		t.Fatalf("Verify: intact %d + bad %d != %d blocks", vr.Intact(), vr.Bad, len(vr.Blocks))
+	}
+}
+
+// TestRecoverAccountingEveryTruncation asserts the identity on the trace
+// truncated at every byte offset — the exhaustive crash-injection sweep.
+func TestRecoverAccountingEveryTruncation(t *testing.T) {
+	_, data := encodeExample(t)
+	for off := 9; off <= len(data); off++ {
+		_, rep, err := trace.Recover(bytes.NewReader(data[:off]))
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		checkAccounting(t, rep, "truncation")
+	}
+}
+
+// TestRecoverAccountingEveryBlockCorrupted flips a payload bit in each
+// block of the trace in turn (checksum damage) and asserts the identity,
+// plus that the one damaged block is accounted as dropped unless the scan
+// legitimately stopped earlier (name-table loss).
+func TestRecoverAccountingEveryBlockCorrupted(t *testing.T) {
+	_, data := encodeExample(t)
+	vr := findBlocks(t, data)
+	for i, blk := range vr.Blocks {
+		if blk.PayloadLen == 0 {
+			continue
+		}
+		bad := corruptPayload(t, data, blk)
+		_, rep, err := trace.Recover(bytes.NewReader(bad))
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		checkAccounting(t, rep, "bit flip")
+		if len(rep.Dropped) == 0 {
+			t.Fatalf("block %d: corruption went unnoticed", i)
+		}
+	}
+}
+
+// TestRecoverAccountingRandomCorruption drives the identity through random
+// multi-bit damage, the same injector the differential tests use.
+func TestRecoverAccountingRandomCorruption(t *testing.T) {
+	_, data := encodeExample(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		mut := faultinject.FlipBits(data, rng.Int63(), 1+trial%7, 9)
+		_, rep, err := trace.Recover(bytes.NewReader(mut))
+		if err != nil {
+			continue // damage reached the prelude; not identifiable as a trace
+		}
+		checkAccounting(t, rep, "random corruption")
+	}
+}
+
+// TestRecoveryReportJSONAccounting asserts that the JSON the CLI emits for
+// `analyze -recover -json` (RecoveryReport.WriteJSON) carries the same
+// self-consistent numbers as the in-memory report.
+func TestRecoveryReportJSONAccounting(t *testing.T) {
+	_, data := encodeExample(t)
+	vr := findBlocks(t, data)
+
+	// Damage one event segment so the report has a dropped block.
+	var evBlock *trace.BlockInfo
+	for i := range vr.Blocks {
+		if vr.Blocks[i].Kind == 'E' {
+			evBlock = &vr.Blocks[i]
+			break
+		}
+	}
+	if evBlock == nil {
+		t.Fatal("no event block in example trace")
+	}
+	bad := corruptPayload(t, data, *evBlock)
+	_, rep, err := trace.Recover(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, rep, "json")
+	if len(rep.Dropped) == 0 {
+		t.Fatal("corrupted segment not dropped")
+	}
+
+	var sb bytes.Buffer
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		BlocksSeen     int            `json:"blocks_seen"`
+		SalvagedBlocks int            `json:"salvaged_blocks"`
+		DroppedBlocks  int            `json:"dropped_blocks"`
+		DroppedByCause map[string]int `json:"dropped_by_cause"`
+	}
+	if err := json.Unmarshal(sb.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.BlocksSeen != rep.BlocksSeen || out.SalvagedBlocks != rep.SalvagedBlocks || out.DroppedBlocks != len(rep.Dropped) {
+		t.Fatalf("JSON accounting (%d seen, %d salvaged, %d dropped) != report (%d, %d, %d)",
+			out.BlocksSeen, out.SalvagedBlocks, out.DroppedBlocks,
+			rep.BlocksSeen, rep.SalvagedBlocks, len(rep.Dropped))
+	}
+	if out.SalvagedBlocks+out.DroppedBlocks != out.BlocksSeen {
+		t.Fatalf("JSON identity broken: %d + %d != %d", out.SalvagedBlocks, out.DroppedBlocks, out.BlocksSeen)
+	}
+	sum := 0
+	for _, n := range out.DroppedByCause {
+		sum += n
+	}
+	if sum != out.DroppedBlocks {
+		t.Fatalf("JSON dropped_by_cause sums to %d, want %d", sum, out.DroppedBlocks)
+	}
+}
+
+// TestVerifyAccountingUnderDamage: the Verify-side identity
+// (Intact + Bad == len(Blocks)) under per-block corruption.
+func TestVerifyAccountingUnderDamage(t *testing.T) {
+	_, data := encodeExample(t)
+	clean := findBlocks(t, data)
+	for i, blk := range clean.Blocks {
+		if blk.PayloadLen == 0 {
+			continue
+		}
+		vr, err := trace.Verify(bytes.NewReader(corruptPayload(t, data, blk)))
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if vr.Intact()+vr.Bad != len(vr.Blocks) {
+			t.Fatalf("block %d: intact %d + bad %d != %d blocks", i, vr.Intact(), vr.Bad, len(vr.Blocks))
+		}
+		if vr.Bad == 0 {
+			t.Fatalf("block %d: corruption went unnoticed by Verify", i)
+		}
+	}
+}

@@ -127,6 +127,9 @@ func (w *worker[C]) step(e *trace.Event, tp *threadPlan) {
 		}
 		f := w.stack[len(w.stack)-1]
 		w.stack = w.stack[:len(w.stack)-1]
+		if w.opts.CheckLevel != core.CheckOff {
+			checkActivation(&f)
+		}
 		a := w.acts[f.rtn]
 		if a == nil {
 			a = core.NewActivations(tp.id)
@@ -172,6 +175,22 @@ func (w *worker[C]) step(e *trace.Event, tp *threadPlan) {
 		w.stack = w.stack[:0]
 	}
 	// ThreadStart, Sync, Alloc, Free carry no profiling state.
+}
+
+// checkActivation enforces a completed activation's paper invariants under
+// Options.Profile.CheckLevel: Definition 1 makes rms a set cardinality
+// (never negative), trms extends rms by induced first-accesses only
+// (trms >= rms), and trms can exceed rms by at most the induced
+// first-accesses the subtree recorded. The pipeline carries no violation
+// collector, so a violation panics with an "invariant:" prefix; runWorker's
+// panic recovery converts that into a clean per-thread error carrying
+// thread and segment context.
+func checkActivation(f *frame) {
+	induced := int64(f.inducedThread) + int64(f.inducedExternal)
+	if f.rms < 0 || f.trms < f.rms || f.trms > f.rms+induced {
+		panic(fmt.Sprintf("invariant: activation of routine %d violates trms/rms well-formedness: trms=%d rms=%d induced=%d+%d",
+			f.rtn, f.trms, f.rms, f.inducedThread, f.inducedExternal))
+	}
 }
 
 // read applies the Fig. 11 read rules plus the parallel rms computation,

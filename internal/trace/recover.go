@@ -74,10 +74,21 @@ type ThreadRecovery struct {
 }
 
 // RecoveryReport describes exactly what Recover salvaged and what it
-// dropped from a damaged trace.
+// dropped from a damaged trace. Its block accounting is self-consistent by
+// construction: every block the scan encountered is either salvaged or
+// listed in Dropped, so SalvagedBlocks + len(Dropped) == BlocksSeen always
+// holds (the fault-injection tests assert it on every damaged input).
 type RecoveryReport struct {
 	// Version is the trace's wire-format version byte.
 	Version byte
+	// BlocksSeen counts every block the salvage scan encountered —
+	// salvaged or dropped, of any kind — up to the point the scan stopped.
+	// Zero for v1 traces, which have no block structure.
+	BlocksSeen int
+	// SalvagedBlocks counts the blocks consumed intact (name tables,
+	// event segments and the footer). BlocksSeen - SalvagedBlocks ==
+	// len(Dropped).
+	SalvagedBlocks int
 	// SalvagedSegments and SalvagedEvents count the intact segments and
 	// their events across all threads.
 	SalvagedSegments int
@@ -105,11 +116,28 @@ func (r *RecoveryReport) Complete() bool {
 	return r.FooterValid && !r.Truncated && len(r.Dropped) == 0
 }
 
+// DroppedByCause tallies the dropped blocks by failure cause. The sum of
+// the counts equals len(Dropped), so together with SalvagedBlocks the
+// per-cause tallies account for every block seen.
+func (r *RecoveryReport) DroppedByCause() map[DropCause]int {
+	if len(r.Dropped) == 0 {
+		return nil
+	}
+	m := make(map[DropCause]int)
+	for _, d := range r.Dropped {
+		m[d.Cause]++
+	}
+	return m
+}
+
 // String renders a multi-line human-readable summary of the recovery.
 func (r *RecoveryReport) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "recovered %d events in %d segments across %d threads",
 		r.SalvagedEvents, r.SalvagedSegments, len(r.PerThread))
+	if r.BlocksSeen > 0 {
+		fmt.Fprintf(&sb, " [%d/%d blocks intact]", r.SalvagedBlocks, r.BlocksSeen)
+	}
 	switch {
 	case r.Complete():
 		sb.WriteString(" (trace intact)")
@@ -183,6 +211,7 @@ scan:
 			rep.Truncated = !rep.FooterValid
 			break
 		}
+		rep.BlocksSeen++
 		if err != nil {
 			cause := DropTruncated
 			if errors.Is(err, errFraming) {
@@ -231,6 +260,7 @@ scan:
 				rep.Truncated = true
 				break scan
 			}
+			rep.SalvagedBlocks++
 		case blockEvents:
 			id, events, perr := parseSegmentPayload(blk.payload)
 			if perr == nil {
@@ -244,6 +274,7 @@ scan:
 				continue
 			}
 			segs[id]++
+			rep.SalvagedBlocks++
 			rep.SalvagedSegments++
 			rep.SalvagedEvents += len(events)
 		case blockFooter:
@@ -254,6 +285,7 @@ scan:
 				})
 				continue
 			}
+			rep.SalvagedBlocks++
 			rep.FooterValid = true
 			rep.ExpectedEvents = int(fe)
 			break scan
@@ -314,6 +346,11 @@ type VerifyReport struct {
 	// per-block structure to walk; nil means the trace decoded fully.
 	StrictErr error
 }
+
+// Intact counts the blocks that verified clean. Every walked block is
+// either intact or counted in Bad, so Intact() + Bad == len(Blocks): the
+// same accounting identity RecoveryReport maintains with SalvagedBlocks.
+func (vr *VerifyReport) Intact() int { return len(vr.Blocks) - vr.Bad }
 
 // OK reports whether the trace verified clean: every checksum matched and
 // the footer was present (v2), or the strict decode succeeded (v1).

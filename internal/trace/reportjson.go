@@ -97,10 +97,17 @@ type droppedBlockJSON struct {
 	HasThread bool           `json:"has_thread,omitempty"`
 }
 
-// recoveryReportJSON mirrors RecoveryReport for JSON output.
+// recoveryReportJSON mirrors RecoveryReport for JSON output. The block
+// accounting fields satisfy salvaged_blocks + dropped_blocks == blocks_seen,
+// with dropped_by_cause summing to dropped_blocks — the same identity the
+// Go report maintains.
 type recoveryReportJSON struct {
 	Version          byte               `json:"version"`
 	Complete         bool               `json:"complete"`
+	BlocksSeen       int                `json:"blocks_seen"`
+	SalvagedBlocks   int                `json:"salvaged_blocks"`
+	DroppedBlocks    int                `json:"dropped_blocks"`
+	DroppedByCause   map[string]int     `json:"dropped_by_cause,omitempty"`
 	SalvagedSegments int                `json:"salvaged_segments"`
 	SalvagedEvents   int                `json:"salvaged_events"`
 	PerThread        []ThreadRecovery   `json:"per_thread,omitempty"`
@@ -117,12 +124,21 @@ func (r *RecoveryReport) WriteJSON(w io.Writer) error {
 	out := recoveryReportJSON{
 		Version:          r.Version,
 		Complete:         r.Complete(),
+		BlocksSeen:       r.BlocksSeen,
+		SalvagedBlocks:   r.SalvagedBlocks,
+		DroppedBlocks:    len(r.Dropped),
 		SalvagedSegments: r.SalvagedSegments,
 		SalvagedEvents:   r.SalvagedEvents,
 		PerThread:        r.PerThread,
 		Truncated:        r.Truncated,
 		FooterValid:      r.FooterValid,
 		ExpectedEvents:   r.ExpectedEvents,
+	}
+	if byCause := r.DroppedByCause(); len(byCause) > 0 {
+		out.DroppedByCause = make(map[string]int, len(byCause))
+		for c, n := range byCause {
+			out.DroppedByCause[c.String()] = n
+		}
 	}
 	for _, d := range r.Dropped {
 		out.Dropped = append(out.Dropped, droppedBlockJSON{

@@ -64,6 +64,8 @@ func (r *RecoveryReport) Publish(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
+	reg.Counter("recover/blocks_seen").Add(uint64(r.BlocksSeen))
+	reg.Counter("recover/blocks_salvaged").Add(uint64(r.SalvagedBlocks))
 	reg.Counter("recover/segments_salvaged").Add(uint64(r.SalvagedSegments))
 	reg.Counter("recover/events_salvaged").Add(uint64(r.SalvagedEvents))
 	for _, d := range r.Dropped {

@@ -36,6 +36,11 @@ type Params struct {
 	// (guest.Config.Unbatched); used by the differential tests and the
 	// inline-overhead benchmarks.
 	Unbatched bool
+	// BatchMax caps the machine's memory-event batch size
+	// (guest.Config.BatchMax); zero keeps the default. The metamorphic
+	// harness perturbs it to prove batch boundaries never leak into
+	// profiles.
+	BatchMax int
 	// Telemetry, when non-nil, receives the machine's guest/* metrics at
 	// the end of the run (guest.Config.Telemetry).
 	Telemetry *telemetry.Registry
@@ -112,7 +117,8 @@ func Run(s Spec, p Params, tools ...guest.Tool) (*guest.Machine, error) {
 	p = p.withDefaults(s)
 	m := guest.NewMachine(guest.Config{
 		Timeslice: p.Timeslice, Tools: tools,
-		Unbatched: p.Unbatched, Telemetry: p.Telemetry,
+		Unbatched: p.Unbatched, BatchMax: p.BatchMax,
+		Telemetry: p.Telemetry,
 	})
 	body := s.Build(m, p)
 	return m, m.Run(func(th *guest.Thread) {

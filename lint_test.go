@@ -27,6 +27,7 @@ var lintDirs = []string{
 	"internal/faultinject",
 	"internal/telemetry",
 	"internal/profflag",
+	"internal/invariant",
 }
 
 func lintSources(t *testing.T, dir string) []string {

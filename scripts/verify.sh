@@ -57,6 +57,13 @@ for key in guest/mem_events core/events_consumed shadow/chunks_allocated \
 done
 echo "telemetry snapshot OK: $snap"
 
+echo "== invariant check: aprof-trace check -suite micro"
+# Full metamorphic matrix over the micro workloads: deep invariant
+# checking plus profile byte-identity under perturbed don't-care
+# parameters, with a small RenumberThreshold forcing many Fig. 13
+# renumbering passes.
+go run ./cmd/aprof-trace check -suite micro -level deep -renumber 48
+
 if [ "$run_race" = 1 ]; then
 	echo "== go test -race ./..."
 	go test -race ./...
