@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -432,14 +433,39 @@ func recordedTrace(b *testing.B, name string, params workloads.Params) *trace.Tr
 	return rec.Trace()
 }
 
+// annotatedTrace captures one workload execution through the streaming
+// recorder, so the trace carries stamp annotations and the pipeline's
+// no-pre-scan route engages.
+func annotatedTrace(b *testing.B, name string, params workloads.Params) *trace.Trace {
+	b.Helper()
+	var buf bytes.Buffer
+	rec := trace.NewStreamRecorder(&buf)
+	runWorkload(b, name, params, rec)
+	if err := rec.Close(); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !tr.Annotated {
+		b.Fatal("streamed trace not annotated")
+	}
+	return tr
+}
+
 // BenchmarkPipelineAnalyze measures offline trace analysis on a recorded
-// mysqld execution: the sequential replayer (merge + inline profiler) against
-// the parallel pipeline at increasing worker counts. events/s is the
-// throughput over the trace's event count; speedups are the ratios against
-// the sequential row. The recorded curve lives in BENCH_PIPELINE.json and
-// docs/VALIDATION.md (regenerated by cmd/aprof-experiments -run validation).
+// mysqld execution: the sequential replayer (merge + inline profiler)
+// against the parallel pipeline at increasing worker counts, on both an
+// unannotated trace (streaming fallback pre-scan) and its stamp-annotated
+// twin (no pre-scan). events/s is the throughput over the trace's event
+// count; speedups are the ratios against the sequential row. The recorded
+// curve lives in BENCH_PIPELINE.json and docs/VALIDATION.md (regenerated
+// by cmd/aprof-experiments -run validation).
 func BenchmarkPipelineAnalyze(b *testing.B) {
-	tr := recordedTrace(b, "mysqld", workloads.Params{Size: 2 * benchSize("mysqld"), Threads: 8})
+	params := workloads.Params{Size: 2 * benchSize("mysqld"), Threads: 8}
+	tr := recordedTrace(b, "mysqld", params)
+	ann := annotatedTrace(b, "mysqld", params)
 	events := float64(tr.NumEvents())
 
 	b.Run("sequential", func(b *testing.B) {
@@ -450,27 +476,46 @@ func BenchmarkPipelineAnalyze(b *testing.B) {
 		}
 		b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 	})
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("pipeline-%dw", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := pipeline.Analyze(tr, pipeline.Options{Workers: workers}); err != nil {
-					b.Fatal(err)
+	for _, route := range []struct {
+		name string
+		tr   *trace.Trace
+	}{{"fallback", tr}, {"annotated", ann}} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("pipeline-%s-%dw", route.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := pipeline.Analyze(route.tr, pipeline.Options{Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-			b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
-		})
+				b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
 	}
 }
 
-// BenchmarkPipelinePhases splits the pipeline's cost into its sequential
-// pre-scan (BuildPlan) and its parallelizable analyze phase (Plan.Run): the
-// pre-scan bounds the achievable speedup by Amdahl's law.
+// BenchmarkPipelinePhases splits the pipeline's cost into plan
+// construction — the O(#segments) assembly from stamp annotations against
+// the fallback pre-scan over every event — and the parallelizable analyze
+// phase (Plan.Run). The pre-scan is the Amdahl term the annotated route
+// deletes.
 func BenchmarkPipelinePhases(b *testing.B) {
 	tr := recordedTrace(b, "mysqld", workloads.Params{Size: 2 * benchSize("mysqld"), Threads: 8})
-	b.Run("build-plan", func(b *testing.B) {
+	ann := annotatedTrace(b, "mysqld", workloads.Params{Size: 2 * benchSize("mysqld"), Threads: 8})
+	b.Run("build-plan-prescan", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := pipeline.BuildPlan(tr, 0, core.Options{}); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("build-plan-annotated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := pipeline.BuildPlan(ann, 0, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !p.Annotated() {
+				b.Fatal("annotated trace missed the fast plan path")
 			}
 		}
 	})

@@ -113,6 +113,7 @@ func record(args []string) error {
 	size := fs.Int("size", 0, "problem size")
 	seed := fs.Int64("seed", 0, "workload seed")
 	stream := fs.Bool("stream", false, "stream checksummed segments to the file during the run (crash-safe)")
+	annotate := fs.Bool("annotate", true, "record per-segment stamp annotations so analysis needs no pre-scan")
 	showProgress := fs.Bool("progress", stderrIsTTY(), "draw a live progress line on stderr (streamed recording only)")
 	prof := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -135,6 +136,7 @@ func record(args []string) error {
 			return err
 		}
 		rec := aprof.NewStreamRecorder(f)
+		rec.SetAnnotations(*annotate)
 		rec.SetTelemetry(reg)
 		var pl *telemetry.Progress
 		if *showProgress {
@@ -161,17 +163,35 @@ func record(args []string) error {
 			return fmt.Errorf("record: re-reading %s: %w", *out, err)
 		}
 		events = tr.NumEvents()
+		if tr.Annotated {
+			fmt.Printf("trace is analysis-ready (stamp annotations recorded)\n")
+		}
 	} else {
-		// Default path: record in memory, then write atomically so the
-		// target never holds a half-written trace.
-		rec := aprof.NewRecorder()
+		// Default path: record through the annotating stream recorder into
+		// memory, then write atomically so the target never holds a
+		// half-written trace. The result carries the same stamp
+		// annotations as a streamed recording.
+		var buf bytes.Buffer
+		rec := aprof.NewStreamRecorder(&buf)
+		rec.SetAnnotations(*annotate)
+		rec.SetTelemetry(reg)
 		if _, err := aprof.RunWorkload(*workload, params, rec); err != nil {
 			return err
 		}
-		if _, err := aprof.WriteTraceFile(*out, rec.Trace()); err != nil {
+		if err := rec.Close(); err != nil {
 			return err
 		}
-		events = rec.Trace().NumEvents()
+		tr, err := aprof.DecodeTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return fmt.Errorf("record: re-reading recording: %w", err)
+		}
+		if _, err := aprof.WriteTraceFile(*out, tr); err != nil {
+			return err
+		}
+		events = tr.NumEvents()
+		if tr.Annotated {
+			fmt.Printf("trace is analysis-ready (stamp annotations recorded)\n")
+		}
 	}
 	fmt.Printf("recorded %d events from %s to %s\n", events, *workload, *out)
 	publishLayers(reg)
@@ -218,6 +238,8 @@ func verify(args []string) error {
 		}
 		detail := ""
 		switch {
+		case blk.Runs > 0 || blk.Stamps > 0:
+			detail = fmt.Sprintf("thread %d, %d runs, %d stamps", blk.Thread, blk.Runs, blk.Stamps)
 		case blk.HasThread:
 			detail = fmt.Sprintf("thread %d, %d events", blk.Thread, blk.Events)
 		case blk.Names > 0:
@@ -228,6 +250,9 @@ func verify(args []string) error {
 	}
 	report.Table(os.Stdout, []string{"offset", "kind", "payload", "contents", "status"}, rows)
 	fmt.Printf("\n%s: %d events in %d segments across %d threads\n", path, vr.Events, vr.Segments, vr.Threads)
+	if vr.Annotations > 0 {
+		fmt.Printf("%d stamp-annotation block(s): analysis needs no pre-scan\n", vr.Annotations)
+	}
 	if vr.OK() {
 		fmt.Println("all checksums verify; footer present")
 	}
@@ -274,8 +299,12 @@ func info(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace %s: %d threads, %d events, %d routines, %d sync objects\n",
-		args[0], len(tr.Threads), tr.NumEvents(), len(tr.Routines), len(tr.Syncs))
+	ann := ""
+	if tr.Annotated {
+		ann = ", stamp-annotated"
+	}
+	fmt.Printf("trace %s: %d threads, %d events, %d routines, %d sync objects%s\n",
+		args[0], len(tr.Threads), tr.NumEvents(), len(tr.Routines), len(tr.Syncs), ann)
 	var rows [][]string
 	for i := range tr.Threads {
 		tt := &tr.Threads[i]
@@ -440,6 +469,11 @@ func analyze(args []string) error {
 	opts := aprof.AnalyzeOptions{
 		TieSeed: *tieSeed, Workers: *workers, MaxEvents: *maxEvents,
 		Telemetry: reg,
+	}
+	if tr.Annotated {
+		fmt.Fprintln(os.Stderr, "analyze: annotated trace — plan assembled from recorded stamps, no pre-scan")
+	} else {
+		fmt.Fprintln(os.Stderr, "analyze: unannotated trace — streaming fallback pre-scan overlapped with workers")
 	}
 	var pl *telemetry.Progress
 	if *showProgress {

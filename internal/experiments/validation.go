@@ -236,38 +236,58 @@ type pipelineBench struct {
 	Threads    int                 `json:"threads"`
 	Events     int                 `json:"events"`
 	NumCPU     int                 `json:"num_cpu"`
-	GOMAXPROCS int                 `json:"gomaxprocs"`
 	Reps       int                 `json:"reps"`
+	Annotated  bool                `json:"annotated"`
 	Sequential float64             `json:"sequential_ms"`
+	PlanMS     float64             `json:"annotated_plan_ms"`
 	PreScan    float64             `json:"prescan_ms"`
-	Workers    []pipelineBenchStep `json:"workers"`
+	Scaling    []pipelineBenchStep `json:"scaling"`
+	Fallback   []pipelineBenchStep `json:"fallback_scaling"`
 	Note       string              `json:"note"`
 }
 
+// pipelineBenchStep is one point on a scaling curve: the pipeline run at
+// Workers workers with GOMAXPROCS set to the same value.
 type pipelineBenchStep struct {
-	Workers float64 `json:"workers"`
-	Millis  float64 `json:"ms"`
-	Speedup float64 `json:"speedup"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Millis     float64 `json:"ms"`
+	Speedup    float64 `json:"speedup"`
 }
 
-// validatePerformance times offline analysis of a recorded mysqld execution:
-// the sequential replayer against the pipeline at increasing worker counts,
-// min-of-N to suppress scheduling noise.
+// validatePerformance times offline analysis of a recorded mysqld execution
+// large enough (10M+ events at full scale) for per-event work to dominate:
+// the sequential replayer against the annotated pipeline route and the
+// streaming fallback, swept over GOMAXPROCS 1/2/4/8 with the worker count
+// matched, min-of-N to suppress scheduling noise. The trace is recorded
+// through the streaming recorder, so it carries stamp annotations and the
+// pipeline needs no pre-scan; the fallback rows strip them first.
 func validatePerformance(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "## L4 — performance\n\n")
 
-	params := workloads.Params{Size: 24, Threads: 8}
-	reps := 30
+	params := workloads.Params{Size: 160, Threads: 8}
+	reps := 5
 	if cfg.Quick {
 		params.Size = 8
-		reps = 5
+		reps = 3
 	}
-	rec := trace.NewRecorder()
-	if _, err := workloads.RunByName("mysqld", params, rec); err != nil {
+	var buf bytes.Buffer
+	srec := trace.NewStreamRecorder(&buf)
+	if _, err := workloads.RunByName("mysqld", params, srec); err != nil {
 		return err
 	}
-	tr := rec.Trace()
+	if err := srec.Close(); err != nil {
+		return err
+	}
+	tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	buf = bytes.Buffer{} // release the encoded copy before timing
 	events := tr.NumEvents()
+	stripped := *tr
+	stripped.Threads = append([]trace.ThreadTrace(nil), tr.Threads...)
+	stripped.StripAnnotations()
 
 	var firstErr error
 	minOf := func(f func() error) time.Duration {
@@ -288,8 +308,15 @@ func validatePerformance(w io.Writer, cfg Config) error {
 		_, err := core.FromTrace(tr, 0, core.Options{})
 		return err
 	})
+	plan := minOf(func() error {
+		p, err := pipeline.BuildPlan(tr, 0, core.Options{})
+		if err == nil && !p.Annotated() {
+			err = fmt.Errorf("annotated trace did not take the fast plan path")
+		}
+		return err
+	})
 	prescan := minOf(func() error {
-		_, err := pipeline.BuildPlan(tr, 0, core.Options{})
+		_, err := pipeline.BuildPlan(&stripped, 0, core.Options{})
 		return err
 	})
 
@@ -300,45 +327,64 @@ func validatePerformance(w io.Writer, cfg Config) error {
 		Threads:    params.Threads,
 		Events:     events,
 		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Reps:       reps,
+		Annotated:  tr.Annotated,
 		Sequential: ms(seq),
+		PlanMS:     ms(plan),
 		PreScan:    ms(prescan),
-		Note: "min-of-reps wall time; speedup is sequential replay time over " +
-			"pipeline time for the same trace and options",
+		Note: "min-of-reps wall time; each scaling point runs the pipeline with " +
+			"GOMAXPROCS set to its worker count; speedup is sequential replay " +
+			"time over pipeline time for the same trace and options; points " +
+			"with gomaxprocs > num_cpu time-slice one core and cannot scale",
 	}
 
-	fmt.Fprintf(w, "Offline analysis of a recorded mysqld execution (%d events, size %d,\n",
-		events, params.Size)
-	fmt.Fprintf(w, "%d guest threads), min of %d runs, on %d CPU(s) (GOMAXPROCS %d).\n\n",
-		params.Threads, reps, bench.NumCPU, bench.GOMAXPROCS)
-	fmt.Fprintf(w, "| analyzer | time (ms) | events/s | speedup vs sequential |\n")
-	fmt.Fprintf(w, "|---|---:|---:|---:|\n")
-	fmt.Fprintf(w, "| sequential replay (`core.FromTrace`) | %.2f | %.1fM | 1.00x |\n",
-		ms(seq), float64(events)/seq.Seconds()/1e6)
-	for _, workers := range []int{1, 2, 4, 8} {
-		d := minOf(func() error {
-			_, err := pipeline.Analyze(tr, pipeline.Options{Workers: workers})
-			return err
-		})
-		speedup := float64(seq) / float64(d)
-		bench.Workers = append(bench.Workers, pipelineBenchStep{
-			Workers: float64(workers), Millis: ms(d), Speedup: speedup,
-		})
-		fmt.Fprintf(w, "| pipeline, %d worker(s) | %.2f | %.1fM | %.2fx |\n",
-			workers, ms(d), float64(events)/d.Seconds()/1e6, speedup)
+	fmt.Fprintf(w, "Offline analysis of a stream-recorded (stamp-annotated) mysqld execution\n")
+	fmt.Fprintf(w, "(%d events, size %d, %d guest threads), min of %d runs, on a host\n",
+		events, params.Size, params.Threads, reps)
+	fmt.Fprintf(w, "with %d CPU(s). Every pipeline row sets GOMAXPROCS to its worker count;\n", bench.NumCPU)
+	fmt.Fprintf(w, "rows with more workers than CPUs time-slice the same cores and measure\n")
+	fmt.Fprintf(w, "scheduling overhead, not scaling — only rows with workers <= %d CPU(s)\n", bench.NumCPU)
+	fmt.Fprintf(w, "can show parallel speedup on this host.\n\n")
+	fmt.Fprintf(w, "| analyzer | GOMAXPROCS | time (ms) | events/s | speedup vs sequential |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|\n")
+	fmt.Fprintf(w, "| sequential replay (`core.FromTrace`) | %d | %.2f | %.1fM | 1.00x |\n",
+		runtime.GOMAXPROCS(0), ms(seq), float64(events)/seq.Seconds()/1e6)
+
+	prevProcs := runtime.GOMAXPROCS(0)
+	sweep := func(t *trace.Trace, label string) []pipelineBenchStep {
+		var steps []pipelineBenchStep
+		for _, procs := range []int{1, 2, 4, 8} {
+			runtime.GOMAXPROCS(procs)
+			d := minOf(func() error {
+				_, err := pipeline.Analyze(t, pipeline.Options{Workers: procs})
+				return err
+			})
+			speedup := float64(seq) / float64(d)
+			steps = append(steps, pipelineBenchStep{
+				GOMAXPROCS: procs, Workers: procs, Millis: ms(d), Speedup: speedup,
+			})
+			fmt.Fprintf(w, "| %s, %d worker(s) | %d | %.2f | %.1fM | %.2fx |\n",
+				label, procs, procs, ms(d), float64(events)/d.Seconds()/1e6, speedup)
+		}
+		return steps
 	}
+	bench.Scaling = sweep(tr, "pipeline (annotated)")
+	bench.Fallback = sweep(&stripped, "pipeline (fallback pre-scan)")
+	runtime.GOMAXPROCS(prevProcs)
 	if firstErr != nil {
 		return firstErr
 	}
-	fmt.Fprintf(w, "\nThe sequential pre-scan takes %.2f ms of each pipeline run and bounds\n", ms(prescan))
-	fmt.Fprintf(w, "parallel scaling by Amdahl's law. On a single-CPU host (as above when\n")
-	fmt.Fprintf(w, "GOMAXPROCS is 1) workers cannot run simultaneously, so any speedup is\n")
-	fmt.Fprintf(w, "purely algorithmic: the pipeline skips the merged-event materialization,\n")
-	fmt.Fprintf(w, "the per-event tool dispatch and the per-event thread-view lookup of the\n")
-	fmt.Fprintf(w, "sequential replayer, packs read annotations into single words, and uses\n")
-	fmt.Fprintf(w, "32-bit shadow cells whenever the pre-scan proves timestamps fit. On\n")
-	fmt.Fprintf(w, "multi-core hosts the per-thread analyzers additionally run in parallel.\n")
+
+	fmt.Fprintf(w, "\nPlan assembly from the recorded annotations takes %.3f ms — O(#segments),\n", ms(plan))
+	fmt.Fprintf(w, "independent of event count — against %.2f ms for the fallback pre-scan\n", ms(prescan))
+	fmt.Fprintf(w, "over the same events, so the annotated route has no sequential phase to\n")
+	fmt.Fprintf(w, "amortize: per-thread workers start immediately and scale with cores until\n")
+	fmt.Fprintf(w, "the largest single thread dominates. The fallback overlaps its pre-scan\n")
+	fmt.Fprintf(w, "with the workers (segments stream to analyzers as the scan produces them),\n")
+	fmt.Fprintf(w, "so it is bounded by max(scan, slowest thread), not their sum. Single-core\n")
+	fmt.Fprintf(w, "hosts cap both routes at 1x parallel speedup; any measured gain there is\n")
+	fmt.Fprintf(w, "algorithmic (no merged-event materialization, no per-event tool dispatch,\n")
+	fmt.Fprintf(w, "packed single-word stamps, 32-bit shadow cells when timestamps fit).\n")
 
 	if cfg.BenchJSON != "" {
 		data, err := json.MarshalIndent(&bench, "", "  ")

@@ -20,7 +20,9 @@ import (
 // result:
 //
 //   - analysis route: inline profiler vs. sequential trace replay vs. the
-//     parallel pipeline at several worker counts;
+//     parallel pipeline at several worker counts — both from the recorded
+//     trace's stamp annotations and, with the annotations stripped, through
+//     the fallback pre-scan;
 //   - merge tie seed: recorded timestamps are globally unique, so the
 //     tie-breaker is never consulted;
 //   - renumbering cadence: a tiny RenumberThreshold forces many Fig. 13
@@ -199,6 +201,28 @@ func Run(cfg Config) (*Result, error) {
 	strict("workers=8/tieseed=99", func() ([]byte, error) { return pipelineExport(tr, 99, 8, core.Options{}) })
 	strict("workers=2/checked", func() ([]byte, error) { return pipelineExport(tr, 1, 2, core.Options{CheckLevel: cfg.Level}) })
 
+	// Prescan-vs-annotated axis: the streamed baseline trace carries stamp
+	// annotations, so every pipeline variant above takes the annotated
+	// O(#segments) route. Re-deriving from an annotation-stripped twin takes
+	// the fallback pre-scan instead; both routes must export byte-identical
+	// profiles.
+	stripped := strippedCopy(tr)
+	strict("prescan/workers=2", func() ([]byte, error) { return pipelineExport(stripped, 1, 2, core.Options{}) })
+	if !cfg.Quick {
+		strict("prescan/workers=8", func() ([]byte, error) { return pipelineExport(stripped, 1, 8, core.Options{}) })
+		strict("prescan/plan", func() ([]byte, error) {
+			plan, err := pipeline.BuildPlan(stripped, 1, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			p, err := plan.Run(2)
+			if err != nil {
+				return nil, err
+			}
+			return p.Export()
+		})
+	}
+
 	// Segment-size axis: re-record the (deterministic) workload with a
 	// different streaming segment capacity; the decoded trace must carry
 	// the same events, and its replay the same profile.
@@ -318,8 +342,30 @@ func segmentVariant(spec workloads.Spec, params workloads.Params, baseTr *trace.
 		v.Detail = fmt.Sprintf("profile diverges from baseline (%d vs %d bytes)", len(got), len(base))
 		return v
 	}
+	// A tiny segment capacity forces many recorder flushes, splitting the
+	// recorded annotation runs mid-schedule; the pipeline's annotated route
+	// over this trace must still reproduce the baseline exactly.
+	got, err = pipelineExport(tr, 1, 2, core.Options{})
+	if err != nil {
+		v.Detail = "pipeline: " + err.Error()
+		return v
+	}
+	if !bytes.Equal(got, base) {
+		v.Detail = fmt.Sprintf("annotated pipeline profile diverges from baseline (%d vs %d bytes)", len(got), len(base))
+		return v
+	}
 	v.OK = true
 	return v
+}
+
+// strippedCopy returns a twin of tr whose stamp annotations are removed,
+// leaving the shared event data untouched: the input to the pipeline's
+// fallback pre-scan route.
+func strippedCopy(tr *trace.Trace) *trace.Trace {
+	cp := *tr
+	cp.Threads = append([]trace.ThreadTrace(nil), tr.Threads...)
+	cp.StripAnnotations()
+	return &cp
 }
 
 // timesliceVariant re-runs the workload under a different scheduler

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/guest"
+)
+
+// Stamp annotations ('A' blocks) make a v2 trace "born analysis-ready": the
+// recorder computes, at record time, exactly the global information the
+// parallel pipeline's sequential pre-scan would otherwise have to derive by
+// replaying the whole merged order — the global counter value at every
+// same-thread run boundary and the global write-shadow observation of every
+// read. An annotated trace lets the pipeline assemble its plan in
+// O(#segments) and start per-thread workers immediately; traces without
+// annotations (v1, pre-annotation v2, hand-built, lossily recovered) fall
+// back to the streaming pre-scan. Annotations are pure acceleration
+// metadata: stripping them never changes a profile, and the decoder drops
+// them whenever their coverage is not provably complete.
+
+// KernelWriter is the provenance code of a shadow cell whose latest write
+// was performed by the kernel (external input). Writer codes follow the
+// inline profiler's encoding: 0 means "never written", guest thread t is
+// encoded as t+1, and KernelWriter marks kernel writes.
+const KernelWriter = ^uint32(0)
+
+// Stamp is the global write-shadow observation of one read event: the
+// timestamp (global counter value) and provenance of the cell's latest
+// write at the moment the read executed. WTS 0 with Writer 0 means the cell
+// had never been written.
+type Stamp struct {
+	// WTS is the global counter value of the latest write.
+	WTS uint64
+	// Writer is the write's provenance code (see KernelWriter).
+	Writer uint32
+}
+
+// StampRun annotates one maximal run of a thread's events in the merged
+// order (or a recorder-flush-bounded prefix of one): the unit the pipeline
+// turns into an analysis segment without scanning the trace.
+type StampRun struct {
+	// Events is the number of consecutive events the run covers.
+	Events int
+	// StartCount is the global counter value on entry to the run, under the
+	// full counting scheme (calls, thread switches and kernel writes bump).
+	StartCount uint64
+	// KernelBumps is the number of kernel-write counter bumps that happened
+	// before the run, so an rms-only analysis — whose counter skips kernel
+	// writes — can recover its entry count as StartCount - KernelBumps.
+	KernelBumps uint64
+}
+
+// ThreadAnnotation is one thread's record-time analysis metadata: its runs
+// in merged order, whose Events fields sum to the thread's event count, and
+// one Stamp per read event (KindRead or KindKernelRead), in event order.
+type ThreadAnnotation struct {
+	// Runs lists the thread's merged-order runs.
+	Runs []StampRun
+	// Stamps lists the write-shadow observations of the thread's reads.
+	Stamps []Stamp
+}
+
+// StripAnnotations removes all stamp annotations from the trace, turning an
+// annotated trace into its legacy twin: analysis falls back to the
+// sequential pre-scan and profiles are unchanged (the round-trip tests
+// assert byte identity). It is the inverse of nothing — annotations can
+// only be produced at record time.
+func (tr *Trace) StripAnnotations() {
+	tr.Annotated = false
+	for i := range tr.Threads {
+		tr.Threads[i].Ann = nil
+	}
+}
+
+// numReads counts a thread's read events — the number of stamps a complete
+// annotation must carry.
+func numReads(events []Event) int {
+	n := 0
+	for i := range events {
+		if k := events[i].Kind; k == KindRead || k == KindKernelRead {
+			n++
+		}
+	}
+	return n
+}
+
+// writerToWire maps a Stamp provenance code to its wire encoding: 0 stays 0
+// (never written), KernelWriter becomes 1, and thread codes t+1 shift up by
+// one so every realistic value stays a short varint.
+func writerToWire(w uint32) uint64 {
+	switch w {
+	case 0:
+		return 0
+	case KernelWriter:
+		return 1
+	default:
+		return uint64(w) + 1
+	}
+}
+
+// writerFromWire inverts writerToWire.
+func writerFromWire(v uint64) (uint32, error) {
+	switch {
+	case v == 0:
+		return 0, nil
+	case v == 1:
+		return KernelWriter, nil
+	case v-1 <= uint64(^uint32(0)):
+		return uint32(v - 1), nil
+	default:
+		return 0, fmt.Errorf("implausible writer code %d", v)
+	}
+}
+
+// maxRunEvents bounds one annotated run's declared event count; anything
+// larger is treated as corruption rather than trusted into a sum.
+const maxRunEvents = 1 << 40
+
+// appendAnnotationPayload encodes one 'A' block payload: the thread id, a
+// batch of runs and a batch of stamps. Run and stamp batches accumulate
+// across a thread's A blocks in file order, so a streaming recorder can
+// emit them incrementally alongside the event segments they describe.
+func appendAnnotationPayload(dst []byte, id guest.ThreadID, runs []StampRun, stamps []Stamp) []byte {
+	dst = binary.AppendUvarint(dst, uint64(uint32(id)))
+	dst = binary.AppendUvarint(dst, uint64(len(runs)))
+	for _, r := range runs {
+		dst = binary.AppendUvarint(dst, uint64(r.Events))
+		dst = binary.AppendUvarint(dst, r.StartCount)
+		dst = binary.AppendUvarint(dst, r.KernelBumps)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(stamps)))
+	for _, s := range stamps {
+		dst = binary.AppendUvarint(dst, s.WTS)
+		dst = binary.AppendUvarint(dst, writerToWire(s.Writer))
+	}
+	return dst
+}
+
+// parseAnnotationPayload decodes an 'A' block payload. Counts are bounded
+// by the payload size (a run costs at least three bytes, a stamp at least
+// two) before any allocation.
+func parseAnnotationPayload(payload []byte) (guest.ThreadID, []StampRun, []Stamp, error) {
+	p := &byteParser{b: payload}
+	idWire, err := p.uvarint()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	id := threadIDFromWire(idWire)
+	nr, err := p.uvarint()
+	if err != nil {
+		return id, nil, nil, err
+	}
+	if nr > uint64(len(payload))/3+1 {
+		return id, nil, nil, fmt.Errorf("implausible run count %d in %d-byte annotation", nr, len(payload))
+	}
+	runs := make([]StampRun, 0, nr)
+	for i := uint64(0); i < nr; i++ {
+		ev, err := p.uvarint()
+		if err != nil {
+			return id, nil, nil, fmt.Errorf("run %d: %w", i, err)
+		}
+		if ev > maxRunEvents {
+			return id, nil, nil, fmt.Errorf("run %d: implausible event count %d", i, ev)
+		}
+		start, err := p.uvarint()
+		if err != nil {
+			return id, nil, nil, fmt.Errorf("run %d: %w", i, err)
+		}
+		kb, err := p.uvarint()
+		if err != nil {
+			return id, nil, nil, fmt.Errorf("run %d: %w", i, err)
+		}
+		runs = append(runs, StampRun{Events: int(ev), StartCount: start, KernelBumps: kb})
+	}
+	ns, err := p.uvarint()
+	if err != nil {
+		return id, runs, nil, err
+	}
+	if ns > uint64(len(payload))/2+1 {
+		return id, runs, nil, fmt.Errorf("implausible stamp count %d in %d-byte annotation", ns, len(payload))
+	}
+	stamps := make([]Stamp, 0, ns)
+	for i := uint64(0); i < ns; i++ {
+		wts, err := p.uvarint()
+		if err != nil {
+			return id, runs, nil, fmt.Errorf("stamp %d: %w", i, err)
+		}
+		ww, err := p.uvarint()
+		if err != nil {
+			return id, runs, nil, fmt.Errorf("stamp %d: %w", i, err)
+		}
+		writer, err := writerFromWire(ww)
+		if err != nil {
+			return id, runs, nil, fmt.Errorf("stamp %d: %w", i, err)
+		}
+		stamps = append(stamps, Stamp{WTS: wts, Writer: writer})
+	}
+	if !p.done() {
+		return id, runs, stamps, fmt.Errorf("trailing bytes after annotation stamps")
+	}
+	return id, runs, stamps, nil
+}

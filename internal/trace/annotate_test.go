@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/workloads"
+)
+
+// TestAnnotationPayloadRoundTrip drives the 'A'-block wire codec through
+// representative and extreme values: every field must survive unchanged,
+// including the three-way writer provenance encoding.
+func TestAnnotationPayloadRoundTrip(t *testing.T) {
+	runs := []StampRun{
+		{Events: 1, StartCount: 0, KernelBumps: 0},
+		{Events: 4096, StartCount: 1 << 40, KernelBumps: 12345},
+		{Events: 7, StartCount: ^uint64(0) >> 1, KernelBumps: 99},
+	}
+	stamps := []Stamp{
+		{WTS: 0, Writer: 0},                     // never written
+		{WTS: 17, Writer: KernelWriter},         // kernel write
+		{WTS: 1 << 50, Writer: 1},               // thread 0
+		{WTS: 42, Writer: ^uint32(0) - 1},       // near-max thread encoding
+		{WTS: ^uint64(0), Writer: KernelWriter}, // extreme timestamp
+	}
+	id := guest.ThreadID(7)
+	payload := appendAnnotationPayload(nil, id, runs, stamps)
+	gotID, gotRuns, gotStamps, err := parseAnnotationPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != id {
+		t.Fatalf("thread id: got %d, want %d", gotID, id)
+	}
+	if len(gotRuns) != len(runs) {
+		t.Fatalf("runs: got %d, want %d", len(gotRuns), len(runs))
+	}
+	for i := range runs {
+		if gotRuns[i] != runs[i] {
+			t.Fatalf("run %d: got %+v, want %+v", i, gotRuns[i], runs[i])
+		}
+	}
+	if len(gotStamps) != len(stamps) {
+		t.Fatalf("stamps: got %d, want %d", len(gotStamps), len(stamps))
+	}
+	for i := range stamps {
+		if gotStamps[i] != stamps[i] {
+			t.Fatalf("stamp %d: got %+v, want %+v", i, gotStamps[i], stamps[i])
+		}
+	}
+}
+
+// TestAnnotationPayloadRejectsGarbage: malformed payloads must error, never
+// panic or silently truncate.
+func TestAnnotationPayloadRejectsGarbage(t *testing.T) {
+	good := appendAnnotationPayload(nil, 3,
+		[]StampRun{{Events: 2, StartCount: 5}}, []Stamp{{WTS: 4, Writer: 1}})
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated":      good[:len(good)-1],
+		"trailing bytes": append(append([]byte(nil), good...), 0),
+		"huge run count": {3, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, payload := range cases {
+		if _, _, _, err := parseAnnotationPayload(payload); err == nil {
+			t.Errorf("%s: parse accepted malformed payload", name)
+		}
+	}
+}
+
+// TestRecorderAnnotationCoverage records real workloads through the
+// streaming recorder and checks the decoder-validated annotation structure:
+// run lengths tile each thread's events exactly, stamps match the read
+// count, and the run entry counts are consistent with the kernel-bump
+// tallies.
+func TestRecorderAnnotationCoverage(t *testing.T) {
+	for _, wl := range []string{"mysqld", "producer-consumer", "external-read", "fig1a"} {
+		var buf bytes.Buffer
+		rec := NewStreamRecorder(&buf)
+		if _, err := workloads.RunByName(wl, workloads.Params{Size: 16, Threads: 3}, rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Annotated {
+			t.Fatalf("%s: streamed trace not annotated", wl)
+		}
+		for i := range tr.Threads {
+			tt := &tr.Threads[i]
+			if tt.Ann == nil {
+				t.Fatalf("%s: thread %d: nil annotation on annotated trace", wl, tt.ID)
+			}
+			sum := 0
+			for _, run := range tt.Ann.Runs {
+				if run.Events <= 0 {
+					t.Fatalf("%s: thread %d: non-positive run length %d", wl, tt.ID, run.Events)
+				}
+				if run.KernelBumps > run.StartCount {
+					t.Fatalf("%s: thread %d: kernel bumps %d exceed entry count %d",
+						wl, tt.ID, run.KernelBumps, run.StartCount)
+				}
+				sum += run.Events
+			}
+			if sum != len(tt.Events) {
+				t.Fatalf("%s: thread %d: runs cover %d of %d events", wl, tt.ID, sum, len(tt.Events))
+			}
+			if got, want := len(tt.Ann.Stamps), numReads(tt.Events); got != want {
+				t.Fatalf("%s: thread %d: %d stamps for %d reads", wl, tt.ID, got, want)
+			}
+		}
+	}
+}
+
+// TestSetAnnotationsOff: a recorder with annotations disabled writes a
+// valid, unannotated trace.
+func TestSetAnnotationsOff(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewStreamRecorder(&buf)
+	rec.SetAnnotations(false)
+	if _, err := workloads.RunByName("producer-consumer", workloads.Params{Size: 12}, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Annotated {
+		t.Fatal("trace annotated despite SetAnnotations(false)")
+	}
+	vr, err := Verify(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Annotations != 0 {
+		t.Fatalf("%d annotation blocks written despite SetAnnotations(false)", vr.Annotations)
+	}
+}

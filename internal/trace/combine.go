@@ -41,7 +41,12 @@ func Combine(shards ...*Trace) (*Trace, error) {
 				return nil, fmt.Errorf("trace: combining shard %d: duplicate thread id %d", i, id)
 			}
 			seen[id] = true
-			out.Threads = append(out.Threads, sh.Threads[j])
+			tt := sh.Threads[j]
+			// Stamp annotations describe one recorder's view of the global
+			// counter; across shards the interleaving is re-derived by the
+			// merge, so per-shard annotations are not trustworthy.
+			tt.Ann = nil
+			out.Threads = append(out.Threads, tt)
 		}
 	}
 	return out, nil

@@ -25,6 +25,10 @@ import (
 //	'E'  event segment:            uvarint thread id, uvarint event count,
 //	                               then per event uvarint TS delta | kind
 //	                               byte | uvarint arg | uvarint aux
+//	'A'  stamp annotations:        uvarint thread id, run batch, stamp
+//	                               batch (see annotate.go) — optional
+//	                               analysis metadata the recorder computes
+//	                               so the pipeline needs no pre-scan
 //	'F'  footer:                   uvarint block count (excluding the
 //	                               footer), uvarint total event count,
 //	                               uvarint thread count
@@ -34,14 +38,19 @@ import (
 // segment is flushed before that segment. Timestamp deltas restart from an
 // implicit previous value of 0 at each segment start, making every segment
 // independently decodable: recovery can salvage any subset of intact
-// segments. See docs/TRACE_FORMAT.md for the full specification.
+// segments. 'A' blocks likewise accumulate per thread in file order; they
+// are additive within version 2, so decoders that predate them reject the
+// unknown kind only in strict mode and older traces without them simply
+// decode as unannotated. See docs/TRACE_FORMAT.md for the full
+// specification.
 
 // Block kind bytes of the v2 framing.
 const (
-	blockRoutines = 'R'
-	blockSyncs    = 'Y'
-	blockEvents   = 'E'
-	blockFooter   = 'F'
+	blockRoutines    = 'R'
+	blockSyncs       = 'Y'
+	blockEvents      = 'E'
+	blockAnnotations = 'A'
+	blockFooter      = 'F'
 )
 
 // DefaultSegmentEvents is the event-count bound of one v2 trace segment:
@@ -73,9 +82,10 @@ var (
 	errTruncated = errors.New("truncated block")
 )
 
-// validBlockKind reports whether b is one of the four v2 block kinds.
+// validBlockKind reports whether b is one of the five v2 block kinds.
 func validBlockKind(b byte) bool {
-	return b == blockRoutines || b == blockSyncs || b == blockEvents || b == blockFooter
+	return b == blockRoutines || b == blockSyncs || b == blockEvents ||
+		b == blockAnnotations || b == blockFooter
 }
 
 // appendBlock frames payload as one v2 block (kind, length, payload,
@@ -189,6 +199,19 @@ func (tr *Trace) Encode(w io.Writer) (int64, error) {
 			}
 			if hi == len(tt.Events) {
 				break
+			}
+		}
+		// Re-emit the thread's stamp annotations, chunked so no single block
+		// grows unbounded; batches concatenate back at decode time.
+		if tr.Annotated && tt.Ann != nil {
+			runs, stamps := tt.Ann.Runs, tt.Ann.Stamps
+			for len(runs) > 0 || len(stamps) > 0 {
+				nr := min(len(runs), DefaultSegmentEvents)
+				ns := min(len(stamps), DefaultSegmentEvents)
+				if err := writeBlock(blockAnnotations, appendAnnotationPayload(nil, tt.ID, runs[:nr], stamps[:ns])); err != nil {
+					return total, err
+				}
+				runs, stamps = runs[nr:], stamps[ns:]
 			}
 		}
 	}
@@ -472,12 +495,19 @@ type traceBuilder struct {
 	// byID maps a thread id to its index in tr.Threads: indices stay valid
 	// when appends reallocate the slice, pointers would not.
 	byID map[guest.ThreadID]int
+	// reads counts each thread's read events, and anns accumulates its 'A'
+	// blocks; build checks the two against each other before trusting the
+	// annotations.
+	reads map[guest.ThreadID]int
+	anns  map[guest.ThreadID]*ThreadAnnotation
 }
 
 func newTraceBuilder() *traceBuilder {
 	return &traceBuilder{
-		tr:   &Trace{Version: formatVersion},
-		byID: make(map[guest.ThreadID]int),
+		tr:    &Trace{Version: formatVersion},
+		byID:  make(map[guest.ThreadID]int),
+		reads: make(map[guest.ThreadID]int),
+		anns:  make(map[guest.ThreadID]*ThreadAnnotation),
 	}
 }
 
@@ -511,11 +541,73 @@ func (b *traceBuilder) addSegment(id guest.ThreadID, events []Event) error {
 	}
 	tt := &b.tr.Threads[idx]
 	tt.Events = append(tt.Events, events...)
+	b.reads[id] += numReads(events)
 	return nil
 }
 
-// build finalizes the accumulated trace.
-func (b *traceBuilder) build() *Trace { return b.tr }
+// addAnnotation accumulates one 'A' block's run and stamp batches onto the
+// thread's annotation; batches concatenate in file order.
+func (b *traceBuilder) addAnnotation(id guest.ThreadID, runs []StampRun, stamps []Stamp) error {
+	ann := b.anns[id]
+	if ann == nil {
+		ann = &ThreadAnnotation{}
+		b.anns[id] = ann
+	}
+	if len(ann.Stamps)+len(stamps) > maxBlockPayload || len(ann.Runs)+len(runs) > maxBlockPayload {
+		return fmt.Errorf("implausible accumulated annotation size for thread %d", id)
+	}
+	ann.Runs = append(ann.Runs, runs...)
+	ann.Stamps = append(ann.Stamps, stamps...)
+	return nil
+}
+
+// build finalizes the accumulated trace, attaching stamp annotations if —
+// and only if — their coverage is provably complete: every thread's run
+// lengths sum to its event count, its stamp count equals its read count,
+// and no annotation references an unknown thread. Anything inconsistent
+// (e.g. a recording whose annotator shut off mid-run, or a hand-damaged
+// file that still checksums) silently degrades the trace to unannotated,
+// never to wrong analysis inputs.
+func (b *traceBuilder) build() *Trace {
+	tr := b.tr
+	if len(b.anns) == 0 {
+		return tr
+	}
+	for id := range b.anns {
+		if _, ok := b.byID[id]; !ok {
+			return tr // annotation for a thread with no events: drop all
+		}
+	}
+	for i := range tr.Threads {
+		tt := &tr.Threads[i]
+		ann := b.anns[tt.ID]
+		if ann == nil {
+			if len(tt.Events) == 0 {
+				continue // an empty thread is vacuously annotated
+			}
+			return tr
+		}
+		sum := 0
+		for _, r := range ann.Runs {
+			if sum += r.Events; sum > len(tt.Events) {
+				return tr
+			}
+		}
+		if sum != len(tt.Events) || len(ann.Stamps) != b.reads[tt.ID] {
+			return tr
+		}
+	}
+	for i := range tr.Threads {
+		tt := &tr.Threads[i]
+		if ann := b.anns[tt.ID]; ann != nil {
+			tt.Ann = ann
+		} else {
+			tt.Ann = &ThreadAnnotation{}
+		}
+	}
+	tr.Annotated = true
+	return tr
+}
 
 // decodeV2 strictly decodes a v2 block stream positioned just past the
 // prelude: any checksum mismatch, framing fault, truncation, missing footer,
@@ -559,6 +651,14 @@ func decodeV2(t *trackReader) (*Trace, error) {
 				return nil, fmt.Errorf("trace: segment at offset %d: %w", blk.offset, err)
 			}
 			nevents += len(events)
+		case blockAnnotations:
+			id, runs, stamps, err := parseAnnotationPayload(blk.payload)
+			if err != nil {
+				return nil, fmt.Errorf("trace: annotation at offset %d: %w", blk.offset, err)
+			}
+			if err := b.addAnnotation(id, runs, stamps); err != nil {
+				return nil, fmt.Errorf("trace: annotation at offset %d: %w", blk.offset, err)
+			}
 		case blockFooter:
 			fb, fe, ft, err := parseFooterPayload(blk.payload)
 			if err != nil {

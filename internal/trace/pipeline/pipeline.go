@@ -15,17 +15,29 @@
 //     its shadow stack of partial trms/rms values — which depends only on
 //     that thread's own events plus the global values observed at them.
 //
-// The pipeline therefore runs two phases. The pre-scan (BuildPlan) streams
-// the merged event order once, maintaining only the counter and the global
-// write shadow; it shards each thread's events at thread-switch boundaries
-// into segments stamped with the counter value at segment entry, and
-// annotates every read with the (wts, writer) pair it observes. The analyze
-// phase (Plan.Run) then processes each guest thread independently — shadow
+// The pipeline therefore splits work into global-state derivation and
+// per-thread analysis, and obtains the global half as cheaply as the trace
+// allows:
+//
+//   - Annotated traces (recorded by trace.StreamRecorder, which maintains
+//     the pre-scan's state live while recording) carry every segment's
+//     entry counter and every read's (wts, writer) stamp in the file, so
+//     BuildPlan assembles the plan directly from the annotations in
+//     O(#segments) and per-thread workers start immediately.
+//   - Legacy traces without annotations go through the fallback pre-scan.
+//     Analyze overlaps it with the workers: the merged-order scan publishes
+//     segments to per-thread queues as it goes, and each thread's analyzer
+//     starts the moment its first segment is available instead of waiting
+//     behind a barrier. BuildPlan still offers the fully materialized
+//     (reusable) plan for callers that want the two phases separate.
+//
+// The analyze phase processes each guest thread independently — shadow
 // memory, shadow stack, histogram aggregation — on a bounded pool of
 // workers, and deterministically folds the per-thread profiles together.
 // The result is byte-identical (core.Profile.Export) to the inline
-// profiler's: the differential and property tests assert this across
-// workloads and worker counts.
+// profiler's on every route: the differential tests and the metamorphic
+// harness's prescan-vs-annotated axis assert this across workloads and
+// worker counts.
 //
 // Timestamps are 64-bit throughout, so the pipeline never renumbers; this
 // is equivalent because the paper's renumbering (Fig. 13) preserves exactly
@@ -37,6 +49,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -95,21 +108,15 @@ type Options struct {
 // kernelWriter marks a cell whose latest write was performed by the kernel
 // (external input). It mirrors the inline profiler's provenance encoding:
 // writer 0 means "never written", thread t is encoded as t+1.
-const kernelWriter = ^uint32(0)
+const kernelWriter = trace.KernelWriter
 
-// writeStamp is one cell of the pre-scan's global write shadow in wide mode:
-// the timestamp and provenance of the cell's latest write. In the (almost
-// universal) narrow mode the pair is packed wts<<32|writer into a uint64,
-// exactly as the inline profiler packs it.
-type writeStamp struct {
-	wts    uint64
-	writer uint32
-}
-
-// segment is a maximal run of one thread's events in the merged order: the
-// unit the pre-scan shards traces into. Lo and Hi index into the events of
-// thread trace Src; StartCount is the global counter value on entry (after
-// the preceding switchThread bump).
+// segment is a run of one thread's events in the merged order: the unit the
+// plan shards traces into. Lo and Hi index into the events of thread trace
+// Src; StartCount is the global counter value on entry (after the preceding
+// switchThread bump). Segments split at thread switches and, in annotated
+// or streaming plans, additionally at recorder-flush or chunk boundaries —
+// splits within a run are exact (the entry counter is recorded at the split
+// point) and do not change profiles.
 type segment struct {
 	src        int // index into Trace.Threads
 	lo, hi     int
@@ -118,33 +125,35 @@ type segment struct {
 
 // threadPlan is the per-guest-thread share of a Plan: the thread's segments
 // in merged order and the global write-shadow observations of its reads, in
-// event order. Exactly one of packed (narrow mode) and reads (wide mode) is
-// populated.
+// event order. The pre-scan populates exactly one of packed (narrow mode)
+// and reads (wide mode); annotated plans always use reads, sharing the
+// decoded stamp slice without copying.
 type threadPlan struct {
 	id       guest.ThreadID
 	events   int
 	segments []segment
 	packed   []uint64
-	reads    []writeStamp
+	reads    []trace.Stamp
 }
 
 // readAt returns the (wts, writer) pair observed by the thread's i-th read.
 func (tp *threadPlan) readAt(i int) (uint64, uint32) {
 	if tp.reads != nil {
 		st := tp.reads[i]
-		return st.wts, st.writer
+		return st.WTS, st.Writer
 	}
 	g := tp.packed[i]
 	return g >> 32, uint32(g)
 }
 
-// Plan is the output of the pre-scan: everything the per-thread analyzers
+// Plan is the output of plan assembly: everything the per-thread analyzers
 // need to run independently of each other.
 type Plan struct {
-	tr      *trace.Trace
-	opts    core.Options
-	wide    bool          // see BuildPlan: counter may exceed 32 bits
-	threads []*threadPlan // in order of first appearance in the merged order
+	tr        *trace.Trace
+	opts      core.Options
+	wide      bool          // see BuildPlan: counter may exceed 32 bits
+	annotated bool          // assembled from trace annotations, no pre-scan
+	threads   []*threadPlan // in order of first appearance in the merged order
 
 	// Telemetry and Progress mirror the same-named Options fields for
 	// callers driving BuildPlan/Run directly; AnalyzeContext copies them
@@ -152,6 +161,11 @@ type Plan struct {
 	Telemetry *telemetry.Registry
 	Progress  func(processed, total uint64)
 }
+
+// Annotated reports whether the plan was assembled from the trace's
+// recorded stamp annotations in O(#segments) rather than by the sequential
+// fallback pre-scan.
+func (p *Plan) Annotated() bool { return p.annotated }
 
 // NumEvents returns the total number of events across the plan's threads —
 // the denominator a Progress callback receives.
@@ -170,9 +184,16 @@ func Analyze(tr *trace.Trace, opts Options) (*core.Profile, error) {
 	return AnalyzeContext(context.Background(), tr, opts)
 }
 
-// AnalyzeContext is Analyze with cancellation: the pre-scan and the worker
-// pool observe ctx and return ctx.Err() promptly when it is canceled or its
-// deadline passes. It also enforces the Options.MaxEvents guard.
+// AnalyzeContext is Analyze with cancellation: the plan assembly, pre-scan
+// and worker pool observe ctx and return ctx.Err() promptly when it is
+// canceled or its deadline passes. It also enforces the Options.MaxEvents
+// guard.
+//
+// Route selection: an annotated trace is planned in O(#segments) and run on
+// the worker pool directly; an unannotated trace is analyzed with the
+// streaming fallback, which overlaps the sequential pre-scan with the
+// per-thread workers instead of running the two phases behind a barrier.
+// Both routes produce byte-identical profiles.
 func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (*core.Profile, error) {
 	if opts.MaxEvents > 0 {
 		if n := tr.NumEvents(); n > opts.MaxEvents {
@@ -181,18 +202,39 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (*core.P
 	}
 	ctx, endTask := telemetry.StartTask(ctx, "aprof.analyze")
 	defer endTask()
-	span := opts.Telemetry.StartSpan(ctx, "pipeline/prescan")
-	plan, err := BuildPlanContext(ctx, tr, opts.TieSeed, opts.Profile)
-	span.End()
-	if err != nil {
+	if err := validateOptions(opts.Profile); err != nil {
 		return nil, err
 	}
-	plan.Telemetry = opts.Telemetry
-	plan.Progress = opts.Progress
-	return plan.RunContext(ctx, opts.Workers)
+	if tr.Annotated {
+		span := opts.Telemetry.StartSpan(ctx, "pipeline/plan")
+		plan, err := BuildPlanContext(ctx, tr, opts.TieSeed, opts.Profile)
+		span.End()
+		if err != nil {
+			return nil, err
+		}
+		plan.Telemetry = opts.Telemetry
+		plan.Progress = opts.Progress
+		return plan.RunContext(ctx, opts.Workers)
+	}
+	return analyzeStreaming(ctx, tr, opts)
 }
 
-// BuildPlan runs the sequential pre-scan: one streaming pass over the merged
+// validateOptions rejects the profiling modes the parallel pipeline cannot
+// support (they need totally ordered shared state; use core.FromTrace).
+func validateOptions(opts core.Options) error {
+	if opts.ContextSensitive {
+		return fmt.Errorf("pipeline: ContextSensitive profiling requires the sequential replayer (core.FromTrace)")
+	}
+	if opts.OnActivation != nil {
+		return fmt.Errorf("pipeline: OnActivation streaming requires the sequential replayer (core.FromTrace)")
+	}
+	return nil
+}
+
+// BuildPlan assembles the analysis plan. For an annotated trace (see
+// trace.Stamp) the plan comes straight from the recorded segment metadata
+// in O(#segments) — no pass over the events at all. Otherwise BuildPlan
+// runs the sequential fallback pre-scan: one streaming pass over the merged
 // event order that maintains the global counter and write shadow, shards
 // every thread's events at thread-switch boundaries, and annotates reads
 // with the write timestamps they observe.
@@ -208,15 +250,86 @@ func BuildPlan(tr *trace.Trace, tieSeed int64, opts core.Options) (*Plan, error)
 	return BuildPlanContext(context.Background(), tr, tieSeed, opts)
 }
 
-// BuildPlanContext is BuildPlan with cancellation: ctx is polled once per
-// merged scheduler run (the pre-scan's natural work unit), so a canceled
-// scan stops within one run and returns ctx.Err().
-func BuildPlanContext(ctx context.Context, tr *trace.Trace, tieSeed int64, opts core.Options) (*Plan, error) {
-	if opts.ContextSensitive {
-		return nil, fmt.Errorf("pipeline: ContextSensitive profiling requires the sequential replayer (core.FromTrace)")
+// planFromAnnotations assembles a plan from the trace's recorded stamp
+// annotations without scanning any events: each annotated run becomes a
+// segment, reads share the decoded stamp slices, and threads are ordered by
+// their first run's entry count — which is exactly first appearance in the
+// merged order, because every thread switch bumps the counter. It returns
+// ok=false (caller falls back to the pre-scan) if the annotations are
+// internally inconsistent, which the decoder rules out for traces it marks
+// Annotated but a hand-mutated trace could still exhibit.
+func planFromAnnotations(tr *trace.Trace, opts core.Options) (*Plan, bool) {
+	p := &Plan{tr: tr, opts: opts, annotated: true, wide: 2*uint64(tr.NumEvents())+2 >= 1<<32}
+	type firstOf struct {
+		tp    *threadPlan
+		start uint64
 	}
-	if opts.OnActivation != nil {
-		return nil, fmt.Errorf("pipeline: OnActivation streaming requires the sequential replayer (core.FromTrace)")
+	order := make([]firstOf, 0, len(tr.Threads))
+	for ti := range tr.Threads {
+		tt := &tr.Threads[ti]
+		if len(tt.Events) == 0 {
+			continue
+		}
+		ann := tt.Ann
+		if ann == nil {
+			return nil, false
+		}
+		tp := &threadPlan{id: tt.ID, events: len(tt.Events)}
+		if !opts.RMSOnly {
+			tp.reads = ann.Stamps
+		}
+		lo := 0
+		first := uint64(0)
+		for _, run := range ann.Runs {
+			if run.Events <= 0 {
+				if run.Events < 0 {
+					return nil, false
+				}
+				continue
+			}
+			if len(tp.segments) == 0 {
+				first = run.StartCount
+			}
+			start := run.StartCount
+			if opts.RMSOnly {
+				// The rms-only counter skips kernel-write bumps; recover its
+				// image by subtracting the recorded bump tally.
+				if run.KernelBumps > run.StartCount {
+					return nil, false
+				}
+				start -= run.KernelBumps
+			}
+			if lo+run.Events > len(tt.Events) {
+				return nil, false
+			}
+			tp.segments = append(tp.segments, segment{src: ti, lo: lo, hi: lo + run.Events, startCount: start})
+			lo += run.Events
+		}
+		if lo != len(tt.Events) {
+			return nil, false
+		}
+		order = append(order, firstOf{tp: tp, start: first})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].start < order[j].start })
+	p.threads = make([]*threadPlan, len(order))
+	for i, o := range order {
+		p.threads[i] = o.tp
+	}
+	return p, true
+}
+
+// BuildPlanContext is BuildPlan with cancellation: ctx is polled once per
+// merged scheduler run (the fallback pre-scan's natural work unit), so a
+// canceled scan stops within one run and returns ctx.Err(). The annotated
+// fast path does no event work and ignores ctx.
+func BuildPlanContext(ctx context.Context, tr *trace.Trace, tieSeed int64, opts core.Options) (*Plan, error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	if tr.Annotated {
+		if p, ok := planFromAnnotations(tr, opts); ok {
+			return p, nil
+		}
 	}
 
 	p := &Plan{tr: tr, opts: opts, wide: 2*uint64(tr.NumEvents())+2 >= 1<<32}
@@ -242,7 +355,7 @@ func BuildPlanContext(ctx context.Context, tr *trace.Trace, tieSeed int64, opts 
 			tp = &threadPlan{id: id}
 			if n := nreads[id]; n > 0 {
 				if p.wide {
-					tp.reads = make([]writeStamp, 0, n)
+					tp.reads = make([]trace.Stamp, 0, n)
 				} else {
 					tp.packed = make([]uint64, 0, n)
 				}
@@ -318,7 +431,7 @@ func BuildPlanContext(ctx context.Context, tr *trace.Trace, tieSeed int64, opts 
 			}
 		})
 	case p.wide:
-		global := shadow.NewTable[writeStamp]()
+		global := shadow.NewTable[trace.Stamp]()
 		trace.WalkRuns(tr, tieSeed, func(ti, lo, hi int) {
 			if checkCtx() {
 				return
@@ -334,9 +447,9 @@ func BuildPlanContext(ctx context.Context, tr *trace.Trace, tieSeed int64, opts 
 					count++
 				case trace.KindKernelWrite:
 					count++
-					global.Set(guest.Addr(e.Arg), writeStamp{wts: count, writer: kernelWriter})
+					global.Set(guest.Addr(e.Arg), trace.Stamp{WTS: count, Writer: kernelWriter})
 				case trace.KindWrite:
-					global.Set(guest.Addr(e.Arg), writeStamp{wts: count, writer: uint32(e.Thread) + 1})
+					global.Set(guest.Addr(e.Arg), trace.Stamp{WTS: count, Writer: uint32(e.Thread) + 1})
 				case trace.KindRead, trace.KindKernelRead:
 					cur.reads = append(cur.reads, global.Peek(guest.Addr(e.Arg)))
 				}

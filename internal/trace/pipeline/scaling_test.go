@@ -1,0 +1,59 @@
+package pipeline
+
+// Scaling smoke: a loud, cheap canary against parallelism regressions.
+// Gated behind APROF_SCALING_SMOKE so ordinary `go test ./...` stays
+// fast; scripts/verify.sh and the CI workflow set it. Self-skips on
+// single-CPU hosts, where wall-clock parallel speedup is impossible.
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/workloads"
+)
+
+// TestScalingSmoke records a mid-size annotated mysqld trace, pins
+// GOMAXPROCS to 2, and requires 2 pipeline workers to beat 1 worker by
+// more than 1.2x (min-of-5 wall time). A regression that re-serializes
+// the workers — a stray lock, a barrier before the merge, a plan that
+// stops splitting threads — fails this before it reaches a benchmark.
+func TestScalingSmoke(t *testing.T) {
+	if os.Getenv("APROF_SCALING_SMOKE") == "" {
+		t.Skip("set APROF_SCALING_SMOKE=1 to run (scripts/verify.sh does)")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skipf("host has %d CPU: parallel speedup unmeasurable, skipping", runtime.NumCPU())
+	}
+	tr, _ := streamedTrace(t, "mysqld", workloads.Params{Size: 96, Threads: 8}, 0)
+	if !tr.Annotated {
+		t.Fatal("streamed trace not annotated")
+	}
+
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+
+	const reps = 5
+	minOf := func(workers int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if _, err := Analyze(tr, Options{Workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	one := minOf(1)
+	two := minOf(2)
+	speedup := float64(one) / float64(two)
+	t.Logf("events=%d workers=1 %v, workers=2 %v, speedup %.2fx", tr.NumEvents(), one, two, speedup)
+	if speedup <= 1.2 {
+		t.Fatalf("2 workers at GOMAXPROCS=2 only %.2fx over 1 worker (need > 1.2x): parallelism regressed", speedup)
+	}
+}

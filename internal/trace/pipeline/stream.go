@@ -1,0 +1,442 @@
+package pipeline
+
+// Streaming fallback for traces without recorded stamp annotations: instead
+// of running the sequential pre-scan to completion and only then starting
+// the per-thread analyzers (a barrier that caps speedup at ~2x), the scan
+// publishes segments to per-thread shards as the merged walk produces them,
+// and each thread's analyzer starts the moment its first segment appears.
+// Long single-thread stretches are chunk-split so the analyzer can trail the
+// scan closely even when the schedule rarely switches threads.
+//
+// Publication is append-only: a shard's segs/packed/reads slices only ever
+// grow, so a worker holding a snapshot of the published prefix can read it
+// without locks — the mutex+condvar pair only guards the handoff of new
+// lengths. Segment metadata and the read stamps covering it are appended in
+// one critical section, so any visible segment's stamps are visible too.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/shadow"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// streamChunkEvents bounds how many events the producer buffers into one
+// streaming segment before force-publishing it. Splits within a run are
+// exact (the counter at the split point is recorded as the next segment's
+// entry count), so chunking changes scheduling granularity, never results.
+const streamChunkEvents = 4096
+
+// shard is one guest thread's incrementally published plan: the streaming
+// equivalent of threadPlan. The producer appends under mu and broadcasts;
+// workers snapshot the published prefix and process it lock-free.
+type shard struct {
+	id   guest.ThreadID
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// Append-only; the prefix visible at any snapshot is immutable.
+	segs   []segment
+	packed []uint64
+	reads  []trace.Stamp
+
+	closed bool  // no further appends will happen
+	err    error // producer failure, set before closed broadcasts
+}
+
+// fetch blocks until at least want segments are published, the shard is
+// closed, or the producer failed, and returns a snapshot of the published
+// state. The returned slices must be treated as read-only.
+func (s *shard) fetch(want int) (segs []segment, packed []uint64, reads []trace.Stamp, closed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.segs) < want && !s.closed {
+		s.cond.Wait()
+	}
+	return s.segs, s.packed, s.reads, s.closed, s.err
+}
+
+// view adapts a shard snapshot to the worker's readSource. The wide flag
+// picks the representation the producer populated; the distinction cannot be
+// inferred from nil-ness because an empty prefix of either is also nil.
+type view struct {
+	wide   bool
+	packed []uint64
+	reads  []trace.Stamp
+}
+
+func (v *view) readAt(i int) (uint64, uint32) {
+	if v.wide {
+		st := v.reads[i]
+		return st.WTS, st.Writer
+	}
+	g := v.packed[i]
+	return g >> 32, uint32(g)
+}
+
+// analyzeStreaming analyzes an unannotated trace with the pre-scan and the
+// per-thread workers overlapped: the producer goroutine runs the merged
+// sequential scan and publishes to shards, the dispatcher starts one worker
+// per discovered thread on a pool bounded by opts.Workers, and the profiles
+// merge in thread discovery order — the same order BuildPlan materializes,
+// so the result is byte-identical to the plan route and the inline profiler.
+func analyzeStreaming(ctx context.Context, tr *trace.Trace, opts Options) (*core.Profile, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reg := opts.Telemetry
+	reg.Gauge("pipeline/workers").Set(int64(workers))
+	wide := 2*uint64(tr.NumEvents())+2 >= 1<<32
+
+	// Progress and counter plumbing, identical to Plan.RunContext.
+	total := uint64(tr.NumEvents())
+	var processed atomic.Uint64
+	var onSegment func(events int)
+	evCounter := reg.Counter("pipeline/events_processed")
+	segCounter := reg.Counter("pipeline/segments_processed")
+	if opts.Progress != nil || reg != nil {
+		progress := opts.Progress
+		onSegment = func(events int) {
+			done := processed.Add(uint64(events))
+			evCounter.Add(uint64(events))
+			segCounter.Inc()
+			if progress != nil {
+				progress(done, total)
+			}
+		}
+	}
+
+	// discovered is buffered beyond the maximum number of distinct thread
+	// ids, so the producer never blocks on it: the scan always runs ahead
+	// freely no matter how slowly workers drain.
+	discovered := make(chan *shard, len(tr.Threads)+1)
+	var prodErr error // written by the producer, read after discovered closes
+	go streamProducer(ctx, tr, opts, wide, discovered, &prodErr)
+
+	runStart := time.Now()
+	var busyNS atomic.Int64
+	queueHist := reg.Histogram("pipeline/queue_wait_ns")
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	profs := make([]*core.Profile, len(tr.Threads))
+	errs := make([]error, len(tr.Threads))
+	n := 0
+	for s := range discovered {
+		i := n
+		n++
+		wg.Add(1)
+		enqueued := time.Now()
+		sem <- struct{}{}
+		queueHist.Observe(uint64(time.Since(enqueued)))
+		go func(i int, s *shard) {
+			defer wg.Done()
+			telemetry.Do(ctx, "aprof.thread", strconv.Itoa(int(s.id)), func(ctx context.Context) {
+				span := reg.StartSpan(ctx, "pipeline/thread")
+				start := time.Now()
+				profs[i], errs[i] = streamWorker(ctx, tr, s, opts.Profile, wide, onSegment)
+				busyNS.Add(int64(time.Since(start)))
+				span.End()
+			})
+			<-sem
+		}(i, s)
+	}
+	wg.Wait()
+
+	if reg != nil {
+		reg.Counter("pipeline/threads_analyzed").Add(uint64(n))
+		if wall := time.Since(runStart); wall > 0 && workers > 0 {
+			util := 100 * busyNS.Load() / (int64(wall) * int64(workers))
+			reg.Gauge("pipeline/utilization_pct").Set(util)
+		}
+	}
+
+	for _, err := range errs[:n] {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if prodErr != nil {
+		return nil, prodErr
+	}
+	mergeSpan := reg.StartSpan(ctx, "pipeline/merge")
+	out := core.NewProfile()
+	for _, p := range profs[:n] {
+		out.Merge(p)
+	}
+	mergeSpan.End()
+	return out, nil
+}
+
+// streamProducer runs the sequential pre-scan over the merged event order
+// and publishes segments (with their read stamps) to per-thread shards as it
+// goes. It mirrors BuildPlanContext's three mode loops exactly — same
+// counter scheme, same boundary rules — and additionally force-publishes
+// every streamChunkEvents events so workers can trail long runs.
+//
+// On return — success, cancellation, or panic — every discovered shard is
+// closed (carrying the failure, if any) and the discovered channel is
+// closed; *prodErr is written before the close, so the dispatcher reads it
+// race-free after its range loop ends.
+func streamProducer(ctx context.Context, tr *trace.Trace, opts Options, wide bool, discovered chan<- *shard, prodErr *error) {
+	reg := opts.Telemetry
+	span := reg.StartSpan(ctx, "pipeline/prescan")
+	var shards []*shard
+	defer func() {
+		if r := recover(); r != nil {
+			*prodErr = fmt.Errorf("pipeline: pre-scan panicked: %v", r)
+		}
+		span.End()
+		for _, s := range shards {
+			s.mu.Lock()
+			s.closed = true
+			s.err = *prodErr
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+		close(discovered)
+	}()
+
+	byID := make(map[guest.ThreadID]*shard)
+	shardFor := func(id guest.ThreadID) *shard {
+		s := byID[id]
+		if s == nil {
+			s = &shard{id: id}
+			s.cond = sync.NewCond(&s.mu)
+			byID[id] = s
+			shards = append(shards, s)
+			discovered <- s
+		}
+		return s
+	}
+
+	var (
+		count      uint64
+		cur        *shard
+		curSeg     segment
+		haveSeg    bool
+		pendPacked []uint64
+		pendReads  []trace.Stamp
+	)
+	// publish hands the closed segment and its buffered stamps to cur in one
+	// critical section. Zero-length segments (possible right after a chunk
+	// split at a run's last event) are dropped — they carry no stamps.
+	publish := func() {
+		if !haveSeg {
+			return
+		}
+		haveSeg = false
+		if curSeg.hi <= curSeg.lo {
+			return
+		}
+		cur.mu.Lock()
+		cur.segs = append(cur.segs, curSeg)
+		if len(pendPacked) > 0 {
+			cur.packed = append(cur.packed, pendPacked...)
+		}
+		if len(pendReads) > 0 {
+			cur.reads = append(cur.reads, pendReads...)
+		}
+		cur.cond.Broadcast()
+		cur.mu.Unlock()
+		pendPacked = pendPacked[:0]
+		pendReads = pendReads[:0]
+	}
+	boundary := func(ti, k int, e *trace.Event) {
+		if haveSeg && curSeg.src == ti {
+			curSeg.hi = k
+		}
+		bump := haveSeg && cur.id != e.Thread
+		publish()
+		if bump {
+			count++
+		}
+		cur = shardFor(e.Thread)
+		curSeg = segment{src: ti, lo: k, hi: k, startCount: count}
+		haveSeg = true
+	}
+	// maybeSplit force-publishes after event k once the open segment holds
+	// streamChunkEvents, recording the exact counter for the continuation.
+	maybeSplit := func(ti, k int) {
+		if k+1-curSeg.lo >= streamChunkEvents {
+			curSeg.hi = k + 1
+			publish()
+			curSeg = segment{src: ti, lo: k + 1, hi: k + 1, startCount: count}
+			haveSeg = true
+		}
+	}
+
+	var ctxErr error
+	checkCtx := func() bool {
+		if ctxErr == nil {
+			ctxErr = ctx.Err()
+		}
+		return ctxErr != nil
+	}
+	switch {
+	case opts.Profile.RMSOnly:
+		trace.WalkRuns(tr, opts.TieSeed, func(ti, lo, hi int) {
+			if checkCtx() {
+				return
+			}
+			tt := &tr.Threads[ti]
+			for k := lo; k < hi; k++ {
+				e := &tt.Events[k]
+				if !haveSeg || cur.id != e.Thread || curSeg.src != ti {
+					boundary(ti, k, e)
+				}
+				if e.Kind == trace.KindCall || e.Kind == trace.KindSwitch {
+					count++
+				}
+				maybeSplit(ti, k)
+			}
+			if haveSeg && curSeg.src == ti {
+				curSeg.hi = hi
+			}
+		})
+	case wide:
+		global := shadow.NewTable[trace.Stamp]()
+		trace.WalkRuns(tr, opts.TieSeed, func(ti, lo, hi int) {
+			if checkCtx() {
+				return
+			}
+			tt := &tr.Threads[ti]
+			for k := lo; k < hi; k++ {
+				e := &tt.Events[k]
+				if !haveSeg || cur.id != e.Thread || curSeg.src != ti {
+					boundary(ti, k, e)
+				}
+				switch e.Kind {
+				case trace.KindCall, trace.KindSwitch:
+					count++
+				case trace.KindKernelWrite:
+					count++
+					global.Set(guest.Addr(e.Arg), trace.Stamp{WTS: count, Writer: kernelWriter})
+				case trace.KindWrite:
+					global.Set(guest.Addr(e.Arg), trace.Stamp{WTS: count, Writer: uint32(e.Thread) + 1})
+				case trace.KindRead, trace.KindKernelRead:
+					pendReads = append(pendReads, global.Peek(guest.Addr(e.Arg)))
+				}
+				maybeSplit(ti, k)
+			}
+			if haveSeg && curSeg.src == ti {
+				curSeg.hi = hi
+			}
+		})
+	default:
+		global := shadow.NewTable[uint64]()
+		trace.WalkRuns(tr, opts.TieSeed, func(ti, lo, hi int) {
+			if checkCtx() {
+				return
+			}
+			tt := &tr.Threads[ti]
+			for k := lo; k < hi; k++ {
+				e := &tt.Events[k]
+				if !haveSeg || cur.id != e.Thread || curSeg.src != ti {
+					boundary(ti, k, e)
+				}
+				switch e.Kind {
+				case trace.KindCall, trace.KindSwitch:
+					count++
+				case trace.KindKernelWrite:
+					count++
+					global.Set(guest.Addr(e.Arg), count<<32|uint64(kernelWriter))
+				case trace.KindWrite:
+					global.Set(guest.Addr(e.Arg), count<<32|uint64(uint32(e.Thread)+1))
+				case trace.KindRead, trace.KindKernelRead:
+					pendPacked = append(pendPacked, global.Peek(guest.Addr(e.Arg)))
+				}
+				maybeSplit(ti, k)
+			}
+			if haveSeg && curSeg.src == ti {
+				curSeg.hi = hi
+			}
+		})
+	}
+	if ctxErr != nil {
+		*prodErr = fmt.Errorf("pipeline: pre-scan canceled: %w", ctxErr)
+		return
+	}
+	publish()
+}
+
+// streamWorker analyzes one shard as its segments arrive, dispatching on
+// shadow-cell width like analyzeThread.
+func streamWorker(ctx context.Context, tr *trace.Trace, s *shard, opts core.Options, wide bool, onSegment func(int)) (*core.Profile, error) {
+	if wide {
+		return runStreamWorker[uint64](ctx, tr, s, opts, wide, onSegment)
+	}
+	return runStreamWorker[uint32](ctx, tr, s, opts, wide, onSegment)
+}
+
+// runStreamWorker is the streaming counterpart of runWorker: the same
+// per-thread analyzer state, fed by shard snapshots instead of a
+// materialized plan, with the same panic-to-error conversion carrying
+// thread and segment context.
+func runStreamWorker[C cell](ctx context.Context, tr *trace.Trace, s *shard, opts core.Options, wide bool, onSegment func(int)) (prof *core.Profile, err error) {
+	segIdx := -1
+	var segs []segment
+	defer func() {
+		if r := recover(); r != nil {
+			seg := "before any segment"
+			if segIdx >= 0 && segIdx < len(segs) {
+				sg := segs[segIdx]
+				seg = fmt.Sprintf("segment %d (thread trace %d, events [%d:%d), start count %d)",
+					segIdx, sg.src, sg.lo, sg.hi, sg.startCount)
+			}
+			prof, err = nil, fmt.Errorf("pipeline: worker for thread %d panicked in %s: %v", s.id, seg, r)
+		}
+	}()
+	if workerPanicHook != nil {
+		workerPanicHook(s.id)
+	}
+	w := &worker[C]{
+		tr:   tr,
+		id:   s.id,
+		opts: opts,
+		ts:   shadow.NewTable[C](),
+		acts: make(map[guest.RoutineID]*core.Activations),
+	}
+	v := &view{wide: wide}
+	next := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var closed bool
+		var serr error
+		segs, v.packed, v.reads, closed, serr = s.fetch(next + 1)
+		if serr != nil {
+			return nil, serr
+		}
+		if next >= len(segs) {
+			if closed {
+				break
+			}
+			continue
+		}
+		for next < len(segs) {
+			seg := segs[next]
+			segIdx = next
+			w.count = seg.startCount
+			events := tr.Threads[seg.src].Events[seg.lo:seg.hi]
+			for i := range events {
+				w.step(&events[i], v)
+			}
+			if onSegment != nil {
+				onSegment(len(events))
+			}
+			next++
+		}
+	}
+	return w.profile(), nil
+}

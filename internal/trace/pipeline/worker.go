@@ -48,6 +48,14 @@ func analyzeThread(ctx context.Context, tr *trace.Trace, tp *threadPlan, opts co
 // per-thread analysis; the robustness tests use it to inject worker panics.
 var workerPanicHook func(guest.ThreadID)
 
+// readSource supplies the (wts, writer) pair observed by a thread's i-th
+// read. A materialized plan's threadPlan serves reads from its pre-scan or
+// annotation arrays; the streaming fallback serves them from its
+// incrementally published per-thread shards.
+type readSource interface {
+	readAt(i int) (uint64, uint32)
+}
+
 func runWorker[C cell](ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options, onSegment func(int)) (prof *core.Profile, err error) {
 	segIdx := -1
 	defer func() {
@@ -66,6 +74,7 @@ func runWorker[C cell](ctx context.Context, tr *trace.Trace, tp *threadPlan, opt
 	}
 	w := &worker[C]{
 		tr:   tr,
+		id:   tp.id,
 		opts: opts,
 		ts:   shadow.NewTable[C](),
 		acts: make(map[guest.RoutineID]*core.Activations),
@@ -84,12 +93,13 @@ func runWorker[C cell](ctx context.Context, tr *trace.Trace, tp *threadPlan, opt
 			onSegment(len(events))
 		}
 	}
-	return w.profile(tp), nil
+	return w.profile(), nil
 }
 
 // worker is the state of one per-thread analyzer.
 type worker[C cell] struct {
 	tr   *trace.Trace
+	id   guest.ThreadID
 	opts core.Options
 
 	count    uint64 // local image of the global counter
@@ -115,7 +125,7 @@ type frame struct {
 	inducedExternal uint64
 }
 
-func (w *worker[C]) step(e *trace.Event, tp *threadPlan) {
+func (w *worker[C]) step(e *trace.Event, rs readSource) {
 	switch e.Kind {
 	case trace.KindCall:
 		w.count++
@@ -132,7 +142,7 @@ func (w *worker[C]) step(e *trace.Event, tp *threadPlan) {
 		}
 		a := w.acts[f.rtn]
 		if a == nil {
-			a = core.NewActivations(tp.id)
+			a = core.NewActivations(w.id)
 			w.acts[f.rtn] = a
 		}
 		a.Record(clamp(f.trms), clamp(f.rms), f.inducedThread, f.inducedExternal, e.Aux-f.bbEnter)
@@ -148,7 +158,7 @@ func (w *worker[C]) step(e *trace.Event, tp *threadPlan) {
 		var wts uint64
 		var writer uint32
 		if !w.opts.RMSOnly {
-			wts, writer = tp.readAt(w.nextRead)
+			wts, writer = rs.readAt(w.nextRead)
 			w.nextRead++
 		}
 		w.read(guest.Addr(e.Arg), wts, writer)
@@ -255,7 +265,7 @@ func (w *worker[C]) inducedEnabled(writer uint32) bool {
 // ascending id order (deterministic, and collision-safe: two ids mapping to
 // the same name merge exactly as the inline profiler would have merged
 // them).
-func (w *worker[C]) profile(tp *threadPlan) *core.Profile {
+func (w *worker[C]) profile() *core.Profile {
 	out := core.NewProfile()
 	out.InducedThread = w.inducedThread
 	out.InducedExternal = w.inducedExternal

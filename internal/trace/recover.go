@@ -48,7 +48,7 @@ func (c DropCause) String() string {
 type DroppedBlock struct {
 	// Offset is the file offset of the block's kind byte.
 	Offset int64
-	// Kind is the block kind byte ('R', 'Y', 'E', 'F'), or 0 when the
+	// Kind is the block kind byte ('R', 'Y', 'E', 'A', 'F'), or 0 when the
 	// stream ended before one was read.
 	Kind byte
 	// Cause classifies the failure.
@@ -277,6 +277,19 @@ scan:
 			rep.SalvagedBlocks++
 			rep.SalvagedSegments++
 			rep.SalvagedEvents += len(events)
+		case blockAnnotations:
+			id, runs, stamps, perr := parseAnnotationPayload(blk.payload)
+			if perr == nil {
+				perr = b.addAnnotation(id, runs, stamps)
+			}
+			if perr != nil {
+				rep.Dropped = append(rep.Dropped, DroppedBlock{
+					Offset: blk.offset, Kind: blk.kind, Cause: DropInvalid, Detail: perr.Error(),
+					Thread: id, HasThread: true,
+				})
+				continue
+			}
+			rep.SalvagedBlocks++
 		case blockFooter:
 			_, fe, _, perr := parseFooterPayload(blk.payload)
 			if perr != nil {
@@ -293,6 +306,13 @@ scan:
 	}
 
 	tr := b.build()
+	if !rep.Complete() {
+		// Salvaged stamp annotations may reference writes that happened in
+		// lost segments, so they are only trustworthy when nothing was lost:
+		// a lossy recovery degrades to the pre-scan analysis path rather
+		// than risk a wrong profile.
+		tr.StripAnnotations()
+	}
 	for i := range tr.Threads {
 		tt := &tr.Threads[i]
 		rep.PerThread = append(rep.PerThread, ThreadRecovery{
@@ -319,6 +339,10 @@ type BlockInfo struct {
 	Events int
 	// Names is the table delta's entry count (intact R/Y blocks only).
 	Names int
+	// Runs is the annotation block's run count (intact 'A' blocks only).
+	Runs int
+	// Stamps is the annotation block's stamp count (intact 'A' blocks only).
+	Stamps int
 	// Err is nil for an intact block, else the reason it is bad.
 	Err error
 }
@@ -336,6 +360,8 @@ type VerifyReport struct {
 	Events int
 	// Threads is the number of distinct thread ids in intact segments.
 	Threads int
+	// Annotations counts the intact stamp-annotation ('A') blocks.
+	Annotations int
 	// Bad counts blocks with a non-nil Err.
 	Bad int
 	// FooterValid reports an intact, well-formed footer block.
@@ -421,6 +447,13 @@ func Verify(r io.Reader) (*VerifyReport, error) {
 					vr.Segments++
 					vr.Events += len(events)
 					threads[id] = true
+				}
+			case blockAnnotations:
+				id, runs, stamps, perr := parseAnnotationPayload(blk.payload)
+				info.Thread, info.HasThread, info.Err = id, perr == nil, perr
+				info.Runs, info.Stamps = len(runs), len(stamps)
+				if perr == nil {
+					vr.Annotations++
 				}
 			case blockFooter:
 				_, _, _, perr := parseFooterPayload(blk.payload)

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/guest"
+	"repro/internal/shadow"
 	"repro/internal/telemetry"
 )
 
@@ -16,6 +17,17 @@ import (
 // Recover salvages every completed segment; only the unflushed tails (at
 // most the segment bound per thread) are lost. Contrast Recorder + Encode,
 // which buffer the whole execution in memory and write all-or-nothing.
+//
+// By default the recorder also emits stamp annotations ('A' blocks): a live
+// image of the analysis pre-scan — global counter, kernel-bump tally and
+// global write shadow — maintained as events arrive, so the recorded trace
+// is born analysis-ready and the pipeline skips its sequential pre-scan
+// entirely (see annotate.go). This is sound because tool callbacks arrive
+// in strictly increasing timestamp order, which is exactly the merged
+// order; the recorder verifies that invariant and silently stops
+// annotating if it ever fails, leaving annotation coverage incomplete so
+// decoders fall back to the pre-scan. SetAnnotations(false) disables the
+// annotator wholesale.
 //
 // Write errors are sticky: the first one stops all further output and is
 // reported by Err and Close. A StreamRecorder must not be reused across
@@ -35,6 +47,22 @@ type StreamRecorder struct {
 	segments int
 	written  int64
 
+	// Annotator state: the record-time image of the pre-scan. annLast is
+	// the thread of the currently open run; openEvents/openStart/openKernel
+	// describe that run. annSeen/annLastTS implement the monotone-timestamp
+	// guard that protects the merged-order assumption.
+	ann        bool // annotation emission enabled
+	annOK      bool // no guard violation so far
+	annGlobal  *shadow.Table[Stamp]
+	annCount   uint64 // global counter (full scheme: calls, switches, kernel writes)
+	annKernel  uint64 // kernel-write bumps included in annCount
+	annLast    *streamThread
+	annSeen    bool
+	annLastTS  uint64
+	openEvents int
+	openStart  uint64
+	openKernel uint64
+
 	// Telemetry counter handles (nil, and thus free, unless SetTelemetry
 	// ran) and the per-flush progress callback (SetProgress).
 	tmBlocks   *telemetry.Counter
@@ -50,10 +78,13 @@ type StreamRecorder struct {
 	finished bool
 }
 
-// streamThread buffers one thread's not-yet-flushed events.
+// streamThread buffers one thread's not-yet-flushed events and the
+// annotation runs and stamps that cover exactly those events.
 type streamThread struct {
-	id      guest.ThreadID
-	pending []Event
+	id        guest.ThreadID
+	pending   []Event
+	annRuns   []StampRun
+	annStamps []Stamp
 }
 
 // NewStreamRecorder returns a streaming recorder writing to w. The format
@@ -61,15 +92,31 @@ type streamThread struct {
 // run progresses. Check Err (or Close) for write failures.
 func NewStreamRecorder(w io.Writer) *StreamRecorder {
 	r := &StreamRecorder{
-		w:      w,
-		perTh:  make(map[guest.ThreadID]*streamThread),
-		segCap: DefaultSegmentEvents,
+		w:         w,
+		perTh:     make(map[guest.ThreadID]*streamThread),
+		segCap:    DefaultSegmentEvents,
+		ann:       true,
+		annOK:     true,
+		annGlobal: shadow.NewTable[Stamp](),
 	}
 	prelude := make([]byte, 0, preludeLen)
 	prelude = append(prelude, magic[:]...)
 	prelude = append(prelude, formatVersion)
 	r.write(prelude)
 	return r
+}
+
+// SetAnnotations enables or disables stamp-annotation emission (default
+// enabled). Disabled, the recorder produces a legacy v2 stream whose
+// analysis uses the fallback pre-scan; the resulting profiles are
+// byte-identical either way. Call it before recording starts.
+func (r *StreamRecorder) SetAnnotations(on bool) {
+	r.ann = on
+	if !on {
+		r.annGlobal = nil
+	} else if r.annGlobal == nil {
+		r.annGlobal = shadow.NewTable[Stamp]()
+	}
 }
 
 // SetSegmentEvents overrides the per-segment event bound (default
@@ -144,7 +191,61 @@ func (r *StreamRecorder) flushTables() {
 	}
 }
 
-// flushThread writes the thread's buffered events as one segment.
+// observe advances the annotator past one just-buffered event, mirroring
+// the pipeline pre-scan's counter and write-shadow rules exactly (see
+// pipeline.BuildPlan): the counter bumps at calls, thread switches and
+// kernel writes, writes stamp the global shadow with (count, provenance),
+// and reads record the stamp they observe. Tool callbacks arrive in
+// strictly increasing timestamp order — the merged order — which the guard
+// verifies; on violation the annotator shuts off for the rest of the run,
+// leaving coverage incomplete so decoders discard what was emitted.
+func (r *StreamRecorder) observe(st *streamThread, k Kind, arg, ts uint64) {
+	if !r.annOK {
+		return
+	}
+	if r.annSeen && ts <= r.annLastTS {
+		r.annOK = false
+		r.annGlobal = nil
+		return
+	}
+	r.annSeen, r.annLastTS = true, ts
+	if r.annLast != st {
+		if r.annLast != nil {
+			r.closeRun()
+			r.annCount++ // the merge synthesizes a switch here, which bumps
+		}
+		r.annLast = st
+		r.openStart, r.openKernel, r.openEvents = r.annCount, r.annKernel, 0
+	}
+	r.openEvents++
+	switch k {
+	case KindCall:
+		r.annCount++
+	case KindKernelWrite:
+		r.annCount++
+		r.annKernel++
+		r.annGlobal.Set(guest.Addr(arg), Stamp{WTS: r.annCount, Writer: KernelWriter})
+	case KindWrite:
+		r.annGlobal.Set(guest.Addr(arg), Stamp{WTS: r.annCount, Writer: uint32(st.id) + 1})
+	case KindRead, KindKernelRead:
+		st.annStamps = append(st.annStamps, r.annGlobal.Peek(guest.Addr(arg)))
+	}
+}
+
+// closeRun completes the open annotation run, if any, appending it to its
+// thread's pending runs. Zero-length runs (possible right after a flush
+// split) are elided.
+func (r *StreamRecorder) closeRun() {
+	if st := r.annLast; st != nil && r.openEvents > 0 {
+		st.annRuns = append(st.annRuns, StampRun{
+			Events: r.openEvents, StartCount: r.openStart, KernelBumps: r.openKernel,
+		})
+		r.openEvents = 0
+	}
+}
+
+// flushThread writes the thread's buffered events as one segment, followed
+// by the annotation block covering exactly those events.
 func (r *StreamRecorder) flushThread(st *streamThread) {
 	if len(st.pending) == 0 || r.err != nil {
 		return
@@ -162,6 +263,22 @@ func (r *StreamRecorder) flushThread(st *streamThread) {
 		}
 	}
 	st.pending = st.pending[:0]
+	if r.ann && r.annOK {
+		if r.annLast == st {
+			// Split the open run at the flush boundary: the flushed part is
+			// emitted now, the continuation starts at the current counter
+			// image — exact, because the counter state right after the last
+			// buffered event is the state on entry to the next one.
+			r.closeRun()
+			r.openStart, r.openKernel = r.annCount, r.annKernel
+		}
+		if len(st.annRuns) > 0 || len(st.annStamps) > 0 {
+			r.payload = appendAnnotationPayload(r.payload[:0], st.id, st.annRuns, st.annStamps)
+			r.writeBlock(blockAnnotations, r.payload)
+			st.annRuns = st.annRuns[:0]
+			st.annStamps = st.annStamps[:0]
+		}
+	}
 }
 
 // finish flushes every buffered segment and the footer exactly once.
@@ -170,6 +287,8 @@ func (r *StreamRecorder) finish() {
 		return
 	}
 	r.finished = true
+	r.closeRun()
+	r.annLast = nil
 	r.flushTables()
 	for _, st := range r.order {
 		r.flushThread(st)
@@ -187,13 +306,17 @@ func (r *StreamRecorder) add(t guest.ThreadID, k Kind, arg, aux uint64) {
 		r.perTh[t] = st
 		r.order = append(r.order, st)
 	}
+	ts := r.env.Now()
 	st.pending = append(st.pending, Event{
-		TS:     r.env.Now(),
+		TS:     ts,
 		Thread: t,
 		Kind:   k,
 		Arg:    arg,
 		Aux:    aux,
 	})
+	if r.ann {
+		r.observe(st, k, arg, ts)
+	}
 	if len(st.pending) >= r.segCap {
 		r.flushThread(st)
 	}
@@ -225,10 +348,18 @@ func (r *StreamRecorder) Read(t guest.ThreadID, a guest.Addr) { r.add(t, KindRea
 func (r *StreamRecorder) Write(t guest.ThreadID, a guest.Addr) { r.add(t, KindWrite, uint64(a), 0) }
 
 // MemBatch implements guest.MemEventSink, mirroring Recorder.MemBatch:
-// batched recording produces byte-identical traces to per-event recording.
+// batched recording produces byte-identical traces to per-event recording,
+// and the annotator observes each batched event exactly as if it had
+// arrived through the per-event callbacks.
 func (r *StreamRecorder) MemBatch(t guest.ThreadID, startTS uint64, events []guest.MemEvent) {
 	if r.finished {
 		return
+	}
+	st := r.perTh[t]
+	if st == nil {
+		st = &streamThread{id: t, pending: make([]Event, 0, r.segCap)}
+		r.perTh[t] = st
+		r.order = append(r.order, st)
 	}
 	for i, e := range events {
 		var k Kind
@@ -242,18 +373,16 @@ func (r *StreamRecorder) MemBatch(t guest.ThreadID, startTS uint64, events []gue
 		default:
 			k = KindRead
 		}
-		st := r.perTh[t]
-		if st == nil {
-			st = &streamThread{id: t, pending: make([]Event, 0, r.segCap)}
-			r.perTh[t] = st
-			r.order = append(r.order, st)
-		}
+		ts := startTS + uint64(i)
 		st.pending = append(st.pending, Event{
-			TS:     startTS + uint64(i),
+			TS:     ts,
 			Thread: t,
 			Kind:   k,
 			Arg:    uint64(e.Addr()),
 		})
+		if r.ann {
+			r.observe(st, k, uint64(e.Addr()), ts)
+		}
 		if len(st.pending) >= r.segCap {
 			r.flushThread(st)
 		}

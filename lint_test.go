@@ -1,11 +1,13 @@
-// Documentation and formatting lints for the packages whose exported
-// surface other code programs against. TestExportedSymbolsDocumented
+// Documentation and formatting lints. TestExportedSymbolsDocumented
 // enforces that every exported symbol in the trace, pipeline, and core
 // packages carries a doc comment — the trace wire format and the profile
 // model are contracts (docs/TRACE_FORMAT.md, docs/VALIDATION.md), and an
 // undocumented export there is an API bug. TestGofmt enforces canonical
-// formatting on the same trees. scripts/verify.sh runs both via
-// `go test ./...` and re-checks formatting repo-wide.
+// formatting on the same trees. TestRequiredDocs keeps the documentation
+// set itself from rotting: the required documents must exist, be indexed
+// in docs/README.md, and every relative markdown link in the repo must
+// resolve. scripts/verify.sh runs all of these via `go test ./...` and
+// re-checks formatting repo-wide.
 package repro_test
 
 import (
@@ -15,6 +17,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -28,6 +31,89 @@ var lintDirs = []string{
 	"internal/telemetry",
 	"internal/profflag",
 	"internal/invariant",
+}
+
+// requiredDocs are the documents the repo promises to keep: each must
+// exist, be non-trivial, and be linked from the docs/README.md index.
+var requiredDocs = []string{
+	"docs/ALGORITHM.md",
+	"docs/ARCHITECTURE.md",
+	"docs/CORRECTNESS.md",
+	"docs/ISPL.md",
+	"docs/OBSERVABILITY.md",
+	"docs/PERFORMANCE.md",
+	"docs/TRACE_FORMAT.md",
+	"docs/VALIDATION.md",
+}
+
+func TestRequiredDocs(t *testing.T) {
+	index, err := os.ReadFile("docs/README.md")
+	if err != nil {
+		t.Fatalf("docs index missing: %v", err)
+	}
+	for _, doc := range requiredDocs {
+		info, err := os.Stat(doc)
+		if err != nil {
+			t.Errorf("required document %s: %v", doc, err)
+			continue
+		}
+		if info.Size() < 512 {
+			t.Errorf("required document %s is a stub (%d bytes)", doc, info.Size())
+		}
+		if base := filepath.Base(doc); !strings.Contains(string(index), "("+base+")") {
+			t.Errorf("docs/README.md does not index %s", doc)
+		}
+	}
+	// The root README must route newcomers to the architecture tour.
+	root, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(root), "docs/ARCHITECTURE.md") {
+		t.Error("README.md does not link docs/ARCHITECTURE.md")
+	}
+}
+
+// mdLink matches inline markdown links and captures the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve sweeps every markdown file at the repo root and
+// under docs/ for relative links to files and verifies each target
+// exists, so cross-references cannot silently rot as the tree moves.
+func TestDocLinksResolve(t *testing.T) {
+	var files []string
+	for _, pat := range []string{"*.md", "docs/*.md"} {
+		m, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	if len(files) < len(requiredDocs) {
+		t.Fatalf("markdown sweep found only %d files", len(files))
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(src), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // intra-document anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead link %q (%s does not exist)", file, m[1], resolved)
+			}
+		}
+	}
 }
 
 func lintSources(t *testing.T, dir string) []string {

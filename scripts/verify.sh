@@ -57,6 +57,18 @@ for key in guest/mem_events core/events_consumed shadow/chunks_allocated \
 done
 echo "telemetry snapshot OK: $snap"
 
+echo "== scaling smoke: pipeline speedup at GOMAXPROCS=2"
+# Parallelism canary: 2 workers on 2 CPUs must beat 1 worker by > 1.2x
+# on an annotated mid-size trace (self-skips on single-CPU hosts, where
+# wall-clock parallel speedup is impossible — the log says so).
+smoke_log="${TMPDIR:-/tmp}/aprof_scaling_smoke.log"
+if ! APROF_SCALING_SMOKE=1 go test -run TestScalingSmoke -v \
+	./internal/trace/pipeline >"$smoke_log" 2>&1; then
+	cat "$smoke_log" >&2
+	exit 1
+fi
+grep -E "SKIP:|skipping|speedup" "$smoke_log" || true
+
 echo "== invariant check: aprof-trace check -suite micro"
 # Full metamorphic matrix over the micro workloads: deep invariant
 # checking plus profile byte-identity under perturbed don't-care
