@@ -151,6 +151,22 @@ const (
 // ParseCheckLevel parses "off", "cheap" or "deep".
 func ParseCheckLevel(s string) (CheckLevel, error) { return core.ParseCheckLevel(s) }
 
+// SamplingTier selects the profiler's adaptive-instrumentation tier
+// (Options.Sampling).
+type SamplingTier = core.SamplingTier
+
+// The adaptive-instrumentation tiers: exact profiling, the
+// profile-identical redundancy filter, and burst sampling of hot routines
+// with bounded-error profiles.
+const (
+	SamplingOff      = core.SamplingOff
+	SamplingSuppress = core.SamplingSuppress
+	SamplingBurst    = core.SamplingBurst
+)
+
+// ParseSamplingTier parses "off", "suppress" or "burst".
+func ParseSamplingTier(s string) (SamplingTier, error) { return core.ParseSamplingTier(s) }
+
 // CheckTraceInvariants validates a trace's structural invariants
 // (timestamp monotonicity, call/return balance).
 func CheckTraceInvariants(tr *Trace) *InvariantReport { return invariant.CheckTrace(tr) }
@@ -222,6 +238,9 @@ type (
 	Fit = fit.Fit
 	// PowerLaw is a free-exponent power-law fit.
 	PowerLaw = fit.PowerLaw
+	// PowerLawCI is a power-law fit with a jackknife confidence interval on
+	// the exponent, used to report sampled (bounded-error) routines.
+	PowerLawCI = fit.PowerLawCI
 	// CumulativePoint is one point of an "x% of routines ≥ y" curve.
 	CumulativePoint = report.CumulativePoint
 	// WorkloadSpec describes a benchmark from the built-in library.
@@ -387,6 +406,10 @@ func BestFit(pts []PlotPoint) (Fit, error) { return fit.Best(pts) }
 
 // FitPowerLaw fits cost = c * n^k by log-log regression.
 func FitPowerLaw(pts []PlotPoint) (PowerLaw, error) { return fit.FitPowerLaw(pts) }
+
+// FitPowerLawCI fits a power law and estimates a jackknife standard error
+// on the exponent, for confidence intervals on sampled profiles.
+func FitPowerLawCI(pts []PlotPoint) (PowerLawCI, error) { return fit.FitPowerLawCI(pts) }
 
 // Richness computes the routine profile richness metric (the relative gain
 // in distinct input-size values of trms over rms).

@@ -73,7 +73,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aprof-experiments:", err)
 		os.Exit(1)
 	}
-	cfg := experiments.Config{Out: w, Quick: *quick, BenchJSON: *benchJSON}
+	cfg := experiments.Config{Out: w, Quick: *quick, BenchJSON: *benchJSON,
+		Sampling: prof.Sampling()}
 	for _, e := range selected {
 		if !*raw {
 			fmt.Fprintf(w, "================================================================\n")

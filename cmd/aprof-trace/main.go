@@ -434,7 +434,7 @@ func analyze(args []string) error {
 			return fmt.Errorf("analyze: -workload and a trace file are mutually exclusive")
 		}
 		params := aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed, Telemetry: reg}
-		tr, inline, err = recordInProcess(*workload, params, reg)
+		tr, inline, err = recordInProcess(*workload, params, reg, prof.Sampling())
 		if err != nil {
 			return err
 		}
@@ -470,6 +470,12 @@ func analyze(args []string) error {
 		TieSeed: *tieSeed, Workers: *workers, MaxEvents: *maxEvents,
 		Telemetry: reg,
 	}
+	if prof.Sampling() == aprof.SamplingSuppress {
+		// Suppression is profile-identical, so the pipeline can run it too
+		// and the strict cross-check below doubles as its byte-identity
+		// smoke test.
+		opts.Profile = aprof.Options{Sampling: aprof.SamplingSuppress}
+	}
 	if tr.Annotated {
 		fmt.Fprintln(os.Stderr, "analyze: annotated trace — plan assembled from recorded stamps, no pre-scan")
 	} else {
@@ -485,24 +491,66 @@ func analyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	if inline != nil && !p.Equal(inline) {
-		return fmt.Errorf("analyze: pipeline profile differs from the inline profiler's (%d differences)",
-			len(p.Diff(inline)))
+	if inline != nil {
+		if prof.Sampling() == aprof.SamplingBurst {
+			// The inline profiler sampled; the pipeline ran exact. Only the
+			// invariants burst guarantees can be compared.
+			if err := burstCrossCheck(p, inline); err != nil {
+				return fmt.Errorf("analyze: sampled inline profile violates burst invariants: %w", err)
+			}
+			printProfile(inline, *top)
+			publishLayers(reg)
+			return prof.Stop()
+		}
+		// off and suppress are profile-identical by construction, so the
+		// strict byte-level cross-check applies.
+		if !p.Equal(inline) {
+			return fmt.Errorf("analyze: pipeline profile differs from the inline profiler's (%d differences)",
+				len(p.Diff(inline)))
+		}
 	}
 	printProfile(p, *top)
 	publishLayers(reg)
 	return prof.Stop()
 }
 
+// burstCrossCheck validates a burst-sampled inline profile against the
+// pipeline's exact one using only what burst sampling guarantees: the same
+// routine set, and per routine exactly equal call and cost totals (skipped
+// windows drop metric contributions, never calls or basic blocks).
+func burstCrossCheck(exact, sampled *aprof.Profile) error {
+	en, sn := exact.RoutineNames(), sampled.RoutineNames()
+	if len(en) != len(sn) {
+		return fmt.Errorf("routine sets differ: %d vs %d routines", len(en), len(sn))
+	}
+	for i, name := range en {
+		if sn[i] != name {
+			return fmt.Errorf("routine sets differ: %q vs %q", name, sn[i])
+		}
+		e, s := exact.Routines[name].Merged(), sampled.Routines[name].Merged()
+		if e.Calls != s.Calls {
+			return fmt.Errorf("%s: calls %d, exact run has %d", name, s.Calls, e.Calls)
+		}
+		if e.SumCost != s.SumCost {
+			return fmt.Errorf("%s: cost %d, exact run has %d", name, s.SumCost, e.SumCost)
+		}
+		if s.SampledOut > s.Calls {
+			return fmt.Errorf("%s: %d sampled-out of %d calls", name, s.SampledOut, s.Calls)
+		}
+	}
+	return nil
+}
+
 // recordInProcess runs the workload with a streaming recorder and an inline
 // profiler attached, then strictly decodes the recorded bytes: the returned
 // trace has passed the same checksum walk a file round-trip would, and the
-// inline profile lets analyze cross-check the pipeline result.
-func recordInProcess(name string, params aprof.WorkloadParams, reg *aprof.TelemetryRegistry) (*aprof.Trace, *aprof.Profile, error) {
+// inline profile lets analyze cross-check the pipeline result. The inline
+// profiler runs at the requested sampling tier.
+func recordInProcess(name string, params aprof.WorkloadParams, reg *aprof.TelemetryRegistry, sampling aprof.SamplingTier) (*aprof.Trace, *aprof.Profile, error) {
 	var buf bytes.Buffer
 	rec := aprof.NewStreamRecorder(&buf)
 	rec.SetTelemetry(reg)
-	inline := aprof.NewProfiler(aprof.Options{Telemetry: reg})
+	inline := aprof.NewProfiler(aprof.Options{Telemetry: reg, Sampling: sampling})
 	if _, err := aprof.RunWorkload(name, params, rec, inline); err != nil {
 		return nil, nil, err
 	}
@@ -517,26 +565,52 @@ func recordInProcess(name string, params aprof.WorkloadParams, reg *aprof.Teleme
 }
 
 // printProfile renders a profile as a per-routine summary table, heaviest
-// routines (by cumulative cost) first.
+// routines (by cumulative cost) first. Sampled routines are marked and get
+// a confidence interval on their fitted trms exponent, since their cost
+// plots carry bounded error rather than exact values.
 func printProfile(p *aprof.Profile, top int) {
 	type row struct {
-		name string
-		a    *aprof.Activations
+		name    string
+		a       *aprof.Activations
+		sampled bool
 	}
 	var rows []row
 	for _, name := range p.RoutineNames() {
-		rows = append(rows, row{name, p.Routines[name].Merged()})
+		rp := p.Routines[name]
+		rows = append(rows, row{name, rp.Merged(), rp.Sampled()})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].a.SumCost > rows[j].a.SumCost })
 	if top > 0 && len(rows) > top {
 		rows = rows[:top]
 	}
 	var table [][]string
+	sampledAny := false
 	for _, r := range rows {
-		table = append(table, []string{r.name, fmt.Sprint(r.a.Calls),
+		name := r.name
+		if r.sampled {
+			name += " ~"
+			sampledAny = true
+		}
+		table = append(table, []string{name, fmt.Sprint(r.a.Calls),
 			fmt.Sprint(r.a.SumCost), fmt.Sprint(r.a.SumTRMS), fmt.Sprint(r.a.SumRMS)})
 	}
 	report.Table(os.Stdout, []string{"routine", "calls", "cost(BB)", "trms", "rms"}, table)
+	if !sampledAny {
+		return
+	}
+	fmt.Println("\n~ sampled routine: calls and cost are exact, trms/rms carry bounded error")
+	for _, r := range rows {
+		if !r.sampled {
+			continue
+		}
+		ci, err := aprof.FitPowerLawCI(aprof.WorstCasePlot(r.a.ByTRMS))
+		if err != nil {
+			continue // too few points for an interval; the marker stands alone
+		}
+		fmt.Printf("  %s: cost ~ %.3g * n^%.2f (95%% CI on exponent: %.2f .. %.2f)\n",
+			r.name, ci.Coeff, ci.Exponent,
+			ci.Exponent-1.96*ci.ExponentStderr, ci.Exponent+1.96*ci.ExponentStderr)
+	}
 }
 
 // check runs the metamorphic invariant suite: each selected workload is

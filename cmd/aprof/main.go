@@ -69,7 +69,7 @@ func main() {
 	opts := runOpts{top: *top, plot: *plot, fit: *fitR, induced: *induced,
 		perThread: *perThread, csvOut: *csvOut,
 		contexts: *contexts, jsonOut: *jsonOut, htmlOut: *htmlOut, record: *record, full: *full,
-		reg: reg}
+		reg: reg, sampling: prof.Sampling()}
 	if err := run(*workload, *tool, params, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "aprof:", err)
 		os.Exit(1)
@@ -106,6 +106,7 @@ type runOpts struct {
 	htmlOut   string
 	record    string
 	reg       *aprof.TelemetryRegistry
+	sampling  aprof.SamplingTier
 }
 
 func run(workload, tool string, params aprof.WorkloadParams, o runOpts) error {
@@ -114,7 +115,8 @@ func run(workload, tool string, params aprof.WorkloadParams, o runOpts) error {
 	var prof *aprof.Profiler
 	switch tool {
 	case "aprof":
-		prof = aprof.NewProfiler(aprof.Options{ContextSensitive: o.contexts, Telemetry: o.reg})
+		prof = aprof.NewProfiler(aprof.Options{ContextSensitive: o.contexts, Telemetry: o.reg,
+			Sampling: o.sampling})
 		tls = append(tls, prof)
 	case "aprof-rms":
 		prof = aprof.NewProfiler(aprof.Options{RMSOnly: true, Telemetry: o.reg})
@@ -264,11 +266,14 @@ func summary(p *aprof.Profile, top int) error {
 		dTRMS   int
 		dRMS    int
 		induced float64
+		sampled bool
 	}
 	var rows []row
+	sampledAny := false
 	for _, name := range p.RoutineNames() {
 		rp := p.Routines[name]
 		a := rp.Merged()
+		sampledAny = sampledAny || rp.Sampled()
 		rows = append(rows, row{
 			name:    name,
 			a:       a,
@@ -276,6 +281,7 @@ func summary(p *aprof.Profile, top int) error {
 			dTRMS:   rp.DistinctTRMS(),
 			dRMS:    rp.DistinctRMS(),
 			induced: 100 * aprof.InputVolume(a),
+			sampled: rp.Sampled(),
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].a.SumCost > rows[j].a.SumCost })
@@ -284,8 +290,12 @@ func summary(p *aprof.Profile, top int) error {
 	}
 	var table [][]string
 	for _, r := range rows {
+		name := r.name
+		if r.sampled {
+			name += " ~"
+		}
 		table = append(table, []string{
-			r.name,
+			name,
 			fmt.Sprint(r.a.Calls),
 			fmt.Sprint(r.a.SumCost),
 			fmt.Sprint(r.a.SumTRMS),
@@ -295,6 +305,9 @@ func summary(p *aprof.Profile, top int) error {
 		})
 	}
 	report.Table(os.Stdout, []string{"routine", "calls", "cost(BB)", "trms", "|trms|", "|rms|", "input volume"}, table)
+	if sampledAny {
+		fmt.Println("\n~ sampled routine: calls and cost are exact, trms/rms carry bounded error")
+	}
 	tp, ep := aprof.InducedSplit(p)
 	fmt.Printf("\ninduced first-accesses: %.1f%% thread-induced, %.1f%% external\n", tp, ep)
 	return nil

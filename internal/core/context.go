@@ -129,6 +129,20 @@ func (n *ContextNode) record(t guest.ThreadID, f frame, cost uint64) {
 	a.record(f, cost)
 }
 
+// recordSampledOut mirrors record for a sampled-out activation (burst
+// sampling): the call and cost are counted, no metric data is recorded.
+func (n *ContextNode) recordSampledOut(t guest.ThreadID, cost uint64) {
+	if n.PerThread == nil {
+		n.PerThread = make(map[guest.ThreadID]*Activations)
+	}
+	a := n.PerThread[t]
+	if a == nil {
+		a = newActivations(t)
+		n.PerThread[t] = a
+	}
+	a.RecordSampledOut(cost)
+}
+
 // Walk visits every context with recorded activations in depth-first,
 // name-sorted order.
 func (t *ContextTree) Walk(visit func(n *ContextNode)) {

@@ -70,6 +70,16 @@ type Options struct {
 	// compares aprof-trms against.
 	RMSOnly bool
 
+	// Sampling selects the adaptive-instrumentation tier (see the
+	// SamplingTier constants). SamplingSuppress adds the per-thread
+	// redundancy filter and is profile-identical to SamplingOff;
+	// SamplingBurst additionally samples hot routines' activations, keeping
+	// Calls and SumCost exact but marking the unmeasured activations in
+	// Activations.SampledOut so reports bound the error instead of trusting
+	// the metric sums. Sampled-out activations are not streamed to
+	// OnActivation. Ignored (forced off) under RMSOnly.
+	Sampling SamplingTier
+
 	// CheckLevel enables the paper-derived invariant checks (see the
 	// CheckLevel constants). CheckCheap validates every completed
 	// activation's metrics and the activation-timestamp order; CheckDeep
@@ -145,6 +155,13 @@ type Profiler struct {
 	renumbers uint64
 	peakBytes uint64
 
+	// sampling mirrors Options.Sampling (forced off under RMSOnly);
+	// rtnCalls counts activations per dense routine id for the burst
+	// schedule, and sstats tallies the sampling tier's work for telemetry.
+	sampling SamplingTier
+	rtnCalls []uint32
+	sstats   samplingStats
+
 	// checks mirrors Options.CheckLevel (one branch on the call/return
 	// paths); violations and violCount collect what the checks find.
 	checks     CheckLevel
@@ -167,6 +184,19 @@ type threadView struct {
 	stack []frame
 	acts  []*Activations // indexed by guest.RoutineID; nil until first return
 	ctx   *ContextNode   // current calling context (Options.ContextSensitive)
+
+	// filt is the suppress-tier redundancy filter: a direct-mapped array of
+	// recently read cell addresses (stored as addr+1; 0 = empty), valid only
+	// while the counter and stack depth match the filtCnt/filtDepth tags
+	// (checked once per batch in memBatchFiltered).
+	filt      [readFilterSize]guest.Addr
+	filtCnt   uint32
+	filtDepth int32
+
+	// skipRoot, when nonzero, is the 1-based stack index of the root frame
+	// of a sampled-out subtree (burst tier): memory events are dropped until
+	// the matching return pops that frame.
+	skipRoot int32
 }
 
 // record folds one completed activation into the view's dense aggregates.
@@ -181,6 +211,22 @@ func (tv *threadView) record(f *frame, cost uint64) {
 		tv.acts[rtn] = a
 	}
 	a.record(*f, cost)
+}
+
+// recordSampledOut folds one sampled-out activation into the view's dense
+// aggregates: the call and its cost are counted (both stay exact under burst
+// sampling) but no metric or histogram data is recorded.
+func (tv *threadView) recordSampledOut(f *frame, cost uint64) {
+	rtn := int(f.rtn)
+	for len(tv.acts) <= rtn {
+		tv.acts = append(tv.acts, nil)
+	}
+	a := tv.acts[rtn]
+	if a == nil {
+		a = newActivations(tv.id)
+		tv.acts[rtn] = a
+	}
+	a.RecordSampledOut(cost)
 }
 
 // frame is one shadow-stack entry for a pending routine activation.
@@ -201,6 +247,12 @@ type frame struct {
 	// includes its descendants').
 	inducedThread   uint64
 	inducedExternal uint64
+
+	// partial marks an activation whose subtree contains sampled-out work
+	// (burst sampling): its metrics undercount the skipped descendants'
+	// contributions. Propagates to the parent on return, like the metrics
+	// it qualifies.
+	partial bool
 }
 
 // New returns a Profiler with the given options.
@@ -219,6 +271,13 @@ func New(opts Options) *Profiler {
 	p.gcur = p.global.Cursor()
 	if opts.ContextSensitive {
 		p.ctxTree = newContextTree()
+	}
+	// RMSOnly has its own specialized batch loop and no global shadow to
+	// save on; layering the sampling variants over it is not worth the
+	// code, so sampling is forced off (documented on Options.Sampling).
+	p.sampling = opts.Sampling
+	if opts.RMSOnly {
+		p.sampling = SamplingOff
 	}
 	return p
 }
@@ -359,6 +418,9 @@ func (p *Profiler) Call(t guest.ThreadID, r guest.RoutineID, bb uint64) {
 		}
 		tv.ctx = p.ctxTree.childID(n, r, p.env)
 	}
+	if p.sampling == SamplingBurst {
+		p.burstCall(tv, r)
+	}
 }
 
 // Return implements guest.Tool: the completed activation's trms, rms and
@@ -379,15 +441,38 @@ func (p *Profiler) Return(t guest.ThreadID, r guest.RoutineID, bb uint64) {
 	}
 
 	cost := bb - f.bbEnter
-	tv.record(f, cost)
-	if p.ctxTree != nil {
-		if c := tv.ctx; c != nil && c != p.ctxTree.root {
-			c.record(t, *f, cost)
-			tv.ctx = c.parent
+	if sk := tv.skipRoot; sk != 0 && int32(n) >= sk {
+		// Sampled-out activation (burst tier): count the call and its
+		// cost, record nothing else, and close the skip window when its
+		// root frame pops. The frame's partials are zero (no memory event
+		// was processed inside the subtree), so the fold below is a no-op.
+		// The enclosing activation just lost its descendants' metric
+		// contributions, so it is marked partial.
+		if int32(n) == sk {
+			tv.skipRoot = 0
+			if n > 1 {
+				tv.stack[n-2].partial = true
+			}
 		}
-	}
-	if p.opts.OnActivation != nil {
-		p.opts.OnActivation(p.env.RoutineName(f.rtn), t, clampMetric(f.trms), clampMetric(f.rms), cost)
+		p.sstats.sampledOut++
+		tv.recordSampledOut(f, cost)
+		if p.ctxTree != nil {
+			if c := tv.ctx; c != nil && c != p.ctxTree.root {
+				c.recordSampledOut(t, cost)
+				tv.ctx = c.parent
+			}
+		}
+	} else {
+		tv.record(f, cost)
+		if p.ctxTree != nil {
+			if c := tv.ctx; c != nil && c != p.ctxTree.root {
+				c.record(t, *f, cost)
+				tv.ctx = c.parent
+			}
+		}
+		if p.opts.OnActivation != nil {
+			p.opts.OnActivation(p.env.RoutineName(f.rtn), t, clampMetric(f.trms), clampMetric(f.rms), cost)
+		}
 	}
 
 	if n > 1 {
@@ -396,6 +481,9 @@ func (p *Profiler) Return(t guest.ThreadID, r guest.RoutineID, bb uint64) {
 		parent.rms += f.rms
 		parent.inducedThread += f.inducedThread
 		parent.inducedExternal += f.inducedExternal
+		if f.partial {
+			parent.partial = true
+		}
 	}
 	tv.stack = tv.stack[:n-1]
 }
@@ -416,6 +504,11 @@ const notSearched = -2
 // the O(log depth) ancestor search is computed at most once and shared
 // between the trms and rms branches.
 func (p *Profiler) readAt(tv *threadView, a guest.Addr) {
+	if tv.skipRoot != 0 {
+		// Sampled-out subtree (burst tier): the read is dropped entirely.
+		p.sstats.skippedEvents++
+		return
+	}
 	ch := tv.tsc.Chunk(a)
 	old := ch[a&(shadow.ChunkSize-1)]
 	if old == p.count {
@@ -493,6 +586,10 @@ func (p *Profiler) Write(t guest.ThreadID, a guest.Addr) {
 
 // writeAt is the per-write hot path.
 func (p *Profiler) writeAt(tv *threadView, a guest.Addr) {
+	if tv.skipRoot != 0 {
+		p.sstats.skippedEvents++
+		return
+	}
 	tv.tsc.Chunk(a)[a&(shadow.ChunkSize-1)] = p.count
 	if !p.opts.RMSOnly {
 		p.gcur.Chunk(a)[a&(shadow.ChunkSize-1)] = uint64(p.count)<<32 | uint64(uint32(tv.id)+1)
@@ -513,6 +610,18 @@ func (p *Profiler) writeAt(tv *threadView, a guest.Addr) {
 func (p *Profiler) MemBatch(t guest.ThreadID, startTS uint64, events []guest.MemEvent) {
 	p.events += uint64(len(events))
 	tv := p.view(t)
+	if p.sampling != SamplingOff {
+		// Adaptive tiers get their own loops: the suppress filter splices
+		// into a copy of the exact loop, and sampled-out subtrees drop to
+		// a kernel-writes-only scan. RMSOnly forces sampling off in New,
+		// so the specialized loops below never see it.
+		if tv.skipRoot != 0 {
+			p.memBatchSkip(events)
+			return
+		}
+		p.memBatchFiltered(t, tv, events)
+		return
+	}
 	cnt := p.count
 	// Persistent shadow cursors: guest access patterns are overwhelmingly
 	// sequential and batches are short, so keeping the cursors across
@@ -706,6 +815,9 @@ func (p *Profiler) publishTelemetry() {
 	reg.Gauge("core/shadow_peak_bytes").SetMax(int64(p.peakBytes))
 	if p.checks != CheckOff {
 		reg.Counter("core/invariant_violations").Add(p.violCount)
+	}
+	if p.sampling != SamplingOff {
+		p.publishSampling(reg)
 	}
 }
 

@@ -33,6 +33,14 @@ const renumberHeadroom = 32
 func (p *Profiler) renumber() {
 	p.renumbers++
 
+	// Invalidate every thread's redundancy filter (Options.Sampling): the
+	// pass rewrites the very timestamps the filter's validity tag stands
+	// for, and the compacted counter could in principle land back on a
+	// stale tag value. An impossible depth forces the next batch to flush.
+	for _, tv := range p.threads {
+		tv.filtDepth = -1
+	}
+
 	// Collect and rank all pending activation timestamps (they are
 	// distinct: the counter is bumped at every call).
 	var acts []uint32

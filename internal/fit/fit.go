@@ -60,6 +60,7 @@ type Fit struct {
 // Eval returns the fitted cost prediction at input size n.
 func (f Fit) Eval(n float64) float64 { return f.A + f.B*f.Model.g(n) }
 
+// String renders the fit as "model (a=… b=… R²=…)".
 func (f Fit) String() string {
 	return fmt.Sprintf("%s (a=%.3g b=%.3g R²=%.4f)", f.Model.Name, f.A, f.B, f.R2)
 }
@@ -155,6 +156,7 @@ type PowerLaw struct {
 	Points          int
 }
 
+// String renders the power law as "c * n^e (R²=…)".
 func (p PowerLaw) String() string {
 	return fmt.Sprintf("%.3g * n^%.3f (R²=%.4f)", p.Coeff, p.Exponent, p.R2)
 }

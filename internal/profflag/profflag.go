@@ -20,19 +20,21 @@ type Flags struct {
 	mem       string
 	exectrace string
 	tele      telemetryValue
+	sampling  samplingValue
 
 	cpuFile   *os.File
 	traceFile *os.File
 	reg       *telemetry.Registry
 }
 
-// Register adds -cpuprofile, -memprofile, -telemetry and -exectrace to fs
-// and returns the handle that starts and stops collection.
+// Register adds -cpuprofile, -memprofile, -telemetry, -exectrace and
+// -sampling to fs and returns the handle that starts and stops collection.
 func Register(fs *flag.FlagSet) *Flags {
 	p := &Flags{}
 	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to `file`")
 	p.registerTelemetry(fs)
+	p.registerSampling(fs)
 	return p
 }
 

@@ -1,0 +1,48 @@
+package profflag
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSamplingFlagDefault(t *testing.T) {
+	fs, p := newFlagSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Sampling(); got != core.SamplingOff {
+		t.Errorf("default Sampling() = %v, want off", got)
+	}
+}
+
+func TestSamplingFlagTiers(t *testing.T) {
+	for _, tc := range []struct {
+		arg  string
+		want core.SamplingTier
+	}{
+		{"off", core.SamplingOff},
+		{"suppress", core.SamplingSuppress},
+		{"burst", core.SamplingBurst},
+	} {
+		fs, p := newFlagSet()
+		if err := fs.Parse([]string{"-sampling=" + tc.arg}); err != nil {
+			t.Fatalf("-sampling=%s: %v", tc.arg, err)
+		}
+		if got := p.Sampling(); got != tc.want {
+			t.Errorf("-sampling=%s: Sampling() = %v, want %v", tc.arg, got, tc.want)
+		}
+	}
+}
+
+func TestSamplingFlagRejectsUnknownTier(t *testing.T) {
+	fs, _ := newFlagSet()
+	err := fs.Parse([]string{"-sampling=bogus"})
+	if err == nil {
+		t.Fatal("parsing -sampling=bogus should fail")
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error %q does not name the bad tier", err)
+	}
+}

@@ -58,6 +58,7 @@ const (
 	VerdictInsufficientData
 )
 
+// String returns the verdict's report spelling; regressions shout.
 func (v Verdict) String() string {
 	switch v {
 	case VerdictAsymptoticRegression:

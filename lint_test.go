@@ -31,6 +31,8 @@ var lintDirs = []string{
 	"internal/telemetry",
 	"internal/profflag",
 	"internal/invariant",
+	"internal/fit",
+	"internal/report",
 }
 
 // requiredDocs are the documents the repo promises to keep: each must
