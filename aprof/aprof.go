@@ -122,6 +122,9 @@ type (
 	ContextTree = core.ContextTree
 	// ContextNode is one calling context within a ContextTree.
 	ContextNode = core.ContextNode
+	// LiveSnapshot is a consistent mid-run export of a running profiler's
+	// state (Options.SnapshotEvery / Profiler.RequestSnapshot).
+	LiveSnapshot = core.LiveSnapshot
 )
 
 // Invariant-checking types (Options.CheckLevel and internal/invariant).
@@ -206,6 +209,16 @@ type (
 	// AnalyzeOptions configures the parallel trace-analysis pipeline
 	// (workers, tie seed, event limit, telemetry, progress callback).
 	AnalyzeOptions = pipeline.Options
+	// CheckpointOptions enables periodic analysis checkpoints and live
+	// profile snapshots (AnalyzeOptions.Checkpoint); see
+	// docs/ARCHITECTURE.md "Checkpoints & live snapshots".
+	CheckpointOptions = pipeline.CheckpointOptions
+	// AnalysisCheckpoint is a loaded analysis checkpoint; pass it as
+	// AnalyzeOptions.Resume to skip already-analyzed work.
+	AnalysisCheckpoint = pipeline.Checkpoint
+	// SnapshotTrigger requests a live profile snapshot from a running
+	// analysis, safely from any goroutine (e.g. a signal handler).
+	SnapshotTrigger = pipeline.SnapshotTrigger
 )
 
 // Observability types.
@@ -352,6 +365,15 @@ func AnalyzeTraceOptions(ctx context.Context, tr *Trace, opts AnalyzeOptions) (*
 
 // NewTelemetryRegistry returns an empty metrics registry.
 func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// LoadCheckpoint reads and strictly validates an analysis checkpoint
+// written by a checkpointed AnalyzeTraceOptions run. Any truncation or
+// corruption fails the load; callers then simply re-analyze from scratch.
+func LoadCheckpoint(path string) (*AnalysisCheckpoint, error) { return pipeline.LoadCheckpoint(path) }
+
+// NewSnapshotTrigger returns a trigger for on-demand live profile
+// snapshots (CheckpointOptions.Trigger).
+func NewSnapshotTrigger() *SnapshotTrigger { return pipeline.NewSnapshotTrigger() }
 
 // EncodeTrace and DecodeTrace serialize traces in the binary trace format
 // (the segmented, checksummed v2 format; see docs/TRACE_FORMAT.md).

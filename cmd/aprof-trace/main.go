@@ -9,6 +9,8 @@
 //	aprof-trace verify run.trace [-json]
 //	aprof-trace replay run.trace [-tieseed 7]
 //	aprof-trace analyze run.trace [-workers 4 -tieseed 7 -recover -json -max-events N -timeout 30s]
+//	aprof-trace analyze run.trace -checkpoint run.ckpt [-checkpoint-events N -checkpoint-interval 5s -resume]
+//	aprof-trace analyze run.trace -checkpoint run.ckpt -snapshot live.json [-snapshot-interval 10s]
 //	aprof-trace analyze -workload mysqld [-threads 8 -size 12]
 //	aprof-trace stats run.trace
 //	aprof-trace check [-workload mysqld | -suite micro] [-level deep -renumber 64 -quick -v]
@@ -36,6 +38,16 @@
 // check runs the metamorphic invariant suite (docs/CORRECTNESS.md): each
 // workload is profiled under deep invariant checking and re-derived under
 // perturbed don't-care parameters, which must not change the profile.
+//
+// analyze -checkpoint makes the analysis crash-resumable: workers
+// periodically serialize their position and partial state into an
+// atomically rewritten checkpoint file, so a killed run (power loss,
+// kill -9, SIGINT) can continue with -resume and still produce a profile
+// byte-identical to an uninterrupted one. -snapshot additionally writes a
+// live profile JSON mid-run, on a timer (-snapshot-interval) or on
+// SIGUSR1. analyze and streamed record trap SIGINT/SIGTERM: the run stops
+// promptly, in-flight state is flushed (final checkpoint / trace footer),
+// and the process exits non-zero with a one-line resume hint.
 package main
 
 import (
@@ -44,7 +56,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"repro/aprof"
 	"repro/internal/profflag"
@@ -105,6 +121,41 @@ func usage() {
 	os.Exit(2)
 }
 
+// stopSentinel is the panic value stopTool uses to unwind the guest run;
+// the machine recovers it into its abort error, which record recognizes by
+// this substring.
+const stopSentinel = "interrupted by signal"
+
+// stopTool aborts a guest run from a signal handler: once stop is set, the
+// next observed event panics a sentinel that the machine recovers into a
+// clean abort, unwinding every guest thread so the recorder can flush its
+// in-flight segment and footer.
+type stopTool struct {
+	aprof.BaseTool
+	stop atomic.Bool
+}
+
+// Call implements the Tool hook; it aborts the run once stop is set.
+func (s *stopTool) Call(aprof.ThreadID, aprof.RoutineID, uint64) {
+	if s.stop.Load() {
+		panic(stopSentinel)
+	}
+}
+
+// Read implements the Tool hook; it aborts the run once stop is set.
+func (s *stopTool) Read(aprof.ThreadID, aprof.Addr) {
+	if s.stop.Load() {
+		panic(stopSentinel)
+	}
+}
+
+// Write implements the Tool hook; it aborts the run once stop is set.
+func (s *stopTool) Write(aprof.ThreadID, aprof.Addr) {
+	if s.stop.Load() {
+		panic(stopSentinel)
+	}
+}
+
 func record(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	workload := fs.String("workload", "", "workload to record")
@@ -146,9 +197,23 @@ func record(args []string) error {
 				pl.Update(uint64(events))
 			})
 		}
-		if _, err := aprof.RunWorkload(*workload, params, rec); err != nil {
+		// SIGINT/SIGTERM stop the run at the next guest event; the recorder
+		// then flushes its in-flight segment and footer, so the partial
+		// trace on disk is well-formed up to the interruption point.
+		stopper := &stopTool{}
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			for range sigc {
+				stopper.stop.Store(true)
+			}
+		}()
+		_, runErr := aprof.RunWorkload(*workload, params, rec, stopper)
+		signal.Stop(sigc)
+		interrupted := runErr != nil && strings.Contains(runErr.Error(), stopSentinel)
+		if runErr != nil && !interrupted {
 			f.Close()
-			return err
+			return runErr
 		}
 		if err := rec.Close(); err != nil {
 			f.Close()
@@ -157,6 +222,14 @@ func record(args []string) error {
 		pl.Done()
 		if err := f.Close(); err != nil {
 			return err
+		}
+		if interrupted {
+			publishLayers(reg)
+			if err := prof.Stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "record:", err)
+			}
+			fmt.Fprintf(os.Stderr, "record: interrupted; partial trace flushed to %s (it decodes cleanly up to the interruption)\n", *out)
+			return fmt.Errorf("record: %s", stopSentinel)
 		}
 		tr, err := aprof.ReadTraceFile(*out)
 		if err != nil {
@@ -412,6 +485,12 @@ func analyze(args []string) error {
 	jsonOut := fs.Bool("json", false, "with -recover, print the recovery report as JSON on stderr")
 	maxEvents := fs.Int("max-events", 0, "refuse traces with more events (0: unlimited)")
 	timeout := fs.Duration("timeout", 0, "abort the analysis after this long (0: no limit)")
+	ckptPath := fs.String("checkpoint", "", "checkpoint analysis progress to this file (crash-resumable)")
+	ckptEvents := fs.Int("checkpoint-events", 0, "per-worker events between checkpoint snapshots (0: default cadence)")
+	ckptInterval := fs.Duration("checkpoint-interval", 0, "minimum time between checkpoint file rewrites (0: every update)")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint file, skipping already-analyzed work")
+	snapPath := fs.String("snapshot", "", "write a live profile JSON here mid-run (on SIGUSR1 or -snapshot-interval)")
+	snapInterval := fs.Duration("snapshot-interval", 0, "write the -snapshot file periodically (0: on SIGUSR1 only)")
 	showProgress := fs.Bool("progress", stderrIsTTY(), "draw a live progress line on stderr")
 	workload := fs.String("workload", "", "record this workload in-process and analyze it (no trace file argument)")
 	threads := fs.Int("threads", 0, "worker threads (with -workload)")
@@ -424,6 +503,12 @@ func analyze(args []string) error {
 	if err := prof.Start(); err != nil {
 		return err
 	}
+	// SIGINT/SIGTERM cancel the analysis cleanly: workers stop at the next
+	// safepoint, the final checkpoint is written, and we exit non-zero with
+	// a resume hint instead of dying with work unrecorded. Registered
+	// before the trace load so a signal during loading is honored too.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	reg := prof.Registry()
 	var tr *aprof.Trace
 	var inline *aprof.Profile
@@ -460,7 +545,6 @@ func analyze(args []string) error {
 			return err
 		}
 	}
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -469,6 +553,36 @@ func analyze(args []string) error {
 	opts := aprof.AnalyzeOptions{
 		TieSeed: *tieSeed, Workers: *workers, MaxEvents: *maxEvents,
 		Telemetry: reg,
+	}
+	if *ckptPath != "" || *snapPath != "" {
+		ck := &aprof.CheckpointOptions{
+			Path:             *ckptPath,
+			EveryEvents:      *ckptEvents,
+			Interval:         *ckptInterval,
+			SnapshotPath:     *snapPath,
+			SnapshotInterval: *snapInterval,
+		}
+		if *snapPath != "" {
+			ck.Trigger = aprof.NewSnapshotTrigger()
+			defer notifyLiveSnapshot(ck.Trigger)()
+		}
+		opts.Checkpoint = ck
+	}
+	if *resume {
+		if *ckptPath == "" {
+			return fmt.Errorf("analyze: -resume requires -checkpoint")
+		}
+		switch ck, err := aprof.LoadCheckpoint(*ckptPath); {
+		case err == nil:
+			opts.Resume = ck
+			fmt.Fprintf(os.Stderr, "analyze: resuming from %s (%d events checkpointed)\n", *ckptPath, ck.Events())
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "analyze: no checkpoint at %s; starting from scratch\n", *ckptPath)
+		default:
+			// A damaged checkpoint degrades to full re-analysis — it must
+			// never produce a wrong profile.
+			fmt.Fprintf(os.Stderr, "analyze: checkpoint unusable (%v); starting from scratch\n", err)
+		}
 	}
 	if prof.Sampling() == aprof.SamplingSuppress {
 		// Suppression is profile-identical, so the pipeline can run it too
@@ -489,6 +603,15 @@ func analyze(args []string) error {
 	p, err := aprof.AnalyzeTraceOptions(ctx, tr, opts)
 	pl.Done()
 	if err != nil {
+		// An aborted analysis still surfaces its partial telemetry, and —
+		// when checkpointing — leaves a resumable checkpoint behind.
+		publishLayers(reg)
+		if stopErr := prof.Stop(); stopErr != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", stopErr)
+		}
+		if ctx.Err() != nil && *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "analyze: interrupted; progress saved to %s — resumable with -resume\n", *ckptPath)
+		}
 		return err
 	}
 	if inline != nil {

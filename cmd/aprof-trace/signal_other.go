@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import "repro/aprof"
+
+// notifyLiveSnapshot is a no-op on platforms without SIGUSR1; live
+// snapshots are still available via -snapshot-interval.
+func notifyLiveSnapshot(*aprof.SnapshotTrigger) func() { return func() {} }

@@ -1,0 +1,34 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/aprof"
+)
+
+// notifyLiveSnapshot arranges for SIGUSR1 to request a live profile
+// snapshot from a running analysis and returns a function undoing the
+// registration.
+func notifyLiveSnapshot(trig *aprof.SnapshotTrigger) func() {
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGUSR1)
+	go func() {
+		for {
+			select {
+			case <-sig:
+				trig.Request()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(sig)
+		close(done)
+	}
+}

@@ -27,6 +27,7 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/guest"
 	"repro/internal/shadow"
@@ -101,6 +102,18 @@ type Options struct {
 	// publishes once, so the per-event hot paths carry no atomic traffic;
 	// nil disables publication.
 	Telemetry *telemetry.Registry
+
+	// SnapshotEvery, when positive and OnSnapshot is set, delivers a live
+	// profile snapshot every SnapshotEvery consumed events (see
+	// LiveSnapshot). Snapshots can also be requested on demand with
+	// Profiler.RequestSnapshot regardless of this setting.
+	SnapshotEvery uint64
+
+	// OnSnapshot receives each live snapshot. The callback runs on the
+	// profiler's goroutine with the profiler paused; its duration is not
+	// counted in the snapshot's Pause, but a slow callback still stalls
+	// the run, so heavy work (file writes) should be quick or handed off.
+	OnSnapshot func(*LiveSnapshot)
 }
 
 // defaultRenumberThreshold leaves headroom below the 32-bit limit so a
@@ -171,6 +184,13 @@ type Profiler struct {
 	// published to Options.Telemetry at Finish; batches count len(events)
 	// in one add, keeping the tally off the per-event path).
 	events uint64
+
+	// nextSnap is the events threshold that triggers the next periodic
+	// live snapshot (MaxUint64 when snapshots are off); snapReq is set by
+	// RequestSnapshot — possibly from another goroutine — and honored at
+	// the next batch boundary. See snapshot.go.
+	nextSnap uint64
+	snapReq  atomic.Bool
 }
 
 // threadView is the per-thread profiling state: the thread's shadow memory
@@ -275,6 +295,10 @@ func New(opts Options) *Profiler {
 	// RMSOnly has its own specialized batch loop and no global shadow to
 	// save on; layering the sampling variants over it is not worth the
 	// code, so sampling is forced off (documented on Options.Sampling).
+	p.nextSnap = math.MaxUint64
+	if opts.snapshotsEnabled() {
+		p.nextSnap = opts.SnapshotEvery
+	}
 	p.sampling = opts.Sampling
 	if opts.RMSOnly {
 		p.sampling = SamplingOff
@@ -366,6 +390,7 @@ func (p *Profiler) Attach(env guest.Env) { p.env = env }
 // ThreadStart implements guest.Tool.
 func (p *Profiler) ThreadStart(t, parent guest.ThreadID) {
 	p.events++
+	p.pollSnapshot()
 	p.view(t)
 }
 
@@ -399,6 +424,7 @@ func (p *Profiler) ThreadExit(t guest.ThreadID) {
 // always separated in timestamp order.
 func (p *Profiler) SwitchThread(from, to guest.ThreadID) {
 	p.events++
+	p.pollSnapshot()
 	p.bump()
 }
 
@@ -608,6 +634,9 @@ func (p *Profiler) writeAt(tv *threadView, a guest.Addr) {
 // speedup; its per-event work is the readAt/writeAt/KernelWrite logic with
 // every rediscovered invariant removed.
 func (p *Profiler) MemBatch(t guest.ThreadID, startTS uint64, events []guest.MemEvent) {
+	// Poll before counting the batch: a snapshot taken here reports the
+	// pre-batch event tally, matching the profile state it exports.
+	p.pollSnapshot()
 	p.events += uint64(len(events))
 	tv := p.view(t)
 	if p.sampling != SamplingOff {

@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/aprof"
+	"repro/internal/core"
+)
+
+// runDedup drives the dedup workload under an inline profiler built from
+// opts and returns the final profile export.
+func runDedup(t *testing.T, opts core.Options) []byte {
+	t.Helper()
+	prof := core.New(opts)
+	if _, err := aprof.RunWorkload("dedup", aprof.WorkloadParams{Threads: 3, Size: 12, Seed: 7}, prof); err != nil {
+		t.Fatal(err)
+	}
+	prof.Finish()
+	out, err := prof.Profile().Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestLiveSnapshotPeriodic: SnapshotEvery delivers monotone, partial
+// snapshots whose exported profiles are valid dumps, and taking them does
+// not perturb the final profile (byte-identical to a snapshot-free run).
+func TestLiveSnapshotPeriodic(t *testing.T) {
+	base := runDedup(t, core.Options{})
+
+	var snaps []*core.LiveSnapshot
+	out := runDedup(t, core.Options{
+		SnapshotEvery: 500,
+		OnSnapshot:    func(ls *core.LiveSnapshot) { snaps = append(snaps, ls) },
+	})
+
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots delivered")
+	}
+	last := uint64(0)
+	for i, ls := range snaps {
+		if !ls.Partial {
+			t.Fatalf("snapshot %d not marked partial", i)
+		}
+		if i > 0 && ls.Events <= last {
+			t.Fatalf("snapshot %d events %d not increasing past %d", i, ls.Events, last)
+		}
+		last = ls.Events
+		if ls.Profile == nil {
+			t.Fatalf("snapshot %d has no profile", i)
+		}
+		if _, err := ls.Profile.Restore(); err != nil {
+			t.Fatalf("snapshot %d profile does not restore: %v", i, err)
+		}
+	}
+	if !bytes.Equal(out, base) {
+		t.Fatal("taking snapshots changed the final profile")
+	}
+}
+
+// TestLiveSnapshotRequest: RequestSnapshot triggers exactly one snapshot at
+// the next batch boundary, even with periodic snapshots off.
+func TestLiveSnapshotRequest(t *testing.T) {
+	var snaps []*core.LiveSnapshot
+	prof := core.New(core.Options{
+		OnSnapshot: func(ls *core.LiveSnapshot) { snaps = append(snaps, ls) },
+	})
+	prof.ThreadStart(1, 0)
+	prof.Call(1, 0, 0)
+	prof.Write(1, 64)
+	prof.RequestSnapshot()
+	prof.SwitchThread(1, 1) // batch boundary: the request is honored here
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots after request, want 1", len(snaps))
+	}
+	prof.SwitchThread(1, 1)
+	if len(snaps) != 1 {
+		t.Fatalf("spurious snapshot without a request: %d", len(snaps))
+	}
+	if snaps[0].LiveThreads != 1 {
+		t.Fatalf("snapshot reports %d live threads, want 1", snaps[0].LiveThreads)
+	}
+}

@@ -2,7 +2,12 @@ package invariant
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/guest"
@@ -29,7 +34,10 @@ import (
 //     passes, which preserve every order relation the algorithm reads;
 //   - CheckLevel: the checks observe, never steer;
 //   - trace segment size: framing only, invisible after decoding;
-//   - event batching: dispatch granularity inside the guest machine.
+//   - event batching: dispatch granularity inside the guest machine;
+//   - checkpoint/resume: a checkpointed analysis interrupted partway and
+//     resumed from disk re-derives the identical profile — the checkpoint
+//     cadence and interruption point are framing, not semantics.
 //
 // The scheduler timeslice is deliberately weaker: thread-induced
 // first-accesses (the trms extension, paper Fig. 2) depend on the actual
@@ -223,6 +231,28 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	// Checkpoint/resume axis: interrupt a checkpointed pipeline analysis
+	// partway through, reload the on-disk checkpoint, and resume; the
+	// stitched profile must be byte-identical to the baseline. Checkpoint
+	// cadence and the interruption point are don't-care parameters — the
+	// per-worker state a checkpoint carries is exactly the state the
+	// uninterrupted analysis would have held at the same event.
+	ckptEvery := []int{257}
+	if !cfg.Quick {
+		ckptEvery = []int{64, 1021}
+	}
+	for _, n := range ckptEvery {
+		n := n
+		strict(fmt.Sprintf("checkpoint=%d", n), func() ([]byte, error) {
+			return checkpointResumeExport(tr, n, 0.5)
+		})
+	}
+	if !cfg.Quick {
+		strict("checkpoint=256/complete", func() ([]byte, error) {
+			return checkpointResumeExport(tr, 256, 2)
+		})
+	}
+
 	// Segment-size axis: re-record the (deterministic) workload with a
 	// different streaming segment capacity; the decoded trace must carry
 	// the same events, and its replay the same profile.
@@ -315,6 +345,46 @@ func pipelineExport(tr *trace.Trace, tieSeed int64, workers int, opts core.Optio
 	p, err := pipeline.Analyze(tr, pipeline.Options{TieSeed: tieSeed, Workers: workers, Profile: opts})
 	if err != nil {
 		return nil, err
+	}
+	return p.Export()
+}
+
+// checkpointResumeExport analyzes the trace with per-worker checkpointing
+// every n events, cancels the run once frac of the events are processed
+// (frac >= 1 lets it complete), then resumes from the written checkpoint
+// and returns the stitched profile's export.
+func checkpointResumeExport(tr *trace.Trace, n int, frac float64) ([]byte, error) {
+	dir, err := os.MkdirTemp("", "aprof-metamorph-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "m.ckpt")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := pipeline.Options{
+		TieSeed: 1, Workers: 2,
+		Checkpoint: &pipeline.CheckpointOptions{Path: path, EveryEvents: n},
+	}
+	if frac < 1 {
+		var fired atomic.Bool
+		opts.Progress = func(done, total uint64) {
+			if total > 0 && float64(done) >= frac*float64(total) && fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		}
+	}
+	if _, err := pipeline.AnalyzeContext(ctx, tr, opts); err != nil && !errors.Is(err, context.Canceled) {
+		return nil, err
+	}
+	ck, err := pipeline.LoadCheckpoint(path)
+	if err != nil {
+		return nil, fmt.Errorf("reloading checkpoint: %w", err)
+	}
+	p, err := pipeline.Analyze(tr, pipeline.Options{TieSeed: 1, Workers: 2, Resume: ck})
+	if err != nil {
+		return nil, fmt.Errorf("resuming: %w", err)
 	}
 	return p.Export()
 }

@@ -1,0 +1,326 @@
+// Low-pause point-in-time snapshots of a shadow table, in the style of
+// iterative VM pre-copy (and of livecore's process snapshots): the bulk of
+// the table is copied by a background goroutine while the owner keeps
+// mutating it, per-chunk dirty tracking records which chunks changed under
+// the copier's feet, and a final brief stop-the-world step re-copies only
+// the dirty delta. The pause a caller observes is the Finish call, whose
+// cost is proportional to the chunks written during the pre-copy window —
+// not to the table size.
+//
+// Concurrency discipline. Every chunk carries an atomic snapshot state:
+//
+//	idle → queued            (BeginSnapshot, at the owner's safepoint)
+//	queued → copying → copied (the copier, via CAS; copies the chunk)
+//	queued → dirty           (the owner, first write while still queued:
+//	                          the copier's CAS fails and it skips the chunk)
+//	copied → dirty           (the owner, write after the pre-copy: the stale
+//	                          pre-copy is replaced at Finish)
+//	copying → (owner waits)   (the owner spins with Gosched until the copier
+//	                          publishes copied, then dirties it)
+//
+// The CAS transitions give the copier exclusive read access to a chunk's
+// cells while it is in the copying state, so the pre-copy is clean under
+// the race detector as well as correct: the owner never writes a chunk the
+// copier is reading, and the dirty delta is re-copied only at Finish, when
+// the copier has exited.
+//
+// The owner's obligations are (1) to call BeginSnapshot and Finish only at
+// safepoints — moments when no Cursor into the table is live, or after
+// invalidating every such cursor with Cursor.Invalidate — and (2) not to
+// call Release while a snapshot is active. The table's own one-chunk cache
+// is invalidated by BeginSnapshot; chunk resolution during the snapshot
+// window funnels through chunkFor, which runs the write barrier above, and
+// the read-only Peek paths stop caching chunks while a snapshot is active
+// so no write can later sneak past the barrier through a stale cache.
+package shadow
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/guest"
+)
+
+// Per-chunk snapshot states. Stored in chunk.snap; see the package comment
+// in this file for the transition diagram.
+const (
+	snapIdle uint32 = iota
+	snapQueued
+	snapCopying
+	snapCopied
+	snapDirty
+)
+
+// snapRef pairs a chunk with its base (address >> ChunkBits) for the
+// snapshot work lists.
+type snapRef[T comparable] struct {
+	base uint64
+	ch   *chunk[T]
+}
+
+// snapTouch is the snapshot write barrier, invoked by chunkFor for every
+// chunk resolved while a snapshot is active: it moves the chunk to the
+// dirty state so the Finish step re-copies it, waiting out the copier if
+// the chunk is being copied this instant.
+func (t *Table[T]) snapTouch(base uint64, ch *chunk[T]) {
+	for {
+		switch ch.snap.Load() {
+		case snapIdle, snapDirty:
+			return
+		case snapQueued:
+			if ch.snap.CompareAndSwap(snapQueued, snapDirty) {
+				t.snapDirty = append(t.snapDirty, snapRef[T]{base, ch})
+				return
+			}
+		case snapCopied:
+			if ch.snap.CompareAndSwap(snapCopied, snapDirty) {
+				t.snapDirty = append(t.snapDirty, snapRef[T]{base, ch})
+				return
+			}
+		case snapCopying:
+			// The copier holds the chunk for the microseconds one 64 KB
+			// copy takes; yield instead of spinning hot.
+			runtime.Gosched()
+		}
+	}
+}
+
+// SnapshotStats describes how one snapshot was taken: how many chunks the
+// concurrent pre-copy captured, how many were dirtied (or born) during the
+// pre-copy window and had to be re-copied inside the pause, and how long
+// the stop-the-world Finish step took.
+type SnapshotStats struct {
+	Precopied int           // chunks captured concurrently, still clean at Finish
+	Dirty     int           // chunks copied inside the Finish pause
+	Pause     time.Duration // wall time of the Finish call
+}
+
+// SnapshotChunk is one chunk of a Snapshot: an immutable copy of the cells
+// shadowing addresses [Base<<ChunkBits, (Base+1)<<ChunkBits).
+type SnapshotChunk[T comparable] struct {
+	// Base is the chunk's address prefix (first address >> ChunkBits).
+	Base uint64
+	// Vals holds the chunk's ChunkSize cell values at snapshot time.
+	Vals []T
+}
+
+// Snapshot is an immutable point-in-time copy of a Table's contents,
+// consistent as of the moment Finish returned.
+type Snapshot[T comparable] struct {
+	chunks []SnapshotChunk[T] // ascending by Base
+	stats  SnapshotStats
+}
+
+// Stats reports how the snapshot was taken.
+func (s *Snapshot[T]) Stats() SnapshotStats { return s.stats }
+
+// NumChunks returns the number of chunks the snapshot holds.
+func (s *Snapshot[T]) NumChunks() int { return len(s.chunks) }
+
+// Chunks returns the snapshot's chunks in ascending base order. The slices
+// are owned by the snapshot; callers must not modify them.
+func (s *Snapshot[T]) Chunks() []SnapshotChunk[T] { return s.chunks }
+
+// Range calls f for every cell holding a non-zero value, in ascending
+// address order.
+func (s *Snapshot[T]) Range(f func(a guest.Addr, v T)) {
+	var zero T
+	for _, c := range s.chunks {
+		base := guest.Addr(c.Base << ChunkBits)
+		for off, v := range c.Vals {
+			if v != zero {
+				f(base+guest.Addr(off), v)
+			}
+		}
+	}
+}
+
+// Peek returns the snapshotted value of address a (zero if untouched).
+func (s *Snapshot[T]) Peek(a guest.Addr) T {
+	base := uint64(a) >> ChunkBits
+	i := sort.Search(len(s.chunks), func(i int) bool { return s.chunks[i].Base >= base })
+	if i < len(s.chunks) && s.chunks[i].Base == base {
+		return s.chunks[i].Vals[uint64(a)&(ChunkSize-1)]
+	}
+	var zero T
+	return zero
+}
+
+// NonZero counts the cells holding a non-zero value.
+func (s *Snapshot[T]) NonZero() int {
+	n := 0
+	var zero T
+	for _, c := range s.chunks {
+		for _, v := range c.Vals {
+			if v != zero {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Snapshotter drives one in-progress snapshot of a Table. Obtain one with
+// BeginSnapshot, poll Ready from the table owner's safepoints, and call
+// Finish (or Abort) exactly once. All Snapshotter methods must be called
+// from the goroutine that owns the table.
+type Snapshotter[T comparable] struct {
+	t      *Table[T]
+	queued []snapRef[T]
+	done   chan struct{}
+
+	// copied is written only by the copier goroutine; Finish reads it
+	// after receiving from done, which orders the accesses.
+	copied []SnapshotChunk[T]
+	// stop, when closed, asks the copier to quit between chunks (Abort).
+	stop chan struct{}
+}
+
+// BeginSnapshot starts a low-pause snapshot: it marks every allocated chunk
+// for copying, invalidates the table's internal chunk cache, and spawns a
+// background copier. The caller must be at a safepoint (no live cursors —
+// call Cursor.Invalidate on any it keeps) and may then continue mutating
+// the table freely; writes are tracked per chunk. Poll Ready and call
+// Finish to complete the snapshot, or Abort to discard it. Only one
+// snapshot may be active per table.
+func (t *Table[T]) BeginSnapshot() *Snapshotter[T] {
+	if t.snapActive {
+		panic("shadow: BeginSnapshot with a snapshot already active")
+	}
+	s := &Snapshotter[T]{
+		t:      t,
+		queued: make([]snapRef[T], 0, len(t.allocated)),
+		done:   make(chan struct{}),
+		stop:   make(chan struct{}),
+	}
+	for _, loc := range t.allocated {
+		ch := loc.sec.chunks[loc.si]
+		ch.snap.Store(snapQueued)
+		s.queued = append(s.queued, snapRef[T]{loc.base, ch})
+	}
+	t.snapActive = true
+	t.snapDirty = t.snapDirty[:0]
+	// Drop the one-chunk cache: every resolution during the snapshot
+	// window must funnel through chunkFor's write barrier once.
+	t.lastBase, t.lastChunk = ^uint64(0), nil
+	go s.copier()
+	return s
+}
+
+// copier is the background pre-copy loop: it claims queued chunks one CAS
+// at a time and copies the clean ones while the owner keeps mutating the
+// table. Chunks the owner dirties first are skipped (their CAS fails) and
+// are picked up by Finish instead.
+func (s *Snapshotter[T]) copier() {
+	defer close(s.done)
+	for _, q := range s.queued {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if !q.ch.snap.CompareAndSwap(snapQueued, snapCopying) {
+			continue // owner got there first: the chunk is dirty
+		}
+		vals := make([]T, ChunkSize)
+		copy(vals, q.ch.vals[:])
+		q.ch.snap.Store(snapCopied)
+		s.copied = append(s.copied, SnapshotChunk[T]{Base: q.base, Vals: vals})
+	}
+}
+
+// Ready reports whether the background pre-copy has finished, so a Finish
+// call will pause only for the dirty delta. Finish may be called before
+// Ready returns true; it then waits for the copier first.
+func (s *Snapshotter[T]) Ready() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Finish completes the snapshot: it waits for the pre-copy (a no-op if
+// Ready), copies the chunks dirtied or allocated during the pre-copy
+// window, resets the per-chunk states and returns the consistent snapshot.
+// The owner must not mutate the table during the call — Finish is the
+// stop-the-world step, and its duration (reported in Stats) is the pause.
+func (s *Snapshotter[T]) Finish() *Snapshot[T] {
+	start := time.Now()
+	<-s.done
+	t := s.t
+
+	// Chunks still marked copied are clean: the pre-copy stands. Chunks in
+	// the dirty list changed after Begin (or were born during the window)
+	// and are re-copied now, replacing any stale pre-copy.
+	stale := make(map[uint64]bool, len(t.snapDirty))
+	out := &Snapshot[T]{}
+	for _, d := range t.snapDirty {
+		stale[d.base] = true
+		vals := make([]T, ChunkSize)
+		copy(vals, d.ch.vals[:])
+		out.chunks = append(out.chunks, SnapshotChunk[T]{Base: d.base, Vals: vals})
+		d.ch.snap.Store(snapIdle)
+	}
+	precopied := 0
+	for _, c := range s.copied {
+		if !stale[c.Base] {
+			out.chunks = append(out.chunks, c)
+			precopied++
+		}
+	}
+	for _, q := range s.queued {
+		q.ch.snap.Store(snapIdle)
+	}
+	dirty := len(t.snapDirty)
+	t.snapDirty = nil
+	t.snapActive = false
+	sort.Slice(out.chunks, func(i, j int) bool { return out.chunks[i].Base < out.chunks[j].Base })
+	out.stats = SnapshotStats{Precopied: precopied, Dirty: dirty, Pause: time.Since(start)}
+	return out
+}
+
+// Abort discards an in-progress snapshot: the copier is stopped, per-chunk
+// states are reset, and the table returns to normal operation. No snapshot
+// is produced.
+func (s *Snapshotter[T]) Abort() {
+	close(s.stop)
+	<-s.done
+	t := s.t
+	for _, d := range t.snapDirty {
+		d.ch.snap.Store(snapIdle)
+	}
+	for _, q := range s.queued {
+		q.ch.snap.Store(snapIdle)
+	}
+	t.snapDirty = nil
+	t.snapActive = false
+}
+
+// TakeSnapshot takes a snapshot in one call: BeginSnapshot, wait for the
+// pre-copy, Finish. The caller is paused for the whole copy (there is no
+// mutator to overlap with), so this is the convenience form for tests,
+// checkpoint-on-shutdown paths and single-threaded callers; interactive
+// low-pause use should drive BeginSnapshot/Ready/Finish from its own
+// safepoints instead.
+func (t *Table[T]) TakeSnapshot() *Snapshot[T] {
+	return t.BeginSnapshot().Finish()
+}
+
+// Invalidate drops the cursor's cached chunk, forcing the next access to
+// re-resolve through the table. Owners of long-lived cursors must call
+// this when the table's BeginSnapshot or Finish runs at one of their
+// safepoints, so later writes through the cursor cannot bypass the
+// snapshot write barrier.
+func (c *Cursor[T]) Invalidate() {
+	c.base = ^guest.Addr(0)
+	c.vals = nil
+}
+
+// String renders the stats for logs and test failures.
+func (st SnapshotStats) String() string {
+	return fmt.Sprintf("precopied %d chunks, %d dirty, pause %v", st.Precopied, st.Dirty, st.Pause)
+}

@@ -6,11 +6,31 @@ import (
 	"path/filepath"
 )
 
-// WriteFile encodes the trace to path atomically: the bytes are written to
-// a temporary file in the same directory, synced, and renamed over path, so
-// an interrupted write never leaves a half-trace at the target. It returns
-// the number of bytes written.
-func WriteFile(path string, tr *Trace) (int64, error) {
+// syncFile and syncDir are the durability syscalls behind the atomic write
+// path, declared as variables so the fault-injection tests can make fsync
+// fail deterministically (a failure mode a real test cannot provoke).
+var (
+	syncFile = func(f *os.File) error { return f.Sync() }
+	syncDir  = func(d *os.File) error { return d.Sync() }
+)
+
+// AtomicWriteFile writes data to path durably and atomically: the bytes go
+// to a temporary file in the same directory, the file is fsynced and
+// closed, renamed over path, and the parent directory is fsynced so the
+// rename itself — not just the data — survives power loss. Readers see
+// either the old contents or the complete new contents, never a mix, and a
+// nil return means the new contents are on stable storage. It returns the
+// number of bytes written.
+func AtomicWriteFile(path string, data []byte) (int64, error) {
+	return atomicWrite(path, func(f *os.File) (int64, error) {
+		n, err := f.Write(data)
+		return int64(n), err
+	})
+}
+
+// atomicWrite implements the temp-file + fsync + rename + dir-fsync
+// commit protocol around an arbitrary producer writing the temp file.
+func atomicWrite(path string, write func(*os.File) (int64, error)) (int64, error) {
 	dir, base := filepath.Split(path)
 	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
@@ -22,11 +42,11 @@ func WriteFile(path string, tr *Trace) (int64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
-	n, err := tr.Encode(f)
+	n, err := write(f)
 	if err != nil {
-		return cleanup(fmt.Errorf("trace: encoding %s: %w", path, err))
+		return cleanup(fmt.Errorf("trace: writing %s: %w", path, err))
 	}
-	if err := f.Sync(); err != nil {
+	if err := syncFile(f); err != nil {
 		return cleanup(fmt.Errorf("trace: syncing %s: %w", tmp, err))
 	}
 	if err := f.Close(); err != nil {
@@ -36,7 +56,37 @@ func WriteFile(path string, tr *Trace) (int64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
+	// Commit the rename: without fsyncing the parent directory the new
+	// directory entry may still be lost to a crash, leaving the old file
+	// in place after a "successful" write.
+	if err := fsyncParent(path); err != nil {
+		return 0, err
+	}
 	return n, nil
+}
+
+// fsyncParent fsyncs the directory containing path, making a just-renamed
+// entry durable.
+func fsyncParent(path string) error {
+	dir := filepath.Dir(path)
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("trace: opening %s to sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := syncDir(d); err != nil {
+		return fmt.Errorf("trace: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}
+
+// WriteFile encodes the trace to path atomically and durably: the bytes are
+// written to a temporary file in the same directory, fsynced, renamed over
+// path, and the parent directory entry is fsynced, so an interrupted write
+// never leaves a half-trace at the target and a completed one survives
+// power loss. It returns the number of bytes written.
+func WriteFile(path string, tr *Trace) (int64, error) {
+	return atomicWrite(path, func(f *os.File) (int64, error) { return tr.Encode(f) })
 }
 
 // ReadFile strictly decodes the trace stored at path.

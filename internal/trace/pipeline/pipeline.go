@@ -103,6 +103,22 @@ type Options struct {
 	// goroutines concurrently; the callee must be safe for concurrent use
 	// (telemetry.Progress is).
 	Progress func(processed, total uint64)
+
+	// Checkpoint, when non-nil and enabled, periodically saves every
+	// worker's position and partial state to an atomically rewritten
+	// checkpoint file, and serves live profile snapshots (see
+	// CheckpointOptions). Checkpointing forces the materialized-plan route
+	// even for unannotated traces: resumable positions need the plan's
+	// stable segment numbering.
+	Checkpoint *CheckpointOptions
+
+	// Resume, when non-nil, is a checkpoint of a previous run of the same
+	// trace with the same options (LoadCheckpoint): validated worker
+	// states skip their already-analyzed events, and the profile is
+	// byte-identical to an uninterrupted run's. A checkpoint that does not
+	// match the trace and options is ignored — the run degrades to full
+	// re-analysis, never a wrong answer.
+	Resume *Checkpoint
 }
 
 // kernelWriter marks a cell whose latest write was performed by the kernel
@@ -155,11 +171,14 @@ type Plan struct {
 	annotated bool          // assembled from trace annotations, no pre-scan
 	threads   []*threadPlan // in order of first appearance in the merged order
 
-	// Telemetry and Progress mirror the same-named Options fields for
-	// callers driving BuildPlan/Run directly; AnalyzeContext copies them
-	// from its Options. Set them between BuildPlan and Run.
-	Telemetry *telemetry.Registry
-	Progress  func(processed, total uint64)
+	// Telemetry, Progress, Checkpoint and Resume mirror the same-named
+	// Options fields for callers driving BuildPlan/Run directly;
+	// AnalyzeContext copies them from its Options. Set them between
+	// BuildPlan and Run.
+	Telemetry  *telemetry.Registry
+	Progress   func(processed, total uint64)
+	Checkpoint *CheckpointOptions
+	Resume     *Checkpoint
 }
 
 // Annotated reports whether the plan was assembled from the trace's
@@ -205,7 +224,11 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (*core.P
 	if err := validateOptions(opts.Profile); err != nil {
 		return nil, err
 	}
-	if tr.Annotated {
+	wantCkpt := (opts.Checkpoint != nil && opts.Checkpoint.enabled()) || opts.Resume != nil
+	if tr.Annotated || wantCkpt {
+		// Checkpointing and resuming need the materialized plan's stable
+		// (thread, segment, offset) coordinates, so they take the plan
+		// route even for unannotated traces (the pre-scan runs first).
 		span := opts.Telemetry.StartSpan(ctx, "pipeline/plan")
 		plan, err := BuildPlanContext(ctx, tr, opts.TieSeed, opts.Profile)
 		span.End()
@@ -214,6 +237,8 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (*core.P
 		}
 		plan.Telemetry = opts.Telemetry
 		plan.Progress = opts.Progress
+		plan.Checkpoint = opts.Checkpoint
+		plan.Resume = opts.Resume
 		return plan.RunContext(ctx, opts.Workers)
 	}
 	return analyzeStreaming(ctx, tr, opts)
@@ -529,12 +554,44 @@ func (p *Plan) RunContext(ctx context.Context, workers int) (*core.Profile, erro
 	reg := p.Telemetry
 	reg.Gauge("pipeline/workers").Set(int64(workers))
 
+	// Resume: validate the checkpoint against this plan, drop any state
+	// that fails cross-checking (that thread restarts from scratch), and
+	// count the work the surviving states let us skip. A fingerprint
+	// mismatch discards the checkpoint wholesale — degrade, never guess.
+	resumeStates := make(map[int]*workerState)
+	var skipped uint64
+	if p.Resume != nil {
+		if p.Resume.header.matches(p.fingerprint()) {
+			for idx, st := range p.Resume.workers {
+				if validState(p, idx, st) {
+					resumeStates[idx] = st
+					skipped += st.events
+				} else {
+					reg.Counter("resume/threads_dropped").Inc()
+				}
+			}
+			reg.Counter("resume/threads_restored").Add(uint64(len(resumeStates)))
+			reg.Counter("resume/events_skipped").Add(skipped)
+		} else {
+			reg.Counter("resume/checkpoint_mismatched").Inc()
+		}
+	}
+
+	// Checkpointing: the manager owns all file writes. It is seeded with
+	// the resumed states so an early re-kill cannot lose progress of
+	// threads whose workers have not submitted yet.
+	var mgr *ckptManager
+	if p.Checkpoint != nil && p.Checkpoint.enabled() {
+		mgr = newCkptManager(p, *p.Checkpoint, reg, resumeStates)
+	}
+
 	// Progress plumbing: workers accumulate processed events into one
 	// shared atomic at segment granularity and report the running total.
 	// The onSegment hook stays nil when neither progress nor telemetry is
 	// wanted, so the default run carries no atomic traffic.
 	total := p.NumEvents()
 	var processed atomic.Uint64
+	processed.Store(skipped) // resumed work counts as already done
 	var onSegment func(events int)
 	evCounter := reg.Counter("pipeline/events_processed")
 	segCounter := reg.Counter("pipeline/segments_processed")
@@ -561,7 +618,11 @@ func (p *Plan) RunContext(ctx context.Context, workers int) (*core.Profile, erro
 		telemetry.Do(ctx, "aprof.thread", strconv.Itoa(int(tp.id)), func(ctx context.Context) {
 			span := reg.StartSpan(ctx, "pipeline/thread")
 			start := time.Now()
-			prof, err = analyzeThread(ctx, p.tr, tp, p.opts, p.wide, onSegment)
+			var wc *workerCkpt
+			if mgr != nil {
+				wc = &workerCkpt{mgr: mgr, threadIdx: i, every: mgr.every}
+			}
+			prof, err = analyzeThread(ctx, p.tr, tp, p.opts, p.wide, onSegment, wc, resumeStates[i])
 			busyNS.Add(int64(time.Since(start)))
 			span.End()
 		})
@@ -608,10 +669,21 @@ func (p *Plan) RunContext(ctx context.Context, workers int) (*core.Profile, erro
 		}
 	}
 
+	var firstErr error
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			firstErr = err
+			break
 		}
+	}
+	if mgr != nil {
+		// The final checkpoint write happens here, synchronously, with the
+		// run's outcome in the header: a canceled run leaves a valid
+		// partial checkpoint on disk before RunContext returns.
+		mgr.close(firstErr != nil || ctx.Err() != nil)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	mergeSpan := reg.StartSpan(ctx, "pipeline/merge")
 	out := core.NewProfile()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/guest"
@@ -37,11 +38,27 @@ type cell interface {
 // pipeline run. ctx is polled once per segment.
 // onSegment, when non-nil, is invoked after each completed segment with its
 // event count — the grain of the pipeline's progress reporting.
-func analyzeThread(ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options, wide bool, onSegment func(int)) (*core.Profile, error) {
+//
+// ck, when non-nil, enables checkpointing: the worker crosses a safepoint
+// every safepointStride events, where it drives low-pause shadow snapshots
+// and hands serialized states to the checkpoint manager. resume, when
+// non-nil, is a validated prior state: the worker restores it and continues
+// from the recorded position instead of the beginning.
+func analyzeThread(ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options, wide bool, onSegment func(int), ck *workerCkpt, resume *workerState) (*core.Profile, error) {
 	if wide {
-		return runWorker[uint64](ctx, tr, tp, opts, onSegment)
+		return runWorker[uint64](ctx, tr, tp, opts, onSegment, ck, resume)
 	}
-	return runWorker[uint32](ctx, tr, tp, opts, onSegment)
+	return runWorker[uint32](ctx, tr, tp, opts, onSegment, ck, resume)
+}
+
+// workerCkpt is one worker's checkpointing context: the shared manager and
+// this worker's identity and cadence state.
+type workerCkpt struct {
+	mgr       *ckptManager
+	threadIdx int
+	every     int    // events between serialized states
+	sinceSnap int    // events since the last snapshot was begun
+	gen       uint64 // last seen on-demand snapshot generation
 }
 
 // workerPanicHook, when non-nil, is invoked at the start of every
@@ -56,7 +73,7 @@ type readSource interface {
 	readAt(i int) (uint64, uint32)
 }
 
-func runWorker[C cell](ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options, onSegment func(int)) (prof *core.Profile, err error) {
+func runWorker[C cell](ctx context.Context, tr *trace.Trace, tp *threadPlan, opts core.Options, onSegment func(int), ck *workerCkpt, resume *workerState) (prof *core.Profile, err error) {
 	segIdx := -1
 	defer func() {
 		if r := recover(); r != nil {
@@ -78,22 +95,195 @@ func runWorker[C cell](ctx context.Context, tr *trace.Trace, tp *threadPlan, opt
 		opts: opts,
 		ts:   shadow.NewTable[C](),
 		acts: make(map[guest.RoutineID]*core.Activations),
+		ck:   ck,
 	}
-	for i, seg := range tp.segments {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	startSeg, startOff := 0, 0
+	if resume != nil {
+		if resume.done {
+			// The thread finished before the checkpoint: its profile is
+			// exactly the fold of its stored aggregates.
+			return stateProfile(tr, resume), nil
 		}
+		w.restore(resume)
+		startSeg, startOff = resume.segIdx, resume.off
+	}
+	for i := startSeg; i < len(tp.segments); i++ {
 		segIdx = i
-		w.count = seg.startCount
+		seg := tp.segments[i]
 		events := tr.Threads[seg.src].Events[seg.lo:seg.hi]
-		for i := range events {
-			w.step(&events[i], tp)
+		off := 0
+		if i == startSeg && resume != nil {
+			// Mid-segment resume: the restored counter image is already
+			// correct at the recorded offset.
+			off = startOff
+		} else {
+			w.count = seg.startCount
+		}
+		firstOff := off
+		for {
+			if err := ctx.Err(); err != nil {
+				w.cancelCkpt(i, off)
+				return nil, err
+			}
+			if off >= len(events) {
+				break
+			}
+			end := len(events)
+			if ck != nil && off+safepointStride < end {
+				end = off + safepointStride
+			}
+			for j := off; j < end; j++ {
+				w.step(&events[j], tp)
+			}
+			done := end - off
+			off = end
+			w.events += uint64(done)
+			if ck != nil {
+				ck.sinceSnap += done
+				w.safepoint(i, off)
+			}
 		}
 		if onSegment != nil {
-			onSegment(len(events))
+			onSegment(len(events) - firstOff)
 		}
 	}
+	if ck != nil {
+		w.abortSnap()
+		ck.mgr.submit(w.finalState())
+	}
 	return w.profile(), nil
+}
+
+// restore rebuilds the worker from a checkpointed state. Everything is
+// deep-copied: the state may belong to a Checkpoint that outlives this run
+// and is resumed again.
+func (w *worker[C]) restore(st *workerState) {
+	w.count = st.count
+	w.nextRead = st.nextRead
+	w.inducedThread = st.inducedThread
+	w.inducedExternal = st.inducedExternal
+	w.events = st.events
+	w.stack = append([]frame(nil), st.stack...)
+	for id, a := range st.acts {
+		w.acts[id] = cloneActs(a)
+	}
+	for _, c := range st.cells {
+		w.ts.Set(guest.Addr(c.addr), C(c.val))
+	}
+}
+
+// safepoint runs every safepointStride events when checkpointing is on: it
+// starts a low-pause shadow snapshot when the cadence (or an on-demand
+// trigger) asks for one, and completes a pending snapshot once its
+// pre-copy is done, capturing the worker's state inside the bounded pause.
+func (w *worker[C]) safepoint(segIdx, off int) {
+	ck := w.ck
+	if w.snapper != nil {
+		if w.snapEpoch != w.tsEpoch {
+			// The shadow table was replaced (thread exit) under the
+			// snapshot; the old table's snapshot no longer describes the
+			// worker. Drop it and start over on the live table.
+			w.snapper.Abort()
+			w.snapper = nil
+			w.snapper, w.snapEpoch = w.ts.BeginSnapshot(), w.tsEpoch
+			return
+		}
+		if !w.snapper.Ready() {
+			return
+		}
+		start := time.Now()
+		snap := w.snapper.Finish()
+		st := w.captureState(segIdx, off, snap)
+		pause := time.Since(start)
+		w.snapper = nil
+		ck.sinceSnap = 0
+		ck.mgr.observePause(pause, snap.Stats())
+		ck.mgr.submit(st)
+		return
+	}
+	want := ck.sinceSnap >= ck.every
+	if g := ck.mgr.snapGen(); g != ck.gen {
+		ck.gen = g
+		want = true
+	}
+	if want {
+		w.snapper, w.snapEpoch = w.ts.BeginSnapshot(), w.tsEpoch
+	}
+}
+
+// abortSnap discards a snapshot still in flight (end of thread or
+// cancellation overtook it).
+func (w *worker[C]) abortSnap() {
+	if w.snapper != nil {
+		w.snapper.Abort()
+		w.snapper = nil
+	}
+}
+
+// cancelCkpt runs when the context fires mid-thread: it abandons any
+// in-flight snapshot, takes a synchronous one (the run is stopping; there
+// is no mutator to overlap with), and submits the final partial state so
+// the shutdown checkpoint records this thread's exact position.
+func (w *worker[C]) cancelCkpt(segIdx, off int) {
+	if w.ck == nil {
+		return
+	}
+	w.abortSnap()
+	snap := w.ts.TakeSnapshot()
+	w.ck.mgr.observePause(snap.Stats().Pause, snap.Stats())
+	w.ck.mgr.submit(w.captureState(segIdx, off, snap))
+}
+
+// captureState clones the worker's analysis state at position (segIdx,
+// off). The clones happen inside the snapshot pause; the shadow cells are
+// materialized lazily from the immutable snapshot on the manager
+// goroutine, off the worker's path.
+func (w *worker[C]) captureState(segIdx, off int, snap *shadow.Snapshot[C]) *workerState {
+	st := &workerState{
+		threadIdx:       w.ck.threadIdx,
+		id:              w.id,
+		segIdx:          segIdx,
+		off:             off,
+		events:          w.events,
+		count:           w.count,
+		nextRead:        w.nextRead,
+		inducedThread:   w.inducedThread,
+		inducedExternal: w.inducedExternal,
+		stack:           append([]frame(nil), w.stack...),
+		acts:            make(map[guest.RoutineID]*core.Activations, len(w.acts)),
+	}
+	for id, a := range w.acts {
+		st.acts[id] = cloneActs(a)
+	}
+	st.cellsFn = func() []cellPair { return snapCells(snap) }
+	return st
+}
+
+// finalState marks the thread fully analyzed: only the aggregates matter.
+func (w *worker[C]) finalState() *workerState {
+	st := &workerState{
+		threadIdx:       w.ck.threadIdx,
+		id:              w.id,
+		done:            true,
+		events:          w.events,
+		inducedThread:   w.inducedThread,
+		inducedExternal: w.inducedExternal,
+		acts:            make(map[guest.RoutineID]*core.Activations, len(w.acts)),
+	}
+	for id, a := range w.acts {
+		st.acts[id] = cloneActs(a)
+	}
+	return st
+}
+
+// snapCells flattens a shadow snapshot into the checkpoint's sorted
+// (address, value) pairs.
+func snapCells[C cell](snap *shadow.Snapshot[C]) []cellPair {
+	cells := make([]cellPair, 0, 1024)
+	snap.Range(func(a guest.Addr, v C) {
+		cells = append(cells, cellPair{addr: uint64(a), val: uint64(v)})
+	})
+	return cells
 }
 
 // worker is the state of one per-thread analyzer.
@@ -111,6 +301,16 @@ type worker[C cell] struct {
 	acts            map[guest.RoutineID]*core.Activations
 	inducedThread   uint64
 	inducedExternal uint64
+
+	// Checkpointing state (nil/zero when checkpointing is off): events is
+	// the total processed event tally (resumed work included), snapper an
+	// in-flight low-pause shadow snapshot, and tsEpoch/snapEpoch detect the
+	// table being replaced (thread exit) under a snapshot.
+	ck        *workerCkpt
+	events    uint64
+	snapper   *shadow.Snapshotter[C]
+	tsEpoch   int
+	snapEpoch int
 }
 
 // frame is one shadow-stack entry; see core's frame.
@@ -180,9 +380,11 @@ func (w *worker[C]) step(e *trace.Event, rs readSource) {
 	case trace.KindThreadExit:
 		// The inline profiler drops the thread's view on exit; further
 		// events under the same id (again only in hand-built traces)
-		// start from fresh shadow state.
+		// start from fresh shadow state. The epoch bump tells a pending
+		// checkpoint snapshot its table is gone (see safepoint).
 		w.ts = shadow.NewTable[C]()
 		w.stack = w.stack[:0]
+		w.tsEpoch++
 	}
 	// ThreadStart, Sync, Alloc, Free carry no profiling state.
 }

@@ -83,6 +83,32 @@ if ! APROF_SCALING_SMOKE=1 go test -run TestScalingSmoke -v \
 fi
 grep -E "SKIP:|skipping|speedup" "$smoke_log" || true
 
+echo "== checkpoint smoke: kill -9 mid-analysis, resume, byte-compare"
+# Crash-recovery gate: a subprocess analyzes a mysqld trace with
+# checkpointing, the parent SIGKILLs it mid-run, and resuming from the
+# surviving checkpoint must produce a profile byte-identical to an
+# uninterrupted analysis.
+ckpt_log="${TMPDIR:-/tmp}/aprof_ckpt_smoke.log"
+if ! APROF_CKPT_SMOKE=1 go test -run TestCheckpointKillSmoke -v \
+	./internal/trace/pipeline >"$ckpt_log" 2>&1; then
+	cat "$ckpt_log" >&2
+	exit 1
+fi
+grep -E "killed child|byte-identical" "$ckpt_log" || true
+
+echo "== pause smoke: live-snapshot stop-the-world budget (10 ms)"
+# Low-pause gate: taking a shadow snapshot under concurrent mutation must
+# stop the mutator for at most APROF_PAUSE_BUDGET_MS (self-skips on
+# single-CPU hosts, where the concurrent precopy cannot run — the log
+# says so).
+pause_log="${TMPDIR:-/tmp}/aprof_pause_smoke.log"
+if ! APROF_PAUSE_SMOKE=1 APROF_PAUSE_BUDGET_MS=10 go test \
+	-run TestSnapshotPauseBudget -v ./internal/shadow >"$pause_log" 2>&1; then
+	cat "$pause_log" >&2
+	exit 1
+fi
+grep -E "SKIP:|skipping|pause" "$pause_log" || true
+
 echo "== invariant check: aprof-trace check -suite micro"
 # Full metamorphic matrix over the micro workloads: deep invariant
 # checking plus profile byte-identity under perturbed don't-care
