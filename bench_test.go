@@ -11,12 +11,14 @@ package repro_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	"repro/aprof"
 	"repro/internal/core"
 	"repro/internal/fit"
 	"repro/internal/guest"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/shadow"
 	"repro/internal/telemetry"
@@ -659,6 +661,44 @@ func BenchmarkSamplingOverhead(b *testing.B) {
 				params := workloads.Params{Size: c.size, Threads: c.threads}
 				for i := 0; i < b.N; i++ {
 					prof := core.New(core.Options{Sampling: tier})
+					runWorkload(b, c.name, params, prof)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkObsOverhead measures what an idle HTTP observability server
+// (-http with nobody scraping) costs a profiled run: the same telemetry-
+// enabled runs as BenchmarkTelemetryOverhead, with and without an
+// obs.Server bound to a loopback port. Nothing on the profiler's hot path
+// talks to the server — handlers read the shared registry only when
+// scraped — so the acceptance bar is <1% overhead beyond telemetry itself;
+// docs/OBSERVABILITY.md records measured numbers.
+func BenchmarkObsOverhead(b *testing.B) {
+	cases := []struct {
+		name    string
+		size    int
+		threads int
+	}{
+		{"mysqld", 24, 8},
+		{"vips", 16, 4},
+	}
+	for _, c := range cases {
+		for _, mode := range []string{"off", "idle-server"} {
+			b.Run(c.name+"/"+mode, func(b *testing.B) {
+				reg := telemetry.NewRegistry()
+				if mode == "idle-server" {
+					srv, err := obs.Start(obs.Options{Registry: reg, Component: "bench", Log: io.Discard})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer srv.Close()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					params := workloads.Params{Size: c.size, Threads: c.threads, Telemetry: reg}
+					prof := core.New(core.Options{Telemetry: reg})
 					runWorkload(b, c.name, params, prof)
 				}
 			})

@@ -55,6 +55,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
@@ -63,6 +64,7 @@ import (
 	"syscall"
 
 	"repro/aprof"
+	"repro/internal/obs"
 	"repro/internal/profflag"
 	"repro/internal/report"
 	"repro/internal/shadow"
@@ -189,12 +191,28 @@ func record(args []string) error {
 		rec := aprof.NewStreamRecorder(f)
 		rec.SetAnnotations(*annotate)
 		rec.SetTelemetry(reg)
+		// The stderr line and the obs server's /progress stream share one
+		// estimator; with -http but no terminal the estimator still runs so
+		// the SSE stream has numbers.
+		srv := prof.ObsServer()
 		var pl *telemetry.Progress
+		var est *telemetry.RateEstimator
 		if *showProgress {
 			pl = telemetry.NewProgress(os.Stderr, "record", 0)
+			est = pl.Estimator()
+		} else if srv != nil {
+			est = telemetry.NewRateEstimator(0)
+		}
+		if est != nil {
+			est.SetPhase("record")
+			srv.SetEstimator(est)
 			rec.SetProgress(func(events, segments int, bytes int64) {
-				pl.SetNote(fmt.Sprintf("%d segments, %d bytes", segments, bytes))
-				pl.Update(uint64(events))
+				if pl != nil {
+					pl.SetNote(fmt.Sprintf("%d segments, %d bytes", segments, bytes))
+					pl.Update(uint64(events))
+				} else {
+					est.Update(uint64(events))
+				}
 			})
 		}
 		// SIGINT/SIGTERM stop the run at the next guest event; the recorder
@@ -220,6 +238,7 @@ func record(args []string) error {
 			return fmt.Errorf("record: writing %s: %w", *out, err)
 		}
 		pl.Done()
+		est.Finish()
 		if err := f.Close(); err != nil {
 			return err
 		}
@@ -510,6 +529,7 @@ func analyze(args []string) error {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	reg := prof.Registry()
+	srv := prof.ObsServer()
 	var tr *aprof.Trace
 	var inline *aprof.Profile
 	var err error
@@ -519,7 +539,17 @@ func analyze(args []string) error {
 			return fmt.Errorf("analyze: -workload and a trace file are mutually exclusive")
 		}
 		params := aprof.WorkloadParams{Threads: *threads, Size: *size, Seed: *seed, Telemetry: reg}
-		tr, inline, err = recordInProcess(*workload, params, reg, prof.Sampling())
+		// With -http, the in-process recording phase reports its own
+		// progress; the analyze estimator replaces it afterwards, which the
+		// /progress stream surfaces as a phase-change event.
+		var recProgress func(events, segments int, bytes int64)
+		if srv != nil {
+			recEst := telemetry.NewRateEstimator(0)
+			recEst.SetPhase("record")
+			srv.SetEstimator(recEst)
+			recProgress = func(events, _ int, _ int64) { recEst.Update(uint64(events)) }
+		}
+		tr, inline, err = recordInProcess(*workload, params, reg, prof.Sampling(), recProgress)
 		if err != nil {
 			return err
 		}
@@ -568,6 +598,25 @@ func analyze(args []string) error {
 		}
 		opts.Checkpoint = ck
 	}
+	var feed *obs.ProfileFeed
+	if srv != nil {
+		// Serve /profile from the checkpoint machinery's live snapshots. With
+		// -http alone the machinery runs capture-on-demand only: the huge
+		// EveryEvents cadence means workers never capture periodically, so
+		// idle cost is the safepoint poll and nothing else.
+		if opts.Checkpoint == nil {
+			opts.Checkpoint = &aprof.CheckpointOptions{EveryEvents: math.MaxInt}
+		}
+		if opts.Checkpoint.Trigger == nil {
+			opts.Checkpoint.Trigger = aprof.NewSnapshotTrigger()
+		}
+		feed = obs.NewProfileFeed()
+		opts.Checkpoint.SnapshotSink = feed.Deliver
+		// A trigger request publishes twice: the latest known states
+		// immediately, then the fresh post-capture document.
+		feed.SetRequester(opts.Checkpoint.Trigger.Request, 2)
+		srv.SetProfileFeed(feed)
+	}
 	if *resume {
 		if *ckptPath == "" {
 			return fmt.Errorf("analyze: -resume requires -checkpoint")
@@ -595,13 +644,25 @@ func analyze(args []string) error {
 	} else {
 		fmt.Fprintln(os.Stderr, "analyze: unannotated trace — streaming fallback pre-scan overlapped with workers")
 	}
+	// As in record: one estimator behind both the stderr line and /progress.
 	var pl *telemetry.Progress
+	var est *telemetry.RateEstimator
 	if *showProgress {
 		pl = telemetry.NewProgress(os.Stderr, "analyze", uint64(tr.NumEvents()))
+		est = pl.Estimator()
 		opts.Progress = func(done, total uint64) { pl.Update(done) }
+	} else if srv != nil {
+		est = telemetry.NewRateEstimator(uint64(tr.NumEvents()))
+		opts.Progress = func(done, total uint64) { est.Update(done) }
 	}
+	est.SetPhase("analyze")
+	srv.SetEstimator(est)
 	p, err := aprof.AnalyzeTraceOptions(ctx, tr, opts)
 	pl.Done()
+	est.Finish()
+	// The manager published its final snapshot before AnalyzeTraceOptions
+	// returned; later /profile requests should serve it without waiting.
+	feed.Finish()
 	if err != nil {
 		// An aborted analysis still surfaces its partial telemetry, and —
 		// when checkpointing — leaves a resumable checkpoint behind.
@@ -668,11 +729,15 @@ func burstCrossCheck(exact, sampled *aprof.Profile) error {
 // profiler attached, then strictly decodes the recorded bytes: the returned
 // trace has passed the same checksum walk a file round-trip would, and the
 // inline profile lets analyze cross-check the pipeline result. The inline
-// profiler runs at the requested sampling tier.
-func recordInProcess(name string, params aprof.WorkloadParams, reg *aprof.TelemetryRegistry, sampling aprof.SamplingTier) (*aprof.Trace, *aprof.Profile, error) {
+// profiler runs at the requested sampling tier. progress, when non-nil,
+// receives the recorder's event/segment/byte tallies as the run advances.
+func recordInProcess(name string, params aprof.WorkloadParams, reg *aprof.TelemetryRegistry, sampling aprof.SamplingTier, progress func(events, segments int, bytes int64)) (*aprof.Trace, *aprof.Profile, error) {
 	var buf bytes.Buffer
 	rec := aprof.NewStreamRecorder(&buf)
 	rec.SetTelemetry(reg)
+	if progress != nil {
+		rec.SetProgress(progress)
+	}
 	inline := aprof.NewProfiler(aprof.Options{Telemetry: reg, Sampling: sampling})
 	if _, err := aprof.RunWorkload(name, params, rec, inline); err != nil {
 		return nil, nil, err

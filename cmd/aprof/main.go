@@ -13,12 +13,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"repro/aprof"
+	"repro/internal/obs"
 	"repro/internal/profflag"
 	"repro/internal/report"
 	"repro/internal/shadow"
@@ -69,7 +71,7 @@ func main() {
 	opts := runOpts{top: *top, plot: *plot, fit: *fitR, induced: *induced,
 		perThread: *perThread, csvOut: *csvOut,
 		contexts: *contexts, jsonOut: *jsonOut, htmlOut: *htmlOut, record: *record, full: *full,
-		reg: reg, sampling: prof.Sampling()}
+		reg: reg, sampling: prof.Sampling(), obsSrv: prof.ObsServer()}
 	if err := run(*workload, *tool, params, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "aprof:", err)
 		os.Exit(1)
@@ -107,19 +109,33 @@ type runOpts struct {
 	record    string
 	reg       *aprof.TelemetryRegistry
 	sampling  aprof.SamplingTier
+	obsSrv    *obs.Server
 }
 
 func run(workload, tool string, params aprof.WorkloadParams, o runOpts) error {
 	top := o.top
 	var tls []aprof.Tool
 	var prof *aprof.Profiler
+	// With -http, /profile is served straight from the inline profiler's
+	// on-demand snapshots: a request triggers one low-pause capture at the
+	// next batch boundary and the resulting document lands in the feed.
+	var feed *obs.ProfileFeed
+	var onSnap func(*aprof.LiveSnapshot)
+	if o.obsSrv != nil {
+		feed = obs.NewProfileFeed()
+		onSnap = func(s *aprof.LiveSnapshot) {
+			if data, err := json.MarshalIndent(s, "", "  "); err == nil {
+				feed.Deliver(append(data, '\n'))
+			}
+		}
+	}
 	switch tool {
 	case "aprof":
 		prof = aprof.NewProfiler(aprof.Options{ContextSensitive: o.contexts, Telemetry: o.reg,
-			Sampling: o.sampling})
+			Sampling: o.sampling, OnSnapshot: onSnap})
 		tls = append(tls, prof)
 	case "aprof-rms":
-		prof = aprof.NewProfiler(aprof.Options{RMSOnly: true, Telemetry: o.reg})
+		prof = aprof.NewProfiler(aprof.Options{RMSOnly: true, Telemetry: o.reg, OnSnapshot: onSnap})
 		tls = append(tls, prof)
 	case "nulgrind":
 		tls = append(tls, aprof.NewNulgrind())
@@ -137,6 +153,13 @@ func run(workload, tool string, params aprof.WorkloadParams, o runOpts) error {
 		defer func() { reportHelgrind(hg) }()
 	default:
 		return fmt.Errorf("unknown tool %q", tool)
+	}
+
+	if prof != nil && feed != nil {
+		// A single snapshot request publishes one document (the capture at
+		// the next batch boundary).
+		feed.SetRequester(prof.RequestSnapshot, 1)
+		o.obsSrv.SetProfileFeed(feed)
 	}
 
 	var rec *aprof.TraceRecorder
@@ -163,6 +186,15 @@ func run(workload, tool string, params aprof.WorkloadParams, o runOpts) error {
 		return nil
 	}
 	p := prof.Profile()
+	if feed != nil {
+		// Publish the finished profile so post-run /profile requests are
+		// served immediately, without waiting on captures that cannot come.
+		if data, err := json.MarshalIndent(&aprof.LiveSnapshot{Events: m.Ops(), Profile: p.Dump()}, "", "  "); err == nil {
+			feed.Final(append(data, '\n'))
+		} else {
+			feed.Finish()
+		}
+	}
 
 	if o.jsonOut != "" {
 		f, err := os.Create(o.jsonOut)

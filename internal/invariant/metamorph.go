@@ -37,7 +37,9 @@ import (
 //   - event batching: dispatch granularity inside the guest machine;
 //   - checkpoint/resume: a checkpointed analysis interrupted partway and
 //     resumed from disk re-derives the identical profile — the checkpoint
-//     cadence and interruption point are framing, not semantics.
+//     cadence and interruption point are framing, not semantics;
+//   - HTTP observability: a scraper hammering the live endpoints mid-run
+//     (including on-demand /profile captures) observes, never steers.
 //
 // The scheduler timeslice is deliberately weaker: thread-induced
 // first-accesses (the trms extension, paper Fig. 2) depend on the actual
@@ -252,6 +254,13 @@ func Run(cfg Config) (*Result, error) {
 			return checkpointResumeExport(tr, 256, 2)
 		})
 	}
+
+	// HTTP observability axis: a scraper hammering the live plane's
+	// endpoints — including /profile, which forces mid-run snapshot
+	// captures through the checkpoint trigger — while the pipeline
+	// re-derives the profile. Observation is read-only by contract, so the
+	// export must stay byte-identical (httpaxis.go).
+	strict("http-scrape", func() ([]byte, error) { return httpScrapeExport(tr, 2) })
 
 	// Segment-size axis: re-record the (deterministic) workload with a
 	// different streaming segment capacity; the decoded trace must carry

@@ -1,0 +1,146 @@
+// ProfileFeed bridges the run's snapshot machinery to /profile: the run
+// publishes each live snapshot document into the feed, and a GET asks the
+// run for a fresh capture, waits for it, and returns the JSON bytes.
+package obs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// feedTimeout bounds how long a /profile request waits for a fresh
+// snapshot before falling back to the latest published one. A stalled run
+// (workers blocked, nothing reaching a safepoint) must not hang scrapers.
+const feedTimeout = 10 * time.Second
+
+// errNoProfile is returned when no snapshot has ever been published and
+// none arrives within the timeout.
+var errNoProfile = errors.New("obs: no live profile published yet")
+
+// ProfileFeed carries live profile documents from the run to /profile.
+// The run side calls Deliver for every published snapshot and Final once
+// the run completes; the serving side calls Get per request. All methods
+// are safe for concurrent use and on a nil receiver.
+type ProfileFeed struct {
+	mu      sync.Mutex
+	request func() // asks the run for a fresh capture; nil when pull-only
+	// waitFor is how many Deliver calls one request produces up to and
+	// including the fresh post-capture document. The pipeline trigger
+	// publishes twice (an immediate document from the latest known states,
+	// then the post-capture one); the inline profiler publishes once.
+	waitFor int
+	latest  []byte
+	seq     uint64
+	final   bool
+	wake    chan struct{} // closed and replaced on every Deliver
+}
+
+// NewProfileFeed returns an empty feed.
+func NewProfileFeed() *ProfileFeed {
+	return &ProfileFeed{wake: make(chan struct{}), waitFor: 1}
+}
+
+// SetRequester wires the run's on-demand capture hook. publishes is the
+// number of Deliver calls one request triggers, the last of which is the
+// fresh capture (pipeline trigger: 2; inline profiler: 1).
+func (f *ProfileFeed) SetRequester(fn func(), publishes int) {
+	if f == nil {
+		return
+	}
+	if publishes < 1 {
+		publishes = 1
+	}
+	f.mu.Lock()
+	f.request = fn
+	f.waitFor = publishes
+	f.mu.Unlock()
+}
+
+// Deliver publishes one snapshot document. The feed keeps its own copy,
+// so the caller may reuse the buffer.
+func (f *ProfileFeed) Deliver(doc []byte) {
+	if f == nil {
+		return
+	}
+	cp := make([]byte, len(doc))
+	copy(cp, doc)
+	f.mu.Lock()
+	f.latest = cp
+	f.seq++
+	close(f.wake)
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// Final publishes the run's final document and marks the feed finished:
+// subsequent Gets return it immediately without asking for captures.
+func (f *ProfileFeed) Final(doc []byte) {
+	if f == nil {
+		return
+	}
+	f.Deliver(doc)
+	f.Finish()
+}
+
+// Finish marks the feed finished without publishing: Gets return the
+// latest already-published document immediately. Used when the run's
+// snapshot machinery publishes its own final document on close.
+func (f *ProfileFeed) Finish() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.final = true
+	close(f.wake)
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// Get returns a live profile document. While the run is in flight it asks
+// for a fresh capture and waits (bounded by feedTimeout and ctx) for the
+// post-capture publish; after Final, or on timeout, it returns the latest
+// published document.
+func (f *ProfileFeed) Get(ctx context.Context) ([]byte, error) {
+	if f == nil {
+		return nil, errNoProfile
+	}
+	f.mu.Lock()
+	req := f.request
+	target := f.seq + uint64(f.waitFor)
+	if f.final || req == nil {
+		doc := f.latest
+		f.mu.Unlock()
+		if doc == nil {
+			return nil, errNoProfile
+		}
+		return doc, nil
+	}
+	f.mu.Unlock()
+
+	req()
+	deadline := time.NewTimer(feedTimeout)
+	defer deadline.Stop()
+	for {
+		f.mu.Lock()
+		doc, seq, final, wake := f.latest, f.seq, f.final, f.wake
+		f.mu.Unlock()
+		if seq >= target || final {
+			return doc, nil
+		}
+		select {
+		case <-wake:
+		case <-deadline.C:
+			if doc == nil {
+				return nil, errNoProfile
+			}
+			return doc, nil
+		case <-ctx.Done():
+			if doc == nil {
+				return nil, ctx.Err()
+			}
+			return doc, nil
+		}
+	}
+}

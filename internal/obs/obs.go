@@ -1,0 +1,346 @@
+// Package obs is the profiler's HTTP observability plane: a
+// dependency-free server any long-running command embeds via the shared
+// -http flag to expose, while a run is in flight,
+//
+//   - /metrics          Prometheus text exposition of the telemetry registry
+//   - /telemetry.json   the registry's JSON snapshot
+//   - /spans.json       the registry's completed-span ring (timeline data)
+//   - /profile          an on-demand consistent live profile (JSON document
+//     embedding the canonical dump codec), served through a ProfileFeed
+//     wired to the run's snapshot machinery
+//   - /progress         a server-sent-events stream of done/total/rate/ETA
+//     readings plus phase-change events, driven by the same RateEstimator
+//     the stderr progress line renders from (?once=1 emits one event and
+//     closes, for scrapers)
+//   - /debug/pprof/*    the process's own pprof endpoints
+//   - /healthz          liveness ("ok")
+//   - /buildinfo        module path, version and Go toolchain as JSON
+//
+// The server is strictly read-only and provably inert: every endpoint
+// observes state the run already maintains (registry snapshots, the
+// snapshot machinery's published documents), so hammering all of them
+// mid-run cannot change the exported profile by a byte — the http-scrape
+// metamorphic axis in internal/invariant enforces exactly that. Idle cost
+// is one parked accept goroutine; BenchmarkObsOverhead gates it below 1%.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Options configures Start.
+type Options struct {
+	// Addr is the listen address. An explicit port (e.g. "127.0.0.1:9120")
+	// binds it; ":0" or "127.0.0.1:0" picks a free port (the chosen address
+	// is logged and available via Server.Addr). An empty Addr defaults to
+	// "127.0.0.1:0".
+	Addr string
+
+	// Registry backs /metrics, /telemetry.json and /spans.json. May be nil
+	// (the endpoints then serve empty expositions).
+	Registry *telemetry.Registry
+
+	// Component names the embedding command ("aprof-trace", ...); reported
+	// by /buildinfo.
+	Component string
+
+	// Log, when non-nil, receives the single "obs: listening on ..." line.
+	Log io.Writer
+}
+
+// Server is a running observability server. Create with Start; stop with
+// Close. All setters are safe to call while the server is serving.
+type Server struct {
+	opts    Options
+	ln      net.Listener
+	srv     *http.Server
+	closing chan struct{} // closed before Shutdown so SSE streams terminate
+	done    chan struct{} // Serve returned
+
+	mu   sync.Mutex
+	est  *telemetry.RateEstimator
+	feed *ProfileFeed
+}
+
+// Start binds the listen address and begins serving in a background
+// goroutine. It returns once the listener is bound, so the endpoints are
+// reachable before the embedding command starts its run.
+func Start(opts Options) (*Server, error) {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", opts.Addr, err)
+	}
+	s := &Server{
+		opts:    opts,
+		ln:      ln,
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/telemetry.json", s.handleTelemetryJSON)
+	mux.HandleFunc("/spans.json", s.handleSpans)
+	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/buildinfo", s.handleBuildinfo)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // always ErrServerClosed after Close
+	}()
+	if opts.Log != nil {
+		fmt.Fprintf(opts.Log, "obs: listening on http://%s\n", s.Addr())
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolving ":0" to the chosen
+// port).
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// SetEstimator wires the run's progress estimator into /progress. Safe to
+// call (or re-call, on a phase change to a new run) at any time; no-op on
+// a nil server.
+func (s *Server) SetEstimator(est *telemetry.RateEstimator) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.est = est
+	s.mu.Unlock()
+}
+
+// SetProfileFeed wires the run's live profile source into /profile. No-op
+// on a nil server.
+func (s *Server) SetProfileFeed(f *ProfileFeed) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.feed = f
+	s.mu.Unlock()
+}
+
+func (s *Server) estimator() *telemetry.RateEstimator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est
+}
+
+func (s *Server) profileFeed() *ProfileFeed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.feed
+}
+
+// Close shuts the server down gracefully: in-flight scrapes finish, SSE
+// streams are told to terminate, then the listener closes. Safe on a nil
+// server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	close(s.closing)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%s observability plane\n\n", s.opts.Component)
+	for _, ep := range []string{
+		"/metrics", "/telemetry.json", "/spans.json", "/profile",
+		"/progress", "/healthz", "/buildinfo", "/debug/pprof/",
+	} {
+		fmt.Fprintln(w, ep)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.opts.Registry.WritePrometheus(w)
+}
+
+func (s *Server) handleTelemetryJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.opts.Registry.WriteJSON(w)
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	spans := s.opts.Registry.Spans()
+	if spans == nil {
+		spans = []telemetry.SpanRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Spans []telemetry.SpanRecord `json:"spans"`
+	}{spans})
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	f := s.profileFeed()
+	if f == nil {
+		http.Error(w, "no live profile source wired (is a run in flight?)", http.StatusServiceUnavailable)
+		return
+	}
+	doc, err := f.Get(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(doc)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleBuildinfo(w http.ResponseWriter, _ *http.Request) {
+	info := struct {
+		Component string `json:"component"`
+		Path      string `json:"path,omitempty"`
+		Version   string `json:"version,omitempty"`
+		Go        string `json:"go"`
+	}{Component: s.opts.Component, Go: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.Path = bi.Main.Path
+		info.Version = bi.Main.Version
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(info)
+}
+
+// progressEvent is the JSON payload of one SSE "progress" (or "phase")
+// event; see docs/OBSERVABILITY.md for the schema.
+type progressEvent struct {
+	Done      uint64  `json:"done"`
+	Total     uint64  `json:"total,omitempty"`
+	Pct       int     `json:"pct,omitempty"`
+	Rate      float64 `json:"rate,omitempty"`
+	ETAMillis int64   `json:"eta_ms,omitempty"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+	Phase     string  `json:"phase,omitempty"`
+	Finished  bool    `json:"finished,omitempty"`
+}
+
+func makeProgressEvent(e telemetry.RateEstimate) progressEvent {
+	ev := progressEvent{
+		Done:      e.Done,
+		Total:     e.Total,
+		Pct:       e.Pct,
+		ElapsedMS: e.Elapsed.Milliseconds(),
+		Phase:     e.Phase,
+		Finished:  e.Finished,
+	}
+	if e.HasRate {
+		ev.Rate = e.Rate
+	}
+	if e.HasETA {
+		ev.ETAMillis = e.ETA.Milliseconds()
+	}
+	return ev
+}
+
+// progressTick is the SSE emit cadence.
+const progressTick = 500 * time.Millisecond
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	est := s.estimator()
+	if est == nil {
+		http.Error(w, "no progress estimator wired (is a run in flight?)", http.StatusServiceUnavailable)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	emit := func(event string, e telemetry.RateEstimate) bool {
+		data, err := json.Marshal(makeProgressEvent(e))
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	e := est.Estimate()
+	emit("progress", e)
+	if r.URL.Query().Get("once") != "" || e.Finished {
+		return
+	}
+	lastPhase := e.Phase
+	t := time.NewTicker(progressTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return
+		}
+		// Re-resolve the estimator: a multi-phase command swaps in a fresh
+		// one per run (record, then analyze).
+		if cur := s.estimator(); cur != nil {
+			est = cur
+		}
+		e = est.Estimate()
+		if e.Phase != lastPhase {
+			lastPhase = e.Phase
+			if !emit("phase", e) {
+				return
+			}
+			continue
+		}
+		if !emit("progress", e) {
+			return
+		}
+		if e.Finished {
+			return
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// startTestServer starts a server on a free port with a populated registry
+// and tears it down with the test.
+func startTestServer(t *testing.T) (*Server, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("guest/mem_events").Add(42)
+	reg.Histogram("pipeline/segment_ns").Observe(1000)
+	reg.StartSpan(context.Background(), "test_phase").End()
+	s, err := Start(Options{Addr: "127.0.0.1:0", Registry: reg, Component: "obs-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, reg
+}
+
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	s, _ := startTestServer(t)
+
+	code, body := get(t, s, "/metrics")
+	if code != 200 || !strings.Contains(body, "aprof_guest_mem_events 42") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if !strings.Contains(body, "aprof_pipeline_segment_ns_count 1") {
+		t.Fatalf("/metrics missing histogram series: %q", body)
+	}
+
+	code, body = get(t, s, "/telemetry.json")
+	var snap telemetry.Snapshot
+	if code != 200 || json.Unmarshal([]byte(body), &snap) != nil {
+		t.Fatalf("/telemetry.json = %d %q", code, body)
+	}
+	if snap.Counters["guest/mem_events"] != 42 {
+		t.Fatalf("/telemetry.json counter = %d, want 42", snap.Counters["guest/mem_events"])
+	}
+
+	code, body = get(t, s, "/spans.json")
+	var spans struct {
+		Spans []telemetry.SpanRecord `json:"spans"`
+	}
+	if code != 200 || json.Unmarshal([]byte(body), &spans) != nil {
+		t.Fatalf("/spans.json = %d %q", code, body)
+	}
+	if len(spans.Spans) != 1 || spans.Spans[0].Name != "test_phase" {
+		t.Fatalf("/spans.json spans = %+v, want one test_phase span", spans.Spans)
+	}
+
+	code, body = get(t, s, "/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, s, "/buildinfo")
+	var bi struct {
+		Component string `json:"component"`
+		Go        string `json:"go"`
+	}
+	if code != 200 || json.Unmarshal([]byte(body), &bi) != nil {
+		t.Fatalf("/buildinfo = %d %q", code, body)
+	}
+	if bi.Component != "obs-test" || !strings.HasPrefix(bi.Go, "go") {
+		t.Fatalf("/buildinfo = %+v", bi)
+	}
+
+	code, body = get(t, s, "/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+	if code, _ = get(t, s, "/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+	if code, _ = get(t, s, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d, want 200", code)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	s, _ := startTestServer(t)
+
+	// No feed wired: 503.
+	if code, _ := get(t, s, "/profile"); code != 503 {
+		t.Fatalf("/profile without feed = %d, want 503", code)
+	}
+
+	// Feed with a requester that publishes twice (the pipeline shape): the
+	// served document must be the fresh (second) one.
+	feed := NewProfileFeed()
+	feed.SetRequester(func() {
+		feed.Deliver([]byte(`{"stale":true}`))
+		go feed.Deliver([]byte(`{"fresh":true}`))
+	}, 2)
+	s.SetProfileFeed(feed)
+	code, body := get(t, s, "/profile")
+	if code != 200 || !strings.Contains(body, "fresh") {
+		t.Fatalf("/profile = %d %q, want the fresh document", code, body)
+	}
+
+	// After Final, Gets return immediately without requesting.
+	feed.SetRequester(func() { t.Error("requester called after Final") }, 2)
+	feed.Final([]byte(`{"final":true}`))
+	code, body = get(t, s, "/profile")
+	if code != 200 || !strings.Contains(body, "final") {
+		t.Fatalf("/profile after Final = %d %q", code, body)
+	}
+}
+
+func TestProfileFeedWaits(t *testing.T) {
+	feed := NewProfileFeed()
+	var mu sync.Mutex
+	requested := 0
+	feed.SetRequester(func() {
+		mu.Lock()
+		requested++
+		mu.Unlock()
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			feed.Deliver([]byte(`{"n":1}`))
+		}()
+	}, 1)
+	doc, err := feed.Get(context.Background())
+	if err != nil || !strings.Contains(string(doc), `"n":1`) {
+		t.Fatalf("Get = %q, %v", doc, err)
+	}
+	mu.Lock()
+	if requested != 1 {
+		t.Fatalf("requested = %d, want 1", requested)
+	}
+	mu.Unlock()
+
+	// A canceled context falls back to the latest document.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	feed.SetRequester(func() {}, 1) // never delivers
+	doc, err = feed.Get(ctx)
+	if err != nil || doc == nil {
+		t.Fatalf("Get with canceled ctx = %q, %v; want latest fallback", doc, err)
+	}
+
+	// Nil feed and empty feed error cleanly.
+	var nilFeed *ProfileFeed
+	if _, err := nilFeed.Get(context.Background()); err == nil {
+		t.Fatal("nil feed Get must error")
+	}
+	empty := NewProfileFeed()
+	if _, err := empty.Get(ctx); err == nil {
+		t.Fatal("empty feed Get with dead ctx must error")
+	}
+}
+
+// readSSEEvent reads one "event:"/"data:" pair from an SSE stream.
+func readSSEEvent(t *testing.T, br *bufio.Reader) (event, data string) {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE read: %v", err)
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event != "":
+			return event, data
+		}
+	}
+}
+
+func TestProgressSSE(t *testing.T) {
+	s, _ := startTestServer(t)
+
+	// No estimator wired: 503.
+	if code, _ := get(t, s, "/progress"); code != 503 {
+		t.Fatalf("/progress without estimator = %d, want 503", code)
+	}
+
+	est := telemetry.NewRateEstimator(1000)
+	est.Update(250)
+	est.SetPhase("analyze")
+	s.SetEstimator(est)
+
+	// once=1: exactly one event, then the stream closes.
+	resp, err := http.Get("http://" + s.Addr() + "/progress?once=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Count(string(body), "event: ") != 1 {
+		t.Fatalf("once=1 stream = %q, want exactly one event", body)
+	}
+	var ev progressEvent
+	data := strings.TrimSpace(strings.SplitN(strings.Split(string(body), "data: ")[1], "\n", 2)[0])
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		t.Fatalf("event payload %q: %v", data, err)
+	}
+	if ev.Done != 250 || ev.Total != 1000 || ev.Pct != 25 || ev.Phase != "analyze" {
+		t.Fatalf("event = %+v", ev)
+	}
+
+	// Streaming: a finished estimator ends the stream after the final event.
+	resp, err = http.Get("http://" + s.Addr() + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	readSSEEvent(t, br) // initial
+	est.Update(1000)
+	est.Finish()
+	deadline := time.After(5 * time.Second)
+	for {
+		done := make(chan struct{})
+		var event, data string
+		go func() { event, data = readSSEEvent(t, br); close(done) }()
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatal("stream did not deliver the finished event in time")
+		}
+		var ev progressEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("event %s payload %q: %v", event, data, err)
+		}
+		if ev.Finished {
+			break
+		}
+	}
+	// After the finished event the server closes the stream.
+	if _, err := br.ReadString(0); err != io.EOF {
+		t.Fatalf("stream after finish: err = %v, want EOF", err)
+	}
+}
+
+// TestCloseTerminatesSSE: Close must not hang on an open SSE stream.
+func TestCloseTerminatesSSE(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Start(Options{Addr: "127.0.0.1:0", Registry: reg, Component: "obs-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := telemetry.NewRateEstimator(1000) // never finishes
+	s.SetEstimator(est)
+	resp, err := http.Get("http://" + s.Addr() + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an open SSE stream")
+	}
+}
+
+func TestStartLogsAddress(t *testing.T) {
+	var sb strings.Builder
+	s, err := Start(Options{Addr: "127.0.0.1:0", Log: &sb, Component: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := fmt.Sprintf("obs: listening on http://%s\n", s.Addr())
+	if sb.String() != want {
+		t.Fatalf("log line = %q, want %q", sb.String(), want)
+	}
+	// Nil-server setters are safe.
+	var nilS *Server
+	nilS.SetEstimator(nil)
+	nilS.SetProfileFeed(nil)
+	if err := nilS.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObsSmoke is the end-to-end smoke for the -http plane: it builds
+// cmd/aprof-trace, runs `analyze -workload mysqld -http 127.0.0.1:0`, and
+// scrapes /metrics, /progress, /profile and /spans.json from the live
+// process — /profile and /spans.json timed into the analysis phase via the
+// SSE phase field — then asserts the run's stdout is byte-identical to a
+// run without -http. Gated behind APROF_OBS_SMOKE=1 because it builds and
+// runs a real workload twice (several seconds each); verify.sh runs it.
+func TestObsSmoke(t *testing.T) {
+	if os.Getenv("APROF_OBS_SMOKE") == "" {
+		t.Skip("set APROF_OBS_SMOKE=1 to run the subprocess smoke test")
+	}
+	size := 256
+	if s := os.Getenv("APROF_OBS_SMOKE_SIZE"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad APROF_OBS_SMOKE_SIZE %q: %v", s, err)
+		}
+		size = n
+	}
+
+	bin := filepath.Join(t.TempDir(), "aprof-trace")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/aprof-trace")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building aprof-trace: %v\n%s", err, out)
+	}
+	args := []string{
+		"analyze", "-workload", "mysqld",
+		"-size", strconv.Itoa(size), "-threads", "8", "-progress=false",
+	}
+
+	// Reference run: no HTTP server attached.
+	ref := exec.Command(bin, args...)
+	var refOut bytes.Buffer
+	ref.Stdout = &refOut
+	ref.Stderr = io.Discard
+	if err := ref.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Observed run: -http 127.0.0.1:0, scraped while in flight.
+	cmd := exec.Command(bin, append(args, "-http", "127.0.0.1:0")...)
+	var obsOut bytes.Buffer
+	cmd.Stdout = &obsOut
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base, err := listeningAddr(stderr)
+	if err != nil {
+		t.Fatalf("parsing listen address: %v", err)
+	}
+	t.Logf("scraping %s", base)
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	// Early-phase scrapes: must be live before the analysis even starts.
+	// (No content assertions yet — metrics register lazily, so the scrape
+	// can land before the workload has emitted anything.)
+	for _, path := range []string{"/healthz", "/metrics", "/buildinfo", "/telemetry.json"} {
+		mustGet(t, client, base+path)
+	}
+
+	// Wait for the analysis phase (the run records the workload in-process
+	// first), then pull a live profile and the span timeline mid-run.
+	if err := waitForPhase(client, base, "analyze", cmd); err != nil {
+		t.Fatalf("waiting for analyze phase: %v", err)
+	}
+	if body := mustGet(t, client, base+"/metrics"); !bytes.Contains(body, []byte("# TYPE aprof_")) {
+		t.Errorf("/metrics has no aprof_ family during analysis:\n%s", body)
+	}
+	var snap struct {
+		Partial bool            `json:"partial"`
+		Profile json.RawMessage `json:"profile"`
+	}
+	if err := json.Unmarshal(mustGet(t, client, base+"/profile"), &snap); err != nil {
+		t.Fatalf("/profile is not a snapshot document: %v", err)
+	}
+	if len(snap.Profile) == 0 {
+		t.Error("/profile document has no profile payload")
+	}
+	var spans struct {
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(mustGet(t, client, base+"/spans.json"), &spans); err != nil {
+		t.Fatalf("/spans.json undecodable: %v", err)
+	}
+	if len(spans.Spans) == 0 {
+		t.Error("/spans.json empty during analysis")
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("observed run: %v", err)
+	}
+	if !bytes.Equal(obsOut.Bytes(), refOut.Bytes()) {
+		t.Errorf("scraped run's stdout differs from unobserved run:\n--- unobserved ---\n%s\n--- scraped ---\n%s",
+			refOut.Bytes(), obsOut.Bytes())
+	}
+}
+
+// listeningAddr scans the subprocess's stderr for the obs listen line and
+// returns the http://host:port base; remaining stderr is drained in the
+// background so the child never blocks on a full pipe.
+func listeningAddr(stderr io.Reader) (string, error) {
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "obs: listening on "); ok {
+			go io.Copy(io.Discard, stderr)
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("stderr closed without an 'obs: listening on' line")
+}
+
+// waitForPhase polls /progress?once=1 until the SSE payload reports the
+// wanted phase, failing if the subprocess exits first.
+func waitForPhase(client *http.Client, base, phase string, cmd *exec.Cmd) error {
+	needle := []byte(`"phase":"` + phase + `"`)
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if cmd.ProcessState != nil {
+			break
+		}
+		resp, err := client.Get(base + "/progress?once=1")
+		if err != nil {
+			return fmt.Errorf("process gone before %s phase was observed (raise -size via APROF_OBS_SMOKE_SIZE): %w", phase, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if bytes.Contains(body, needle) {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("%s phase not observed within the deadline", phase)
+}
+
+func mustGet(t *testing.T, client *http.Client, url string) []byte {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	return body
+}

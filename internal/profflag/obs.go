@@ -1,0 +1,57 @@
+// The shared -http flag: every tool registering profflag's flag set can
+// serve the HTTP observability plane (internal/obs) for the duration of
+// the run — started before the tool's work begins, shut down gracefully in
+// Stop.
+package profflag
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// registerObs adds -http to fs.
+func (p *Flags) registerObs(fs *flag.FlagSet) {
+	fs.StringVar(&p.httpAddr, "http", "",
+		"serve the HTTP observability plane (/metrics, /profile, /progress, ...) on `addr`; use 127.0.0.1:0 to pick a free port")
+}
+
+// ObsServer returns the running observability server, or nil when -http
+// was not given (or Start has not run yet). Tools use it to wire run-
+// specific sources: a progress estimator and a live profile feed.
+func (p *Flags) ObsServer() *obs.Server {
+	return p.obsSrv
+}
+
+// startObs starts the observability server when -http was given. The
+// server is up (address bound, endpoints reachable) before this returns,
+// so scrapers can connect before the run starts.
+func (p *Flags) startObs() error {
+	if p.httpAddr == "" {
+		return nil
+	}
+	srv, err := obs.Start(obs.Options{
+		Addr:      p.httpAddr,
+		Registry:  p.Registry(),
+		Component: filepath.Base(os.Args[0]),
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	p.obsSrv = srv
+	return nil
+}
+
+// stopObs shuts the server down gracefully (in-flight scrapes finish, SSE
+// streams terminate).
+func (p *Flags) stopObs() error {
+	if p.obsSrv == nil {
+		return nil
+	}
+	err := p.obsSrv.Close()
+	p.obsSrv = nil
+	return err
+}

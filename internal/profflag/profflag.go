@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -21,26 +22,34 @@ type Flags struct {
 	exectrace string
 	tele      telemetryValue
 	sampling  samplingValue
+	httpAddr  string
 
 	cpuFile   *os.File
 	traceFile *os.File
 	reg       *telemetry.Registry
+	obsSrv    *obs.Server
 }
 
-// Register adds -cpuprofile, -memprofile, -telemetry, -exectrace and
-// -sampling to fs and returns the handle that starts and stops collection.
+// Register adds -cpuprofile, -memprofile, -telemetry, -exectrace,
+// -sampling and -http to fs and returns the handle that starts and stops
+// collection.
 func Register(fs *flag.FlagSet) *Flags {
 	p := &Flags{}
 	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to `file`")
 	p.registerTelemetry(fs)
 	p.registerSampling(fs)
+	p.registerObs(fs)
 	return p
 }
 
-// Start begins CPU profiling and execution tracing if -cpuprofile or
-// -exectrace were given. It must be called after the flag set is parsed.
+// Start begins the observability server, CPU profiling and execution
+// tracing if -http, -cpuprofile or -exectrace were given. It must be
+// called after the flag set is parsed.
 func (p *Flags) Start() error {
+	if err := p.startObs(); err != nil {
+		return err
+	}
 	if err := p.startTrace(); err != nil {
 		return err
 	}
@@ -59,11 +68,15 @@ func (p *Flags) Start() error {
 	return nil
 }
 
-// Stop finishes the CPU profile, flushes the telemetry snapshot and the
-// execution trace, and, if -memprofile was given, writes a heap profile
-// after a final garbage collection. It is safe to call even if Start
-// failed or none of the outputs were requested.
+// Stop shuts down the observability server, finishes the CPU profile,
+// flushes the telemetry snapshot and the execution trace, and, if
+// -memprofile was given, writes a heap profile after a final garbage
+// collection. It is safe to call even if Start failed or none of the
+// outputs were requested.
 func (p *Flags) Stop() error {
+	if err := p.stopObs(); err != nil {
+		return err
+	}
 	if err := p.stopTelemetry(); err != nil {
 		return err
 	}

@@ -55,12 +55,13 @@ func (p *Flags) registerTelemetry(fs *flag.FlagSet) {
 	fs.StringVar(&p.exectrace, "exectrace", "", "write a runtime/trace execution trace to `file` (view with go tool trace)")
 }
 
-// Registry returns the metrics registry when -telemetry was given, and nil
+// Registry returns the metrics registry when -telemetry or -http was
+// given (the observability endpoints need metrics to serve), and nil
 // otherwise. A nil registry is valid everywhere metrics are taken — every
 // instrumentation hook degrades to a no-op — so callers pass the result
 // through unconditionally.
 func (p *Flags) Registry() *telemetry.Registry {
-	if !p.tele.enabled {
+	if !p.tele.enabled && p.httpAddr == "" {
 		return nil
 	}
 	if p.reg == nil {
@@ -97,7 +98,9 @@ func (p *Flags) stopTelemetry() error {
 		}
 		p.traceFile = nil
 	}
-	if reg := p.Registry(); reg != nil {
+	// The exit-time dump stays gated on -telemetry: with -http alone the
+	// registry existed only to back the HTTP endpoints.
+	if reg := p.Registry(); reg != nil && p.tele.enabled {
 		if p.tele.path != "" {
 			f, err := os.Create(p.tele.path)
 			if err != nil {

@@ -1,0 +1,153 @@
+// Windowed rate and ETA estimation, shared by the stderr Progress renderer
+// and the HTTP observability plane's /progress SSE stream: one estimator
+// per run means both surfaces always report the same numbers.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// RateEstimator tracks done/total progress of one run and derives a rate
+// and ETA from it, with the clamps the stderr renderer learned the hard
+// way: no rate below the minimum measurement window (a quotient over a
+// near-zero elapsed is noise), percentages clamped at 100 when done
+// overruns the caller's total estimate, no ETA at rate zero, and ETAs
+// capped at maxETA so a pathological rate cannot overflow time.Duration.
+// All methods are safe for concurrent use and on a nil receiver.
+type RateEstimator struct {
+	mu       sync.Mutex
+	start    time.Time
+	now      func() time.Time // clock; injectable for tests
+	total    uint64
+	done     uint64
+	phase    string
+	finished bool
+}
+
+// NewRateEstimator returns an estimator for a run expected to process
+// total units (zero when unknown: a rate is still estimated, but no
+// percentage or ETA).
+func NewRateEstimator(total uint64) *RateEstimator {
+	return &RateEstimator{start: time.Now(), now: time.Now, total: total}
+}
+
+// Update reports that done units have completed so far (an absolute value,
+// not a delta). Regressions are ignored: progress is monotonic.
+func (e *RateEstimator) Update(done uint64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if done > e.done {
+		e.done = done
+	}
+	e.mu.Unlock()
+}
+
+// SetTotal replaces the expected total (a phase change can revise it).
+func (e *RateEstimator) SetTotal(total uint64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.total = total
+	e.mu.Unlock()
+}
+
+// SetPhase names the run's current phase ("record", "analyze", ...); the
+// SSE stream emits a phase event whenever it changes.
+func (e *RateEstimator) SetPhase(phase string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.phase = phase
+	e.mu.Unlock()
+}
+
+// Finish marks the run complete; consumers stop streaming after seeing a
+// finished estimate.
+func (e *RateEstimator) Finish() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.finished = true
+	e.mu.Unlock()
+}
+
+// RateEstimate is one point-in-time reading of a RateEstimator.
+type RateEstimate struct {
+	// Done and Total are the raw progress figures (Total zero: unknown).
+	Done  uint64
+	Total uint64
+	// Pct is the completion percentage clamped to [0,100]; meaningful only
+	// when Total is non-zero.
+	Pct int
+	// Elapsed is the time since the estimator was created.
+	Elapsed time.Duration
+	// HasRate reports whether Elapsed reached the minimum measurement
+	// window; Rate is units per second and valid only when HasRate is set.
+	HasRate bool
+	Rate    float64
+	// HasETA reports whether an ETA could be derived (known total, a
+	// measured non-zero rate, work remaining); ETA is capped at maxETA.
+	HasETA bool
+	ETA    time.Duration
+	// Phase is the current phase name (may be empty).
+	Phase string
+	// Finished reports that Finish was called.
+	Finished bool
+}
+
+// Estimate returns the current reading using the estimator's own clock.
+// On a nil receiver it returns the zero estimate.
+func (e *RateEstimator) Estimate() RateEstimate {
+	if e == nil {
+		return RateEstimate{}
+	}
+	e.mu.Lock()
+	now := e.now()
+	e.mu.Unlock()
+	return e.estimateAt(now)
+}
+
+// estimateAt computes the reading as of an explicit instant; the Progress
+// renderer passes its own (rate-limited, test-injectable) clock through.
+func (e *RateEstimator) estimateAt(now time.Time) RateEstimate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	est := RateEstimate{
+		Done:     e.done,
+		Total:    e.total,
+		Elapsed:  now.Sub(e.start),
+		Phase:    e.phase,
+		Finished: e.finished,
+	}
+	if est.Total > 0 {
+		// The total is the caller's estimate and may undershoot: clamp the
+		// percentage at 100 instead of reporting 250% (and instead of
+		// letting the remaining-work subtraction below underflow).
+		est.Pct = 100
+		if est.Done < est.Total {
+			est.Pct = int(100 * est.Done / est.Total)
+		}
+	}
+	// Rates (and the ETA derived from one) need a measurement window: over
+	// less than minRateWindow the quotient is noise — absurdly large rates
+	// with near-zero ETAs.
+	if est.Elapsed < minRateWindow {
+		return est
+	}
+	est.HasRate = true
+	est.Rate = float64(est.Done) / est.Elapsed.Seconds()
+	if est.Total > 0 && est.Rate > 0 && est.Done < est.Total {
+		est.HasETA = true
+		est.ETA = maxETA
+		if secs := float64(est.Total-est.Done) / est.Rate; secs < maxETA.Seconds() {
+			est.ETA = time.Duration(secs * float64(time.Second))
+		}
+	}
+	return est
+}

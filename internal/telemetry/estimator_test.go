@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// newTestEstimator returns an estimator driven by a fake clock starting at
+// clk.t, so the derived rate/ETA figures are exact.
+func newTestEstimator(total uint64) (*RateEstimator, *fakeClock) {
+	clk := newFakeClock()
+	e := NewRateEstimator(total)
+	e.now = clk.now
+	e.start = clk.t
+	return e, clk
+}
+
+func TestEstimatorBasic(t *testing.T) {
+	e, clk := newTestEstimator(1000)
+	clk.advance(2 * time.Second)
+	e.Update(500)
+	got := e.Estimate()
+	if got.Done != 500 || got.Total != 1000 || got.Pct != 50 {
+		t.Fatalf("done/total/pct = %d/%d/%d, want 500/1000/50", got.Done, got.Total, got.Pct)
+	}
+	if !got.HasRate || got.Rate != 250 {
+		t.Fatalf("rate = %v (has=%v), want 250", got.Rate, got.HasRate)
+	}
+	if !got.HasETA || got.ETA != 2*time.Second {
+		t.Fatalf("eta = %v (has=%v), want 2s", got.ETA, got.HasETA)
+	}
+}
+
+// TestEstimatorDoneOverTotal: when done overruns the caller's total estimate
+// the percentage clamps at 100 and no ETA is derived (there is no "remaining"
+// to divide; the old unsigned subtraction underflowed into millennia).
+func TestEstimatorDoneOverTotal(t *testing.T) {
+	e, clk := newTestEstimator(100)
+	clk.advance(time.Second)
+	e.Update(250)
+	got := e.Estimate()
+	if got.Pct != 100 {
+		t.Fatalf("pct = %d, want clamped 100", got.Pct)
+	}
+	if got.HasETA {
+		t.Fatalf("ETA %v derived with no work remaining", got.ETA)
+	}
+}
+
+// TestEstimatorTinyElapsed: below the minimum measurement window no rate
+// (and hence no ETA) is reported — the quotient would be noise.
+func TestEstimatorTinyElapsed(t *testing.T) {
+	e, clk := newTestEstimator(1000)
+	clk.advance(time.Microsecond)
+	e.Update(900)
+	got := e.Estimate()
+	if got.HasRate || got.HasETA {
+		t.Fatalf("rate/ETA reported below minRateWindow: %+v", got)
+	}
+}
+
+// TestEstimatorZeroRate: elapsed time with zero completed units gives rate 0
+// and the ETA (a division by that rate) must be suppressed.
+func TestEstimatorZeroRate(t *testing.T) {
+	e, clk := newTestEstimator(1000)
+	clk.advance(5 * time.Second)
+	e.Update(0)
+	got := e.Estimate()
+	if !got.HasRate || got.Rate != 0 {
+		t.Fatalf("rate = %v (has=%v), want measured 0", got.Rate, got.HasRate)
+	}
+	if got.HasETA {
+		t.Fatalf("ETA %v derived from a zero rate", got.ETA)
+	}
+}
+
+// TestEstimatorETACap: a pathologically slow rate caps the ETA at maxETA
+// instead of feeding an out-of-range float into time.Duration.
+func TestEstimatorETACap(t *testing.T) {
+	e, clk := newTestEstimator(1 << 62)
+	clk.advance(time.Hour)
+	e.Update(1)
+	got := e.Estimate()
+	if !got.HasETA || got.ETA != maxETA {
+		t.Fatalf("eta = %v (has=%v), want capped %v", got.ETA, got.HasETA, maxETA)
+	}
+}
+
+func TestEstimatorUnknownTotal(t *testing.T) {
+	e, clk := newTestEstimator(0)
+	clk.advance(time.Second)
+	e.Update(1500)
+	got := e.Estimate()
+	if !got.HasRate || got.Rate != 1500 {
+		t.Fatalf("rate = %v (has=%v), want 1500", got.Rate, got.HasRate)
+	}
+	if got.Pct != 0 || got.HasETA {
+		t.Fatalf("pct/ETA derived without a total: %+v", got)
+	}
+}
+
+func TestEstimatorMonotonicPhaseFinish(t *testing.T) {
+	e, clk := newTestEstimator(100)
+	clk.advance(time.Second)
+	e.Update(50)
+	e.Update(20) // regressions ignored
+	e.SetPhase("merge")
+	e.SetTotal(200)
+	got := e.Estimate()
+	if got.Done != 50 || got.Total != 200 || got.Phase != "merge" || got.Finished {
+		t.Fatalf("estimate = %+v, want done=50 total=200 phase=merge unfinished", got)
+	}
+	e.Finish()
+	if !e.Estimate().Finished {
+		t.Fatal("Finish not reflected in estimate")
+	}
+}
+
+func TestEstimatorNilReceiver(t *testing.T) {
+	var e *RateEstimator
+	e.Update(1)
+	e.SetTotal(10)
+	e.SetPhase("x")
+	e.Finish()
+	if got := e.Estimate(); got != (RateEstimate{}) {
+		t.Fatalf("nil estimator estimate = %+v, want zero", got)
+	}
+}

@@ -22,13 +22,11 @@ type Progress struct {
 	mu      sync.Mutex
 	w       io.Writer
 	label   string
-	total   uint64
-	start   time.Time
+	est     *RateEstimator
 	last    time.Time
 	minGap  time.Duration
 	now     func() time.Time // clock; injectable for tests
 	note    string
-	done    uint64
 	wrote   bool
 	lastLen int
 }
@@ -49,7 +47,17 @@ const maxETA = 999 * time.Hour
 // (e.g. "analyze"); total is the expected number of units, or zero when
 // unknown (rate is shown but no percentage or ETA).
 func NewProgress(w io.Writer, label string, total uint64) *Progress {
-	return &Progress{w: w, label: label, total: total, start: time.Now(), minGap: 100 * time.Millisecond, now: time.Now}
+	return &Progress{w: w, label: label, est: NewRateEstimator(total), minGap: 100 * time.Millisecond, now: time.Now}
+}
+
+// Estimator returns the renderer's rate estimator so other surfaces (the
+// HTTP observability plane's /progress stream) can report the same
+// numbers. Returns nil on a nil receiver.
+func (p *Progress) Estimator() *RateEstimator {
+	if p == nil {
+		return nil
+	}
+	return p.est
 }
 
 // SetNote sets a free-form suffix shown at the end of the line (e.g.
@@ -70,11 +78,9 @@ func (p *Progress) Update(done uint64) {
 	if p == nil {
 		return
 	}
+	p.est.Update(done)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if done > p.done {
-		p.done = done
-	}
 	now := p.now()
 	if now.Sub(p.last) < p.minGap {
 		return
@@ -89,6 +95,7 @@ func (p *Progress) Done() {
 	if p == nil {
 		return
 	}
+	p.est.Finish()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.render(p.now())
@@ -98,37 +105,24 @@ func (p *Progress) Done() {
 	}
 }
 
-// render draws the current line; the caller holds p.mu.
+// render draws the current line; the caller holds p.mu. All derived
+// figures (percentage, rate, ETA and their clamps) come from the shared
+// estimator, so the stderr line and the SSE stream can never disagree.
 func (p *Progress) render(now time.Time) {
-	elapsed := now.Sub(p.start)
+	e := p.est.estimateAt(now)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %s", p.label, groupDigits(p.done))
-	if p.total > 0 {
-		fmt.Fprintf(&b, "/%s", groupDigits(p.total))
+	fmt.Fprintf(&b, "%s: %s", p.label, groupDigits(e.Done))
+	if e.Total > 0 {
+		fmt.Fprintf(&b, "/%s", groupDigits(e.Total))
 	}
 	b.WriteString(" events")
-	if p.total > 0 {
-		// total is the caller's estimate and may undershoot: clamp the
-		// percentage at 100 instead of reporting 250% (and instead of
-		// letting the remaining-work subtraction below underflow).
-		pct := uint64(100)
-		if p.done < p.total {
-			pct = 100 * p.done / p.total
-		}
-		fmt.Fprintf(&b, " (%d%%)", pct)
+	if e.Total > 0 {
+		fmt.Fprintf(&b, " (%d%%)", e.Pct)
 	}
-	// Rates (and the ETA derived from one) need a measurement window:
-	// over less than minRateWindow the quotient is noise — absurdly large
-	// rates with near-zero ETAs.
-	if elapsed >= minRateWindow {
-		rate := float64(p.done) / elapsed.Seconds()
-		fmt.Fprintf(&b, " %s/s", siRate(rate))
-		if p.total > 0 && rate > 0 && p.done < p.total {
-			eta := maxETA
-			if secs := float64(p.total-p.done) / rate; secs < maxETA.Seconds() {
-				eta = time.Duration(secs * float64(time.Second))
-			}
-			fmt.Fprintf(&b, " ETA %s", eta.Round(time.Second))
+	if e.HasRate {
+		fmt.Fprintf(&b, " %s/s", siRate(e.Rate))
+		if e.HasETA {
+			fmt.Fprintf(&b, " ETA %s", e.ETA.Round(time.Second))
 		}
 	}
 	if p.note != "" {

@@ -15,7 +15,8 @@ func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
 func (c *fakeClock) install(p *Progress) *Progress {
 	p.now = c.now
-	p.start = c.t
+	p.est.now = c.now
+	p.est.start = c.t
 	p.minGap = 0 // draw on every Update so assertions see each state
 	return p
 }

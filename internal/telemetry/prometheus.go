@@ -1,0 +1,140 @@
+// Prometheus text exposition: the same registry contents as WriteJSON and
+// WriteText, rendered in the Prometheus exposition format so any scraper
+// can consume the profiler's metrics over the HTTP observability plane
+// (internal/obs, endpoint /metrics).
+//
+// The mapping is deterministic and schema-stable:
+//
+//   - Metric names are mangled to the Prometheus charset: every character
+//     outside [a-zA-Z0-9_] (the registry's slashes, dots in span names, ...)
+//     becomes an underscore, and everything is prefixed "aprof_" so the
+//     series namespace is unambiguous ("guest/mem_events" becomes
+//     "aprof_guest_mem_events").
+//   - Counters and gauges render as one series each.
+//   - The 65 power-of-two histogram buckets render as a conformant
+//     cumulative histogram: one _bucket series per bucket boundary
+//     (le="0", "1", "3", ..., "18446744073709551615"), a final
+//     le="+Inf" bucket, and _sum/_count series. Every series is emitted
+//     even for a histogram with zero observations, so consecutive scrapes
+//     of one process always expose the same schema.
+//   - Families are sorted by exposition name, buckets by ascending le, so
+//     the output is byte-deterministic for a quiesced registry.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+)
+
+// promPrefix namespaces every exposed series.
+const promPrefix = "aprof_"
+
+// PrometheusName mangles a registry metric name into the exposed series
+// name: characters outside [a-zA-Z0-9_] become underscores and the result
+// is prefixed "aprof_".
+func PrometheusName(name string) string {
+	b := make([]byte, 0, len(promPrefix)+len(name))
+	b = append(b, promPrefix...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// promBucketHi returns the inclusive upper bound of histogram bucket i
+// (the le label value): bucket 0 holds v==0, bucket i holds [2^(i-1), 2^i).
+func promBucketHi(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i == histBuckets-1 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// promFamily is one exposition family: a single series for counters and
+// gauges, or the bucket/sum/count group for a histogram.
+type promFamily struct {
+	name string
+	kind string // "counter", "gauge", "histogram"
+	val  uint64 // counter value
+	gval int64  // gauge value
+	hist HistogramSnapshot
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format. Safe on a nil registry (writes nothing). The exposition is
+// schema-stable: a histogram that exists but has never observed anything
+// still emits its full bucket ladder and _sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	fams := make([]promFamily, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		fams = append(fams, promFamily{name: PrometheusName(name), kind: "counter", val: v})
+	}
+	for name, v := range s.Gauges {
+		fams = append(fams, promFamily{name: PrometheusName(name), kind: "gauge", gval: v})
+	}
+	for name, h := range s.Histograms {
+		fams = append(fams, promFamily{name: PrometheusName(name), kind: "histogram", hist: h})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		var err error
+		switch f.kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.val)
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.gval)
+		case "histogram":
+			err = writePromHistogram(w, f.name, f.hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram family: the full cumulative
+// bucket ladder (every boundary, zero or not), the +Inf bucket, and the
+// _sum and _count series.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	// The snapshot stores only non-empty buckets; walk every boundary and
+	// consume the sparse list as its buckets come up. A bucket's index is
+	// recoverable from its lower bound: bucket 0 has Lo 0, bucket i has
+	// Lo 2^(i-1).
+	cum, bi := uint64(0), 0
+	for i := 0; i < histBuckets; i++ {
+		if bi < len(h.Buckets) && bits.Len64(h.Buckets[bi].Lo) == i {
+			cum += h.Buckets[bi].Count
+			bi++
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, promBucketHi(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	return err
+}

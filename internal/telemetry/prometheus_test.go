@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promTestRegistry builds a registry with every metric kind, including a
+// histogram with zero observations (schema stability) and names that need
+// mangling.
+func promTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("guest/mem_events").Add(12345)
+	r.Counter("trace/segments.written").Add(7) // dot must mangle to _
+	r.Gauge("pipeline/workers").Set(8)
+	r.Gauge("core/shadow-peak").Set(-3) // dash must mangle to _
+	h := r.Histogram("pipeline/queue_wait_ns")
+	for _, v := range []uint64{0, 1, 2, 3, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	r.Histogram("pipeline/merge_ns") // zero observations
+	return r
+}
+
+func TestPrometheusName(t *testing.T) {
+	cases := map[string]string{
+		"guest/mem_events":       "aprof_guest_mem_events",
+		"trace/segments.written": "aprof_trace_segments_written",
+		"a-b c":                  "aprof_a_b_c",
+		"Already_OK_09":          "aprof_Already_OK_09",
+	}
+	for in, want := range cases {
+		if got := PrometheusName(in); got != want {
+			t.Errorf("PrometheusName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusGolden pins the full exposition byte-for-byte. Regenerate
+// with APROF_UPDATE_GOLDEN=1 go test -run TestPrometheusGolden ./internal/telemetry
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if os.Getenv("APROF_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusLint is the promlint-style conformance check: every series
+// name valid and prefixed, families sorted and unique, TYPE lines before
+// samples, histogram buckets cumulative and ending in +Inf == _count.
+func TestPrometheusLint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var families []string
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 4 {
+			t.Fatalf("malformed TYPE line %q", line)
+		}
+		name, kind := parts[2], parts[3]
+		if !strings.HasPrefix(name, "aprof_") {
+			t.Errorf("family %q missing aprof_ prefix", name)
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || i > 0 && c >= '0' && c <= '9'
+			if !ok {
+				t.Errorf("family %q has invalid metric-name byte %q", name, c)
+			}
+		}
+		if kind != "counter" && kind != "gauge" && kind != "histogram" {
+			t.Errorf("family %q has unknown type %q", name, kind)
+		}
+		if seen[name] {
+			t.Errorf("duplicate family %q", name)
+		}
+		seen[name] = true
+		families = append(families, name)
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i] <= families[i-1] {
+			t.Errorf("families not sorted: %q after %q", families[i], families[i-1])
+		}
+	}
+}
+
+// TestPrometheusHistogram checks cumulativity and the zero-observation
+// schema guarantee: _bucket/_sum/_count lines appear even when nothing was
+// ever observed, so scrapes are schema-stable from the first poll.
+func TestPrometheusHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, name := range []string{"aprof_pipeline_queue_wait_ns", "aprof_pipeline_merge_ns"} {
+		var cum []uint64
+		var infCount, sum, count uint64
+		var haveInf, haveSum, haveCount bool
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			switch {
+			case strings.HasPrefix(line, name+"_bucket{le=\"+Inf\"} "):
+				infCount = mustUint(t, strings.Fields(line)[1])
+				haveInf = true
+			case strings.HasPrefix(line, name+"_bucket{"):
+				cum = append(cum, mustUint(t, strings.Fields(line)[1]))
+			case strings.HasPrefix(line, name+"_sum "):
+				sum = mustUint(t, strings.Fields(line)[1])
+				haveSum = true
+			case strings.HasPrefix(line, name+"_count "):
+				count = mustUint(t, strings.Fields(line)[1])
+				haveCount = true
+			}
+		}
+		if !haveInf || !haveSum || !haveCount {
+			t.Fatalf("%s: missing +Inf/_sum/_count lines (inf=%v sum=%v count=%v)", name, haveInf, haveSum, haveCount)
+		}
+		if len(cum) != histBuckets {
+			t.Fatalf("%s: %d finite buckets, want the full ladder of %d", name, len(cum), histBuckets)
+		}
+		for i := 1; i < len(cum); i++ {
+			if cum[i] < cum[i-1] {
+				t.Fatalf("%s: bucket counts not cumulative at index %d: %d < %d", name, i, cum[i], cum[i-1])
+			}
+		}
+		if infCount != count {
+			t.Fatalf("%s: +Inf bucket %d != _count %d", name, infCount, count)
+		}
+		if cum[len(cum)-1] != count {
+			t.Fatalf("%s: last finite bucket %d != _count %d", name, cum[len(cum)-1], count)
+		}
+		if name == "aprof_pipeline_merge_ns" && (sum != 0 || count != 0) {
+			t.Fatalf("%s: zero-observation histogram has sum=%d count=%d", name, sum, count)
+		}
+	}
+}
+
+func mustUint(t *testing.T, s string) uint64 {
+	t.Helper()
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("not a uint64 sample value: %q", s)
+	}
+	return v
+}
+
+// TestPrometheusDeterminism: two scrapes of a quiesced registry are
+// byte-identical, and a nil registry writes nothing without error.
+func TestPrometheusDeterminism(t *testing.T) {
+	r := promTestRegistry()
+	var b1, b2 bytes.Buffer
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two scrapes of a quiesced registry differ")
+	}
+	var nilReg *Registry
+	var b3 bytes.Buffer
+	if err := nilReg.WritePrometheus(&b3); err != nil || b3.Len() != 0 {
+		t.Fatalf("nil registry: err=%v len=%d", err, b3.Len())
+	}
+}
+
+// TestPromBucketHi pins the bucket upper bounds to the Histogram layout:
+// bucket i counts values with bits.Len64(v)==i, so le is 2^i-1 (0 for the
+// zero bucket, full-range for the last).
+func TestPromBucketHi(t *testing.T) {
+	if promBucketHi(0) != 0 {
+		t.Fatalf("bucket 0 hi = %d, want 0", promBucketHi(0))
+	}
+	if promBucketHi(1) != 1 || promBucketHi(4) != 15 {
+		t.Fatalf("bucket his = %d,%d, want 1,15", promBucketHi(1), promBucketHi(4))
+	}
+	if promBucketHi(histBuckets-1) != ^uint64(0) {
+		t.Fatalf("last bucket hi = %d, want max uint64", promBucketHi(histBuckets-1))
+	}
+}

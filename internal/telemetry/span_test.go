@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestSpanRing: completed spans land in the bounded ring in order, carry
+// attributes, and eviction keeps the most recent spanRingCap records.
+func TestSpanRing(t *testing.T) {
+	r := NewRegistry()
+	ctx := context.Background()
+	r.StartSpanAttrs(ctx, "analyze_thread", map[string]string{"thread": "3"}).End()
+	r.StartSpan(ctx, "merge").End()
+	got := r.Spans()
+	if len(got) != 2 {
+		t.Fatalf("ring has %d spans, want 2", len(got))
+	}
+	if got[0].Name != "analyze_thread" || got[0].Attrs["thread"] != "3" {
+		t.Fatalf("first span = %+v, want analyze_thread with thread=3", got[0])
+	}
+	if got[1].Name != "merge" || got[1].Duration < 0 || got[1].Start.IsZero() {
+		t.Fatalf("second span = %+v, want merge with start/duration set", got[1])
+	}
+
+	// Overflow: the ring keeps the newest spanRingCap spans, oldest first.
+	for i := 0; i < spanRingCap+10; i++ {
+		r.StartSpan(ctx, fmt.Sprintf("s%d", i)).End()
+	}
+	got = r.Spans()
+	if len(got) != spanRingCap {
+		t.Fatalf("ring has %d spans after overflow, want %d", len(got), spanRingCap)
+	}
+	if got[len(got)-1].Name != fmt.Sprintf("s%d", spanRingCap+9) {
+		t.Fatalf("newest span = %q, want s%d", got[len(got)-1].Name, spanRingCap+9)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Start.Before(got[i-1].Start) {
+			t.Fatalf("ring not ordered oldest-first at index %d", i)
+		}
+	}
+
+	// Nil registry: no ring, no panic.
+	var nilReg *Registry
+	nilReg.StartSpan(ctx, "x").End()
+	if nilReg.Spans() != nil {
+		t.Fatal("nil registry must report no spans")
+	}
+}

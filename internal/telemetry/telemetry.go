@@ -166,6 +166,11 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+
+	// Completed-span ring (span.go): bounded at spanRingCap records.
+	spanMu   sync.Mutex
+	spans    []SpanRecord
+	spanNext int
 }
 
 // NewRegistry returns an empty registry.

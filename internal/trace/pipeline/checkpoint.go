@@ -100,13 +100,20 @@ type CheckpointOptions struct {
 	// addition to explicit Trigger requests.
 	SnapshotInterval time.Duration
 
-	// Trigger, when non-nil, requests on-demand snapshots (SIGUSR1).
+	// SnapshotSink, when non-nil, receives each live snapshot document (the
+	// same JSON bytes SnapshotPath would get) in-process — the HTTP
+	// observability plane's /profile endpoint. Called on the manager
+	// goroutine; implementations must not block.
+	SnapshotSink func(doc []byte)
+
+	// Trigger, when non-nil, requests on-demand snapshots (SIGUSR1, or an
+	// HTTP /profile request).
 	Trigger *SnapshotTrigger
 }
 
 // enabled reports whether the options ask for any checkpoint machinery.
 func (o CheckpointOptions) enabled() bool {
-	return o.Path != "" || o.SnapshotPath != ""
+	return o.Path != "" || o.SnapshotPath != "" || o.SnapshotSink != nil
 }
 
 // defaultEveryEvents is the per-worker serialization cadence when
@@ -740,7 +747,7 @@ func (m *ckptManager) submit(st *workerState) {
 func (m *ckptManager) loop() {
 	defer close(m.donec)
 	var tickc <-chan time.Time
-	if m.opts.SnapshotPath != "" && m.opts.SnapshotInterval > 0 {
+	if (m.opts.SnapshotPath != "" || m.opts.SnapshotSink != nil) && m.opts.SnapshotInterval > 0 {
 		t := time.NewTicker(m.opts.SnapshotInterval)
 		defer t.Stop()
 		tickc = t.C
@@ -817,10 +824,11 @@ type liveSnapshot struct {
 	Profile         *core.ProfileDump `json:"profile"`
 }
 
-// writeSnapshot merges the latest known states into a partial profile and
-// writes it to SnapshotPath atomically.
+// writeSnapshot merges the latest known states into a partial profile,
+// hands the JSON document to SnapshotSink, and writes it to SnapshotPath
+// atomically.
 func (m *ckptManager) writeSnapshot() {
-	if m.opts.SnapshotPath == "" {
+	if m.opts.SnapshotPath == "" && m.opts.SnapshotSink == nil {
 		return
 	}
 	merged := core.NewProfile()
@@ -840,9 +848,15 @@ func (m *ckptManager) writeSnapshot() {
 	if err != nil {
 		return
 	}
-	if _, err := trace.AtomicWriteFile(m.opts.SnapshotPath, append(data, '\n')); err != nil {
-		m.reg.Counter("checkpoint/write_errors").Inc()
-		return
+	data = append(data, '\n')
+	if m.opts.SnapshotSink != nil {
+		m.opts.SnapshotSink(data)
+	}
+	if m.opts.SnapshotPath != "" {
+		if _, err := trace.AtomicWriteFile(m.opts.SnapshotPath, data); err != nil {
+			m.reg.Counter("checkpoint/write_errors").Inc()
+			return
+		}
 	}
 	m.reg.Counter("checkpoint/snapshots_written").Inc()
 }
@@ -860,7 +874,7 @@ func (m *ckptManager) close(canceled bool) {
 	}
 	m.dirty = true
 	m.maybeWrite(true)
-	if canceled || m.opts.SnapshotInterval > 0 || m.opts.Trigger != nil {
+	if canceled || m.opts.SnapshotInterval > 0 || m.opts.Trigger != nil || m.opts.SnapshotSink != nil {
 		m.writeSnapshot()
 	}
 }

@@ -616,7 +616,8 @@ func (p *Plan) RunContext(ctx context.Context, workers int) (*core.Profile, erro
 		var prof *core.Profile
 		var err error
 		telemetry.Do(ctx, "aprof.thread", strconv.Itoa(int(tp.id)), func(ctx context.Context) {
-			span := reg.StartSpan(ctx, "pipeline/thread")
+			span := reg.StartSpanAttrs(ctx, "pipeline/thread",
+				map[string]string{"thread": strconv.Itoa(int(tp.id))})
 			start := time.Now()
 			var wc *workerCkpt
 			if mgr != nil {

@@ -141,7 +141,8 @@ func analyzeStreaming(ctx context.Context, tr *trace.Trace, opts Options) (*core
 		go func(i int, s *shard) {
 			defer wg.Done()
 			telemetry.Do(ctx, "aprof.thread", strconv.Itoa(int(s.id)), func(ctx context.Context) {
-				span := reg.StartSpan(ctx, "pipeline/thread")
+				span := reg.StartSpanAttrs(ctx, "pipeline/thread",
+					map[string]string{"thread": strconv.Itoa(int(s.id))})
 				start := time.Now()
 				profs[i], errs[i] = streamWorker(ctx, tr, s, opts.Profile, wide, onSegment)
 				busyNS.Add(int64(time.Since(start)))

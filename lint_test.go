@@ -30,6 +30,7 @@ var lintDirs = []string{
 	"internal/faultinject",
 	"internal/telemetry",
 	"internal/profflag",
+	"internal/obs",
 	"internal/invariant",
 	"internal/fit",
 	"internal/report",

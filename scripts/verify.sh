@@ -109,6 +109,20 @@ if ! APROF_PAUSE_SMOKE=1 APROF_PAUSE_BUDGET_MS=10 go test \
 fi
 grep -E "SKIP:|skipping|pause" "$pause_log" || true
 
+echo "== obs smoke: -http live scrape, byte-identical to unobserved run"
+# HTTP observability gate: a subprocess runs analyze -workload with
+# -http 127.0.0.1:0; the parent scrapes /metrics, /progress, /profile and
+# /spans.json from the live process (the profile mid-analysis, forcing an
+# on-demand snapshot capture) and requires the run's stdout to be
+# byte-identical to a run without -http.
+obs_log="${TMPDIR:-/tmp}/aprof_obs_smoke.log"
+if ! APROF_OBS_SMOKE=1 go test -run TestObsSmoke -v \
+	./internal/obs >"$obs_log" 2>&1; then
+	cat "$obs_log" >&2
+	exit 1
+fi
+grep -E "scraping|PASS" "$obs_log" || true
+
 echo "== invariant check: aprof-trace check -suite micro"
 # Full metamorphic matrix over the micro workloads: deep invariant
 # checking plus profile byte-identity under perturbed don't-care
