@@ -8,7 +8,7 @@
 //	aprof-trace dump run.trace [-limit 50]
 //	aprof-trace verify run.trace [-json]
 //	aprof-trace replay run.trace [-tieseed 7]
-//	aprof-trace analyze run.trace [-workers 4 -tieseed 7 -recover -json -max-events N -timeout 30s]
+//	aprof-trace analyze run.trace [-workers 4 -tieseed 7 -recover -json -max-events N -timeout 30s -export prof.json]
 //	aprof-trace analyze run.trace -checkpoint run.ckpt [-checkpoint-events N -checkpoint-interval 5s -resume]
 //	aprof-trace analyze run.trace -checkpoint run.ckpt -snapshot live.json [-snapshot-interval 10s]
 //	aprof-trace analyze -workload mysqld [-threads 8 -size 12]
@@ -511,6 +511,7 @@ func analyze(args []string) error {
 	snapPath := fs.String("snapshot", "", "write a live profile JSON here mid-run (on SIGUSR1 or -snapshot-interval)")
 	snapInterval := fs.Duration("snapshot-interval", 0, "write the -snapshot file periodically (0: on SIGUSR1 only)")
 	showProgress := fs.Bool("progress", stderrIsTTY(), "draw a live progress line on stderr")
+	exportPath := fs.String("export", "", "write the canonical profile JSON (Profile.Export) to `file`")
 	workload := fs.String("workload", "", "record this workload in-process and analyze it (no trace file argument)")
 	threads := fs.Int("threads", 0, "worker threads (with -workload)")
 	size := fs.Int("size", 0, "problem size (with -workload)")
@@ -674,6 +675,17 @@ func analyze(args []string) error {
 			fmt.Fprintf(os.Stderr, "analyze: interrupted; progress saved to %s — resumable with -resume\n", *ckptPath)
 		}
 		return err
+	}
+	if *exportPath != "" {
+		// The canonical export is the cross-tool equality currency: aprofd's
+		// rolling profile and check's metamorphic axes compare these bytes.
+		export, err := p.Export()
+		if err != nil {
+			return err
+		}
+		if _, err := trace.AtomicWriteFile(*exportPath, export); err != nil {
+			return fmt.Errorf("analyze: -export: %w", err)
+		}
 	}
 	if inline != nil {
 		if prof.Sampling() == aprof.SamplingBurst {

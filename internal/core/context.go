@@ -143,6 +143,101 @@ func (n *ContextNode) recordSampledOut(t guest.ThreadID, cost uint64) {
 	a.RecordSampledOut(cost)
 }
 
+// Clone deep-copies the tree: structure, routine names and per-thread
+// aggregates. The clone is detached — the profiler may keep recording into
+// the original.
+func (t *ContextTree) Clone() *ContextTree {
+	out := &ContextTree{nodes: t.nodes}
+	out.root = cloneContextNode(t.root, nil)
+	return out
+}
+
+func cloneContextNode(n, parent *ContextNode) *ContextNode {
+	cp := &ContextNode{Routine: n.Routine, parent: parent}
+	if len(n.PerThread) > 0 {
+		cp.PerThread = make(map[guest.ThreadID]*Activations, len(n.PerThread))
+		for id, a := range n.PerThread {
+			cp.PerThread[id] = a.clone()
+		}
+	}
+	if len(n.children) > 0 {
+		cp.children = make(map[guest.RoutineID]*ContextNode, len(n.children))
+		for r, c := range n.children {
+			cp.children[r] = cloneContextNode(c, cp)
+		}
+	}
+	return cp
+}
+
+// Merge folds another tree into t, matching contexts by their routine-id
+// path from the root: per-thread aggregates of coinciding contexts combine,
+// contexts only o observed are adopted (as deep copies). Both trees must
+// come from analyses over the same routine table — routine ids are
+// meaningful only relative to it — which the coinciding nodes' names
+// cross-check. o is not mutated.
+func (t *ContextTree) Merge(o *ContextTree) {
+	if o == nil {
+		return
+	}
+	t.mergeNode(t.root, o.root)
+}
+
+func (t *ContextTree) mergeNode(dst, src *ContextNode) {
+	for id, a := range src.PerThread {
+		if dst.PerThread == nil {
+			dst.PerThread = make(map[guest.ThreadID]*Activations)
+		}
+		d := dst.PerThread[id]
+		if d == nil {
+			d = newActivations(id)
+			dst.PerThread[id] = d
+		}
+		a.mergeInto(d)
+	}
+	for r, sc := range src.children {
+		if dst.children == nil {
+			dst.children = make(map[guest.RoutineID]*ContextNode)
+		}
+		dc := dst.children[r]
+		if dc == nil {
+			dc = cloneContextNode(sc, dst)
+			dst.children[r] = dc
+			t.nodes += countContexts(sc)
+			continue
+		}
+		// Coinciding id paths must carry the same interned name; a mismatch
+		// means the trees come from incompatible routine tables, which the
+		// documented contract excludes. Merge by id regardless — exactly
+		// Profile.Merge's thread-id contract.
+		t.mergeNode(dc, sc)
+	}
+}
+
+// countContexts returns the number of contexts in the subtree rooted at n,
+// including n itself.
+func countContexts(n *ContextNode) int {
+	total := 1
+	for _, c := range n.children {
+		total += countContexts(c)
+	}
+	return total
+}
+
+// clearAggregates drops every node's per-thread aggregates while keeping
+// the tree structure (live threadView.ctx pointers reference the nodes), so
+// a window cut can snapshot-and-reset context data exactly like the flat
+// profile.
+func (t *ContextTree) clearAggregates() {
+	var rec func(n *ContextNode)
+	rec = func(n *ContextNode) {
+		n.PerThread = nil
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+}
+
 // Walk visits every context with recorded activations in depth-first,
 // name-sorted order.
 func (t *ContextTree) Walk(visit func(n *ContextNode)) {

@@ -185,6 +185,11 @@ type Profiler struct {
 	// in one add, keeping the tally off the per-event path).
 	events uint64
 
+	// windows counts the CutWindow slices taken so far, and windowStart is
+	// the event tally at the last cut (see window.go).
+	windows     int
+	windowStart uint64
+
 	// nextSnap is the events threshold that triggers the next periodic
 	// live snapshot (MaxUint64 when snapshots are off); snapReq is set by
 	// RequestSnapshot — possibly from another goroutine — and honored at

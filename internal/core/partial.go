@@ -1,0 +1,95 @@
+// Incremental merge: a PartialProfile is the analysis of one slice of an
+// execution — one thread's events, or one time window of the merged event
+// stream — packaged as a unit that merges associatively with its siblings.
+// Each completed activation is recorded exactly once, at its return, so
+// slicing the execution partitions the activation multiset; merging the
+// per-slice aggregates (sums add, min/max combine, histograms union) is
+// therefore exact, not approximate, and the merged result is byte-identical
+// to a batch analysis of the whole execution (the window-split metamorphic
+// axis in internal/invariant proves this over the full workload suite).
+//
+// The parallel pipeline merges per-thread partials; the continuous daemon
+// (internal/daemon) merges per-window partials produced by an Incremental
+// analyzer — both through the same MergePartials fold.
+package core
+
+// PartialProfile is the profile of one slice of an execution, mergeable
+// with the other slices' partials in any order and grouping (the merge is
+// associative and commutative over disjoint activation multisets).
+type PartialProfile struct {
+	// FirstWindow and LastWindow are the inclusive range of window sequence
+	// numbers this partial covers; both are zero for per-thread partials of
+	// a single batch analysis.
+	FirstWindow int
+	LastWindow  int
+
+	// Events is the number of trace events consumed to produce this
+	// partial; merging sums it.
+	Events uint64
+
+	// Profile holds the slice's activation aggregates (never nil).
+	Profile *Profile
+
+	// Context holds the slice's calling-context tree, or nil unless the
+	// producing analyzer ran context-sensitively.
+	Context *ContextTree
+}
+
+// NewPartialProfile wraps an already-built profile as a mergeable partial.
+// The partial adopts p; callers must not mutate it afterwards.
+func NewPartialProfile(p *Profile) *PartialProfile {
+	if p == nil {
+		p = newProfile()
+	}
+	return &PartialProfile{Profile: p}
+}
+
+// Merge folds another partial into pp: activation tables, context trees and
+// fitted-curve inputs (the per-value histograms the curve fitter consumes)
+// combine associatively, window ranges and event counts extend. The merged
+// partial owns its aggregates; o is not mutated.
+func (pp *PartialProfile) Merge(o *PartialProfile) {
+	if o == nil {
+		return
+	}
+	if o.FirstWindow < pp.FirstWindow {
+		pp.FirstWindow = o.FirstWindow
+	}
+	if o.LastWindow > pp.LastWindow {
+		pp.LastWindow = o.LastWindow
+	}
+	pp.Events += o.Events
+	if o.Profile != nil {
+		if pp.Profile == nil {
+			pp.Profile = newProfile()
+		}
+		pp.Profile.Merge(o.Profile)
+	}
+	if o.Context != nil {
+		if pp.Context == nil {
+			pp.Context = newContextTree()
+		}
+		pp.Context.Merge(o.Context)
+	}
+}
+
+// MergePartials folds any number of partials into one, skipping nils. The
+// result is independent of grouping and, for partials over disjoint slices
+// of one execution, independent of order (Profile.Export canonicalizes map
+// iteration, and every aggregate combine is commutative). Merging zero
+// partials yields an empty one.
+func MergePartials(parts ...*PartialProfile) *PartialProfile {
+	out := NewPartialProfile(nil)
+	first := true
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if first {
+			out.FirstWindow, out.LastWindow = p.FirstWindow, p.LastWindow
+			first = false
+		}
+		out.Merge(p)
+	}
+	return out
+}

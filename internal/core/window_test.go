@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/trace"
+)
+
+// recordedRun executes a small multithreaded recursive program under the
+// trace recorder and returns the recording.
+func recordedRun(t *testing.T) *trace.Trace {
+	t.Helper()
+	rec := trace.NewRecorder()
+	m := guest.NewMachine(guest.Config{Timeslice: 3, Tools: []guest.Tool{rec}})
+	data := m.Static(32)
+	err := m.Run(func(th *guest.Thread) {
+		var kids []*guest.Thread
+		for w := 0; w < 2; w++ {
+			kids = append(kids, th.Spawn("w", func(c *guest.Thread) {
+				var rec func(d int)
+				rec = func(d int) {
+					c.Fn("rec", func() {
+						c.Load(data + guest.Addr(d))
+						c.Store(data+guest.Addr(d+8), uint64(d))
+						if d < 3 {
+							rec(d + 1)
+						}
+					})
+				}
+				c.Fn("work", func() { rec(0) })
+			}))
+		}
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace()
+}
+
+// tsCuts returns k-1 evenly spaced cut timestamps over the trace's span.
+func tsCuts(tr *trace.Trace, k int) []uint64 {
+	var lo, hi uint64
+	first := true
+	for i := range tr.Threads {
+		for _, e := range tr.Threads[i].Events {
+			if first || e.TS < lo {
+				lo = e.TS
+			}
+			if first || e.TS > hi {
+				hi = e.TS
+			}
+			first = false
+		}
+	}
+	var cuts []uint64
+	for i := 1; i < k; i++ {
+		cuts = append(cuts, lo+(hi-lo)*uint64(i)/uint64(k))
+	}
+	return cuts
+}
+
+// TestWindowCutsMergeToBatch: splitting the merged stream into time windows,
+// analyzing incrementally with a cut per window, and merging the partials
+// must reproduce the batch analysis byte for byte — flat profile and
+// context tree alike — regardless of merge order.
+func TestWindowCutsMergeToBatch(t *testing.T) {
+	tr := recordedRun(t)
+	opts := Options{ContextSensitive: true}
+
+	batch := New(opts)
+	if err := trace.Replay(tr, 1, batch); err != nil {
+		t.Fatal(err)
+	}
+	want, err := batch.Profile().Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 4
+	windows := trace.SplitByTS(tr, tsCuts(tr, k))
+	in := NewIncremental(opts)
+	var parts []*PartialProfile
+	for i, w := range windows {
+		if err := in.FeedTrace(w, 1); err != nil {
+			t.Fatal(err)
+		}
+		if i == len(windows)-1 {
+			in.Finish()
+		}
+		part := in.Cut()
+		if part.FirstWindow != i || part.LastWindow != i {
+			t.Errorf("cut %d: window range [%d,%d], want [%d,%d]", i, part.FirstWindow, part.LastWindow, i, i)
+		}
+		parts = append(parts, part)
+	}
+	if got := in.Profiler().Windows(); got != k {
+		t.Errorf("Windows() = %d, want %d", got, k)
+	}
+
+	merged := MergePartials(parts...)
+	if merged.FirstWindow != 0 || merged.LastWindow != k-1 {
+		t.Errorf("merged window range [%d,%d], want [0,%d]", merged.FirstWindow, merged.LastWindow, k-1)
+	}
+	var sum uint64
+	for _, p := range parts {
+		sum += p.Events
+	}
+	if sum == 0 || merged.Events != sum {
+		t.Errorf("merged Events = %d, want the partials' sum %d (> 0)", merged.Events, sum)
+	}
+	got, err := merged.Profile.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged window profile diverges from batch (%d vs %d bytes)", len(got), len(want))
+	}
+	if merged.Context == nil {
+		t.Fatal("merged partial lost the context tree")
+	}
+	if wantCtx, gotCtx := dumpContexts(batch.ContextTree()), dumpContexts(merged.Context); wantCtx != gotCtx {
+		t.Errorf("merged context tree diverges from batch:\n--- batch\n%s\n--- merged\n%s", wantCtx, gotCtx)
+	}
+
+	// Associativity/commutativity: folding the partials in reverse order
+	// must produce the same canonical export.
+	rev := make([]*PartialProfile, 0, len(parts))
+	for i := len(parts) - 1; i >= 0; i-- {
+		rev = append(rev, parts[i])
+	}
+	got2, err := MergePartials(rev...).Profile.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, got) {
+		t.Error("merge result depends on partial order")
+	}
+}
+
+// TestCutWindowEmptyWindow: cutting with nothing recorded yields an empty
+// partial that merges as a no-op.
+func TestCutWindowEmptyWindow(t *testing.T) {
+	tr := recordedRun(t)
+	in := NewIncremental(Options{})
+	if err := in.FeedTrace(tr, 1); err != nil {
+		t.Fatal(err)
+	}
+	in.Finish()
+	full := in.Cut()
+	empty := in.Cut()
+	if empty.Events != 0 {
+		t.Errorf("empty window recorded %d events", empty.Events)
+	}
+	if got := len(empty.Profile.Routines); got != 0 {
+		t.Errorf("empty window recorded %d routines", got)
+	}
+	want, err := full.Profile.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MergePartials(full, empty).Profile.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("merging an empty window changed the profile")
+	}
+}
+
+// TestIncrementalGuards: incompatible name tables and post-Finish feeding
+// are rejected.
+func TestIncrementalGuards(t *testing.T) {
+	in := NewIncremental(Options{})
+	if err := in.ExtendTables([]string{"a", "b"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A re-sent prefix and a clean extension are both fine.
+	if err := in.ExtendTables([]string{"a"}, nil); err != nil {
+		t.Errorf("prefix re-send rejected: %v", err)
+	}
+	if err := in.ExtendTables([]string{"a", "b", "c"}, []string{"mu"}); err != nil {
+		t.Errorf("extension rejected: %v", err)
+	}
+	if err := in.ExtendTables([]string{"a", "x"}, nil); err == nil {
+		t.Error("conflicting routine table accepted")
+	}
+	if err := in.FeedEvent(trace.Event{TS: 1, Thread: 1, Kind: trace.KindCall}); err != nil {
+		t.Fatal(err)
+	}
+	in.Finish()
+	in.Finish() // idempotent
+	if err := in.FeedEvent(trace.Event{TS: 2, Thread: 1, Kind: trace.KindReturn}); err == nil {
+		t.Error("FeedEvent accepted after Finish")
+	}
+}
+
+// TestMergePartialsNilHandling: nils are skipped and zero partials yield an
+// empty one.
+func TestMergePartialsNilHandling(t *testing.T) {
+	out := MergePartials(nil, nil)
+	if out == nil || out.Profile == nil {
+		t.Fatal("MergePartials of nils should yield an empty partial")
+	}
+	if out.Events != 0 || len(out.Profile.Routines) != 0 {
+		t.Errorf("empty merge holds data: %d events, %d routines", out.Events, len(out.Profile.Routines))
+	}
+	a := &PartialProfile{FirstWindow: 2, LastWindow: 3, Events: 5, Profile: newProfile()}
+	b := &PartialProfile{FirstWindow: 4, LastWindow: 7, Events: 6, Profile: newProfile()}
+	m := MergePartials(nil, a, nil, b)
+	if m.FirstWindow != 2 || m.LastWindow != 7 || m.Events != 11 {
+		t.Errorf("merged = [%d,%d] %d events, want [2,7] 11", m.FirstWindow, m.LastWindow, m.Events)
+	}
+}

@@ -1,0 +1,42 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// bufioReader wraps a connection for the framed protocol reader.
+func bufioReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, 1<<16) }
+
+// WireObs plugs the daemon into an observability server: /profile and
+// /progress answer per ?tenant= query through resolvers, and /tenants.json
+// lists every tenant's status. A request without a tenant parameter, or
+// naming an unknown tenant, gets 404 from the resolver-aware handlers.
+func (d *Daemon) WireObs(srv *obs.Server) {
+	if srv == nil {
+		return
+	}
+	srv.SetProfileResolver(func(r *http.Request) *obs.ProfileFeed {
+		if t := d.Lookup(r.URL.Query().Get("tenant")); t != nil {
+			return t.Feed()
+		}
+		return nil
+	})
+	srv.SetEstimatorResolver(func(r *http.Request) *telemetry.RateEstimator {
+		if t := d.Lookup(r.URL.Query().Get("tenant")); t != nil {
+			return t.Estimator()
+		}
+		return nil
+	})
+	srv.Handle("/tenants.json", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d.Tenants())
+	}))
+}

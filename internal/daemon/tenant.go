@@ -1,0 +1,470 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// connState tracks where a guest connection is in its lifecycle.
+type connState int
+
+const (
+	// connOpen: streaming; its watermark advances with complete frames.
+	connOpen connState = iota
+	// connDone: footer received; the guest promises no further events, so
+	// its effective watermark is infinite.
+	connDone
+	// connDead: the connection failed without a footer; its watermark is
+	// frozen at the last complete frame forever.
+	connDead
+)
+
+// tenantConn is the per-connection ingest state.
+type tenantConn struct {
+	id      uint64
+	process string
+	// routines and syncs accumulate the connection's interned name tables;
+	// every delta extends them and the whole table is prefix-checked against
+	// the tenant's (Incremental.ExtendTables).
+	routines []string
+	syncs    []string
+	// w is the connection's watermark: the maximum timestamp delivered by a
+	// complete frame. Frames are recorder-Flush aligned, so every event of
+	// this connection with TS <= w has been delivered.
+	w     uint64
+	state connState
+}
+
+// effectiveWatermark is the bound this connection imposes on the tenant's
+// merge frontier.
+func (c *tenantConn) effectiveWatermark() uint64 {
+	if c.state == connDone {
+		return math.MaxUint64
+	}
+	return c.w
+}
+
+// queue is one thread's not-yet-fed events, in timestamp order.
+type queue struct {
+	events []trace.Event
+	head   int
+}
+
+// Tenant is one tenant's continuous analysis: concurrent guest streams
+// merged through per-connection watermarks into an Incremental analyzer,
+// with a window cut (and a rolling-profile merge) at every frontier
+// advance. All mutation happens under mu; connection handlers call in from
+// their own goroutines.
+type Tenant struct {
+	name string
+	d    *Daemon
+
+	mu sync.Mutex
+	in *core.Incremental
+	// rolling accumulates every cut window — and, across executions and
+	// daemon restarts, every previous epoch's windows.
+	rolling *core.PartialProfile
+	feed    *obs.ProfileFeed
+	est     *telemetry.RateEstimator
+
+	conns       map[uint64]*tenantConn
+	queues      map[guest.ThreadID]*queue
+	threadOwner map[guest.ThreadID]uint64
+
+	// watermark is the tenant's merge frontier: every event with TS <=
+	// watermark has been fed to the analyzer, in global timestamp order.
+	watermark uint64
+	eventsFed uint64
+	discarded uint64
+	// windowsBase counts windows cut by previous epochs (and restored
+	// checkpoints); the current Incremental numbers its windows from zero.
+	windowsBase int
+	epoch       int
+	degraded    bool
+}
+
+// newTenant creates a tenant, restoring its checkpoint when one exists.
+func newTenant(d *Daemon, name string) *Tenant {
+	t := &Tenant{
+		name:        name,
+		d:           d,
+		feed:        obs.NewProfileFeed(),
+		est:         telemetry.NewRateEstimator(0),
+		conns:       make(map[uint64]*tenantConn),
+		queues:      make(map[guest.ThreadID]*queue),
+		threadOwner: make(map[guest.ThreadID]uint64),
+		rolling:     core.MergePartials(),
+	}
+	t.in = core.NewIncremental(d.profOpts())
+	t.est.SetPhase("idle")
+	if ck, err := loadCheckpoint(d.checkpointPath(name)); err == nil && ck != nil {
+		t.rolling = core.NewPartialProfile(ck.profile)
+		t.rolling.Events = ck.Meta.Events
+		t.rolling.LastWindow = ck.Meta.Windows - 1
+		t.windowsBase = ck.Meta.Windows
+		t.eventsFed = ck.Meta.Events
+		t.degraded = ck.Meta.Degraded
+		t.est.Update(t.eventsFed)
+		t.publishLocked()
+	}
+	return t
+}
+
+// Name returns the tenant's identifier.
+func (t *Tenant) Name() string { return t.name }
+
+// connect registers a new guest connection.
+func (t *Tenant) connect(id uint64, process string) *tenantConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &tenantConn{id: id, process: process}
+	t.conns[id] = c
+	t.est.SetPhase("ingest")
+	t.d.reg().Counter("daemon/connections").Inc()
+	return c
+}
+
+// deliver commits one decoded frame delta: tables extend, events enqueue,
+// the connection watermark advances to the frame's maximum timestamp, and
+// the tenant frontier advances as far as every connection allows. The
+// caller must deliver only whole, cleanly decoded frames — a frame that
+// failed to decode contributes nothing.
+func (t *Tenant) deliver(c *tenantConn, delta trace.StreamDelta) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c.state != connOpen {
+		return fmt.Errorf("daemon: delivery on a %s connection", stateName(c.state))
+	}
+	c.routines = append(c.routines, delta.Routines...)
+	c.syncs = append(c.syncs, delta.Syncs...)
+	if err := t.in.ExtendTables(c.routines, c.syncs); err != nil {
+		t.failLocked(c)
+		return err
+	}
+	frameMax := c.w
+	for _, seg := range delta.Segments {
+		if owner, ok := t.threadOwner[seg.Thread]; ok && owner != c.id {
+			t.failLocked(c)
+			return fmt.Errorf("daemon: thread %d streamed by two connections", seg.Thread)
+		}
+		t.threadOwner[seg.Thread] = c.id
+		q := t.queues[seg.Thread]
+		if q == nil {
+			q = &queue{}
+			t.queues[seg.Thread] = q
+		}
+		for _, e := range seg.Events {
+			if e.TS <= t.watermark {
+				// The frontier has already passed this timestamp: feeding it
+				// would corrupt the merged order. Late joiners must connect
+				// before their execution's events overlap the fed prefix.
+				t.failLocked(c)
+				return fmt.Errorf("daemon: thread %d event at TS %d arrived behind the merge frontier %d", seg.Thread, e.TS, t.watermark)
+			}
+			q.events = append(q.events, e)
+			if e.TS > frameMax {
+				frameMax = e.TS
+			}
+		}
+	}
+	c.w = frameMax
+	if delta.Footer {
+		c.state = connDone
+	}
+	t.d.reg().Counter("daemon/frames").Inc()
+	t.advanceLocked()
+	return nil
+}
+
+// fail marks a connection dead: its watermark freezes at the last complete
+// frame and the tenant's rolling profile degrades to the frontier that
+// watermark allows — never beyond, never corrupt.
+func (t *Tenant) fail(c *tenantConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failLocked(c)
+}
+
+func (t *Tenant) failLocked(c *tenantConn) {
+	if c.state != connOpen {
+		return
+	}
+	c.state = connDead
+	t.degraded = true
+	t.d.reg().Counter("daemon/connections_failed").Inc()
+	t.est.SetPhase("degraded")
+	t.advanceLocked()
+}
+
+// complete marks a connection cleanly finished (footer seen, connection
+// closed). deliver already flipped the state on the footer frame; this
+// handles the subsequent EOF and kicks the frontier.
+func (t *Tenant) complete(c *tenantConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c.state == connOpen {
+		c.state = connDone
+	}
+	t.advanceLocked()
+}
+
+// advanceLocked pushes the merge frontier to the minimum connection
+// watermark, feeding every queued event with TS <= frontier in global
+// timestamp order, then cuts a window and folds it into the rolling
+// profile. When no connection remains open the epoch ends: the analyzer
+// finishes, the final window merges, and the tenant resets for the next
+// execution.
+func (t *Tenant) advanceLocked() {
+	if len(t.conns) == 0 {
+		return
+	}
+	frontier := uint64(math.MaxUint64)
+	open := 0
+	for _, c := range t.conns {
+		if w := c.effectiveWatermark(); w < frontier {
+			frontier = w
+		}
+		if c.state == connOpen {
+			open++
+		}
+	}
+	fed := t.feedUpTo(frontier)
+	if frontier > t.watermark && frontier != math.MaxUint64 {
+		t.watermark = frontier
+	}
+	if open == 0 {
+		t.endEpochLocked()
+		return
+	}
+	if fed > 0 {
+		t.cutLocked()
+		t.publishLocked()
+		t.checkpointLocked()
+	}
+}
+
+// feedUpTo feeds every queued event with TS <= frontier in global
+// timestamp order (ties, impossible in machine-recorded streams, break by
+// thread id) and returns how many were fed.
+func (t *Tenant) feedUpTo(frontier uint64) uint64 {
+	var fed uint64
+	for {
+		var best *queue
+		var bestTh guest.ThreadID
+		for th, q := range t.queues {
+			if q.head >= len(q.events) {
+				continue
+			}
+			e := &q.events[q.head]
+			if e.TS > frontier {
+				continue
+			}
+			if best == nil || e.TS < best.events[best.head].TS ||
+				(e.TS == best.events[best.head].TS && th < bestTh) {
+				best, bestTh = q, th
+			}
+		}
+		if best == nil {
+			break
+		}
+		e := best.events[best.head]
+		best.head++
+		if err := t.in.FeedEvent(e); err != nil {
+			// Unreachable for a well-formed stream; surface loudly in
+			// telemetry rather than silently dropping.
+			t.d.reg().Counter("daemon/feed_errors").Inc()
+			break
+		}
+		fed++
+	}
+	if fed > 0 {
+		t.eventsFed += fed
+		t.d.reg().Counter("daemon/events").Add(fed)
+		t.est.Update(t.eventsFed)
+	}
+	return fed
+}
+
+// cutLocked slices the current window off the analyzer and folds it into
+// the rolling profile, renumbering the window into the tenant's global
+// window sequence.
+func (t *Tenant) cutLocked() {
+	part := t.in.Cut()
+	part.FirstWindow += t.windowsBase
+	part.LastWindow += t.windowsBase
+	t.rolling.Merge(part)
+	t.d.reg().Counter("daemon/windows").Inc()
+}
+
+// endEpochLocked finishes the current execution: remaining feedable events
+// are already fed (advance ran feedUpTo first), events beyond a dead
+// connection's frozen watermark are discarded, the analyzer finishes, and
+// the tenant resets for the next execution with the rolling profile intact.
+func (t *Tenant) endEpochLocked() {
+	for _, q := range t.queues {
+		t.discarded += uint64(len(q.events) - q.head)
+	}
+	if t.discarded > 0 {
+		t.d.reg().Counter("daemon/events_discarded").Add(t.discarded)
+	}
+	t.in.Finish()
+	t.cutLocked()
+	t.windowsBase += t.in.Profiler().Windows()
+	t.epoch++
+	t.in = core.NewIncremental(t.d.profOpts())
+	t.conns = make(map[uint64]*tenantConn)
+	t.queues = make(map[guest.ThreadID]*queue)
+	t.threadOwner = make(map[guest.ThreadID]uint64)
+	t.watermark = 0
+	if t.degraded {
+		t.est.SetPhase("degraded")
+	} else {
+		t.est.SetPhase("complete")
+	}
+	t.publishLocked()
+	t.checkpointLocked()
+}
+
+// publishLocked assembles the tenant's profile document and delivers it to
+// the feed. The document is hand-assembled so the embedded profile is the
+// rolling profile's canonical Export byte for byte — json.Marshal would
+// compact it, breaking the byte-identity contract consumers rely on.
+func (t *Tenant) publishLocked() {
+	export, err := t.rolling.Profile.Export()
+	if err != nil {
+		t.d.reg().Counter("daemon/export_errors").Inc()
+		return
+	}
+	export = bytes.TrimSuffix(export, []byte("\n"))
+	nameJSON, _ := json.Marshal(t.name)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "{\n  \"tenant\": %s,\n  \"windows\": %d,\n  \"events\": %d,\n  \"watermark\": %d,\n  \"epoch\": %d,\n  \"degraded\": %v,\n  \"discarded\": %d,\n  \"profile\": ",
+		nameJSON, t.windowsLocked(), t.eventsFed, t.watermark, t.epoch, t.degraded, t.discarded)
+	b.Write(export)
+	b.WriteString("\n}\n")
+	t.feed.Deliver(b.Bytes())
+}
+
+func (t *Tenant) windowsLocked() int {
+	return t.windowsBase + t.in.Profiler().Windows()
+}
+
+func (t *Tenant) checkpointLocked() {
+	path := t.d.checkpointPath(t.name)
+	if path == "" {
+		return
+	}
+	export, err := t.rolling.Profile.Export()
+	if err != nil {
+		return
+	}
+	meta := checkpointMeta{
+		Tenant:   t.name,
+		Windows:  t.windowsLocked(),
+		Events:   t.eventsFed,
+		Degraded: t.degraded,
+	}
+	if err := writeCheckpoint(path, meta, export); err != nil {
+		t.d.reg().Counter("daemon/checkpoint_errors").Inc()
+		t.d.logf("aprofd: checkpoint %s: %v", t.name, err)
+		return
+	}
+	t.d.reg().Counter("daemon/checkpoints").Inc()
+}
+
+// Feed returns the tenant's live profile feed (the /profile source).
+func (t *Tenant) Feed() *obs.ProfileFeed { return t.feed }
+
+// Estimator returns the tenant's progress estimator (the /progress source).
+func (t *Tenant) Estimator() *telemetry.RateEstimator { return t.est }
+
+// Status is a point-in-time summary of one tenant, served by /tenants.json.
+type Status struct {
+	// Tenant is the tenant identifier.
+	Tenant string `json:"tenant"`
+	// Windows is the number of windows cut into the rolling profile.
+	Windows int `json:"windows"`
+	// Events is the number of events fed to the analyzer so far.
+	Events uint64 `json:"events"`
+	// Watermark is the merge frontier: every event at or below it is in
+	// the rolling profile or the open window.
+	Watermark uint64 `json:"watermark"`
+	// Epoch counts completed executions (a new epoch starts when every
+	// connection of the previous one has ended).
+	Epoch int `json:"epoch"`
+	// Connections lists the current epoch's guest connections.
+	Connections []ConnStatus `json:"connections"`
+	// Degraded reports that at least one connection died mid-stream, so
+	// the rolling profile stops at that connection's last complete frame.
+	Degraded bool `json:"degraded"`
+	// Discarded is the number of queued events dropped past dead
+	// connections' frozen watermarks.
+	Discarded uint64 `json:"discarded"`
+}
+
+// ConnStatus summarizes one guest connection for /tenants.json.
+type ConnStatus struct {
+	// Process is the guest's self-reported process label.
+	Process string `json:"process"`
+	// State is "open", "done" or "dead".
+	State string `json:"state"`
+	// Watermark is the connection's delivered-frame frontier.
+	Watermark uint64 `json:"watermark"`
+}
+
+func stateName(s connState) string {
+	switch s {
+	case connDone:
+		return "done"
+	case connDead:
+		return "dead"
+	default:
+		return "open"
+	}
+}
+
+// Status captures the tenant's current state.
+func (t *Tenant) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := Status{
+		Tenant:    t.name,
+		Windows:   t.windowsLocked(),
+		Events:    t.eventsFed,
+		Watermark: t.watermark,
+		Epoch:     t.epoch,
+		Degraded:  t.degraded,
+		Discarded: t.discarded,
+	}
+	for _, c := range t.conns {
+		st.Connections = append(st.Connections, ConnStatus{
+			Process:   c.process,
+			State:     stateName(c.state),
+			Watermark: c.w,
+		})
+	}
+	sort.Slice(st.Connections, func(i, j int) bool {
+		return st.Connections[i].Process < st.Connections[j].Process
+	})
+	return st
+}
+
+// close runs the tenant's shutdown work: a final publish and checkpoint of
+// whatever the rolling profile holds.
+func (t *Tenant) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.publishLocked()
+	t.checkpointLocked()
+	t.feed.Finish()
+}

@@ -39,7 +39,12 @@ import (
 //     resumed from disk re-derives the identical profile — the checkpoint
 //     cadence and interruption point are framing, not semantics;
 //   - HTTP observability: a scraper hammering the live endpoints mid-run
-//     (including on-demand /profile captures) observes, never steers.
+//     (including on-demand /profile captures) observes, never steers;
+//   - window split: the merged event stream cut into consecutive time
+//     windows, analyzed incrementally (core.Incremental) and re-merged
+//     (core.MergePartials) — the continuous daemon's rolling fold; window
+//     boundaries are framing, since every activation is recorded exactly
+//     once, at its return.
 //
 // The scheduler timeslice is deliberately weaker: thread-induced
 // first-accesses (the trms extension, paper Fig. 2) depend on the actual
@@ -262,6 +267,22 @@ func Run(cfg Config) (*Result, error) {
 	// export must stay byte-identical (httpaxis.go).
 	strict("http-scrape", func() ([]byte, error) { return httpScrapeExport(tr, 2) })
 
+	// Window-split axis: slice the trace into k consecutive time windows,
+	// feed them to an incremental analyzer with a window cut after each, and
+	// merge the per-window partials (core.MergePartials) — the continuous
+	// daemon's rolling-merge fold. Window boundaries are framing: an
+	// activation is recorded exactly once, at its return, so the windows
+	// partition the activation multiset and the merged profile must be
+	// byte-identical to the batch analysis.
+	winCounts := []int{3}
+	if !cfg.Quick {
+		winCounts = []int{2, 5}
+	}
+	for _, k := range winCounts {
+		k := k
+		strict(fmt.Sprintf("windows=%d", k), func() ([]byte, error) { return windowSplitExport(tr, k) })
+	}
+
 	// Segment-size axis: re-record the (deterministic) workload with a
 	// different streaming segment capacity; the decoded trace must carry
 	// the same events, and its replay the same profile.
@@ -396,6 +417,48 @@ func checkpointResumeExport(tr *trace.Trace, n int, frac float64) ([]byte, error
 		return nil, fmt.Errorf("resuming: %w", err)
 	}
 	return p.Export()
+}
+
+// windowSplitExport splits the trace into k consecutive time windows at
+// evenly spaced cut timestamps (trace.SplitByTS), feeds each window in
+// sequence to an incremental analyzer with a window cut after each, and
+// returns the export of the merged per-window partials. Coinciding cuts
+// (tiny traces) simply yield empty windows, which is itself a useful case:
+// cutting an empty window must be a no-op.
+func windowSplitExport(tr *trace.Trace, k int) ([]byte, error) {
+	var minTS, maxTS uint64
+	empty := true
+	for i := range tr.Threads {
+		for _, e := range tr.Threads[i].Events {
+			if empty || e.TS < minTS {
+				minTS = e.TS
+			}
+			if empty || e.TS > maxTS {
+				maxTS = e.TS
+			}
+			empty = false
+		}
+	}
+	var cuts []uint64
+	if !empty {
+		span := maxTS - minTS
+		for i := 1; i < k; i++ {
+			cuts = append(cuts, minTS+span*uint64(i)/uint64(k))
+		}
+	}
+	windows := trace.SplitByTS(tr, cuts)
+	in := core.NewIncremental(core.Options{})
+	parts := make([]*core.PartialProfile, 0, len(windows))
+	for i, w := range windows {
+		if err := in.FeedTrace(w, 1); err != nil {
+			return nil, err
+		}
+		if i == len(windows)-1 {
+			in.Finish()
+		}
+		parts = append(parts, in.Cut())
+	}
+	return core.MergePartials(parts...).Profile.Export()
 }
 
 // rerunExport re-runs the workload with mutated parameters and a checked

@@ -12,6 +12,10 @@
 //     readings plus phase-change events, driven by the same RateEstimator
 //     the stderr progress line renders from (?once=1 emits one event and
 //     closes, for scrapers)
+//
+// Multi-tenant embedders (aprofd) install per-request resolvers
+// (SetProfileResolver, SetEstimatorResolver) so /profile and /progress
+// answer per ?tenant= query, and register extra endpoints via Handle.
 //   - /debug/pprof/*    the process's own pprof endpoints
 //   - /healthz          liveness ("ok")
 //   - /buildinfo        module path, version and Go toolchain as JSON
@@ -69,9 +73,13 @@ type Server struct {
 	closing chan struct{} // closed before Shutdown so SSE streams terminate
 	done    chan struct{} // Serve returned
 
-	mu   sync.Mutex
-	est  *telemetry.RateEstimator
-	feed *ProfileFeed
+	mux *http.ServeMux
+
+	mu          sync.Mutex
+	est         *telemetry.RateEstimator
+	feed        *ProfileFeed
+	estResolver func(*http.Request) *telemetry.RateEstimator
+	feedResolve func(*http.Request) *ProfileFeed
 }
 
 // Start binds the listen address and begins serving in a background
@@ -105,6 +113,7 @@ func Start(opts Options) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
 	go func() {
 		defer close(s.done)
@@ -145,16 +154,61 @@ func (s *Server) SetProfileFeed(f *ProfileFeed) {
 	s.mu.Unlock()
 }
 
-func (s *Server) estimator() *telemetry.RateEstimator {
+// SetEstimatorResolver installs a per-request estimator source for
+// /progress, overriding SetEstimator: multi-tenant embedders (aprofd)
+// resolve the estimator from the request (its ?tenant= parameter). A nil
+// result from the resolver 404s the request. No-op on a nil server.
+func (s *Server) SetEstimatorResolver(fn func(*http.Request) *telemetry.RateEstimator) {
+	if s == nil {
+		return
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.est
+	s.estResolver = fn
+	s.mu.Unlock()
 }
 
-func (s *Server) profileFeed() *ProfileFeed {
+// SetProfileResolver installs a per-request profile-feed source for
+// /profile, overriding SetProfileFeed, symmetrically to
+// SetEstimatorResolver. No-op on a nil server.
+func (s *Server) SetProfileResolver(fn func(*http.Request) *ProfileFeed) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.feedResolve = fn
+	s.mu.Unlock()
+}
+
+// Handle registers an additional endpoint on the server's mux — the hook
+// multi-tenant embedders use for surfaces the fixed endpoint set does not
+// cover (aprofd's /tenants.json). Panics (like http.ServeMux) on a pattern
+// already registered; safe to call while serving, but endpoints should be
+// registered before traffic is expected on them. No-op on a nil server.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil {
+		return
+	}
+	s.mux.Handle(pattern, h)
+}
+
+func (s *Server) estimator(r *http.Request) (*telemetry.RateEstimator, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.feed
+	if s.estResolver != nil {
+		est := s.estResolver(r)
+		return est, est != nil
+	}
+	return s.est, true
+}
+
+func (s *Server) profileFeed(r *http.Request) (*ProfileFeed, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.feedResolve != nil {
+		f := s.feedResolve(r)
+		return f, f != nil
+	}
+	return s.feed, true
 }
 
 // Close shuts the server down gracefully: in-flight scrapes finish, SSE
@@ -211,7 +265,11 @@ func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	f := s.profileFeed()
+	f, ok := s.profileFeed(r)
+	if !ok {
+		http.Error(w, "unknown tenant", http.StatusNotFound)
+		return
+	}
 	if f == nil {
 		http.Error(w, "no live profile source wired (is a run in flight?)", http.StatusServiceUnavailable)
 		return
@@ -282,7 +340,11 @@ func makeProgressEvent(e telemetry.RateEstimate) progressEvent {
 const progressTick = 500 * time.Millisecond
 
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
-	est := s.estimator()
+	est, ok := s.estimator(r)
+	if !ok {
+		http.Error(w, "unknown tenant", http.StatusNotFound)
+		return
+	}
 	if est == nil {
 		http.Error(w, "no progress estimator wired (is a run in flight?)", http.StatusServiceUnavailable)
 		return
@@ -324,8 +386,9 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Re-resolve the estimator: a multi-phase command swaps in a fresh
-		// one per run (record, then analyze).
-		if cur := s.estimator(); cur != nil {
+		// one per run (record, then analyze), and a multi-tenant embedder
+		// may rebind the tenant's estimator between windows.
+		if cur, ok := s.estimator(r); ok && cur != nil {
 			est = cur
 		}
 		e = est.Estimate()

@@ -6,6 +6,7 @@ package profflag
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 
@@ -27,7 +28,10 @@ func (p *Flags) ObsServer() *obs.Server {
 
 // startObs starts the observability server when -http was given. The
 // server is up (address bound, endpoints reachable) before this returns,
-// so scrapers can connect before the run starts.
+// so scrapers can connect before the run starts — and, just as
+// importantly, a bind failure (address already in use, privileged port,
+// bad syntax) surfaces here, before any work runs, rather than from a
+// background goroutine after the run is already under way.
 func (p *Flags) startObs() error {
 	if p.httpAddr == "" {
 		return nil
@@ -39,7 +43,7 @@ func (p *Flags) startObs() error {
 		Log:       os.Stderr,
 	})
 	if err != nil {
-		return err
+		return fmt.Errorf("-http %s: %w", p.httpAddr, err)
 	}
 	p.obsSrv = srv
 	return nil

@@ -1,0 +1,65 @@
+package profflag
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestHTTPAddrAlreadyBound pins the -http failure mode for an address that
+// is already in use: Start must fail immediately — before any run work —
+// with an error naming both the flag and the address, not die later from a
+// background goroutine.
+func TestHTTPAddrAlreadyBound(t *testing.T) {
+	// Occupy a port so the profiler's bind is guaranteed to collide.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	fs, p := newFlagSet()
+	if err := fs.Parse([]string{"-http", addr}); err != nil {
+		t.Fatal(err)
+	}
+	err = p.Start()
+	if err == nil {
+		p.Stop()
+		t.Fatalf("Start should fail fast when %s is already bound", addr)
+	}
+	if !strings.Contains(err.Error(), "http") {
+		t.Errorf("error %q does not name the -http flag", err)
+	}
+	if !strings.Contains(err.Error(), addr) {
+		t.Errorf("error %q does not name the colliding address %s", err, addr)
+	}
+	if p.ObsServer() != nil {
+		t.Error("ObsServer should be nil after a failed Start")
+	}
+}
+
+// TestHTTPAddrFreePort is the happy path: -http with a free port starts the
+// plane, exposes its address, and Stop shuts it down.
+func TestHTTPAddrFreePort(t *testing.T) {
+	fs, p := newFlagSet()
+	if err := fs.Parse([]string{"-http", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	srv := p.ObsServer()
+	if srv == nil {
+		t.Fatal("ObsServer should be non-nil after Start with -http")
+	}
+	if srv.Addr() == "" {
+		t.Error("server address should be resolved")
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if p.ObsServer() != nil {
+		t.Error("ObsServer should be nil after Stop")
+	}
+}

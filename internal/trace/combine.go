@@ -12,15 +12,35 @@ import "fmt"
 // downstream merging, producing garbage interleavings). The shards must also
 // agree on their routine and sync name tables — ids are meaningful only
 // relative to those tables — and must not repeat a thread id.
+//
+// Combining one shard preserves its stamp annotations (one recorder saw the
+// whole merged order, so they stay trustworthy and the fast annotated
+// analysis route stays available); combining several drops them, since the
+// cross-shard interleaving is re-derived by the merge. Combining zero
+// shards yields an empty trace at the current format version.
 func Combine(shards ...*Trace) (*Trace, error) {
 	if len(shards) == 0 {
-		return &Trace{}, nil
+		// An explicit current-version empty trace: Version 0 would be
+		// resolved as "current" by EffectiveVersion, but an explicit value
+		// keeps the combined result encodable and comparable without that
+		// special case.
+		return &Trace{Version: formatVersion}, nil
 	}
 	first := shards[0]
 	out := &Trace{
 		Version:  first.Version,
 		Routines: append([]string(nil), first.Routines...),
 		Syncs:    append([]string(nil), first.Syncs...),
+	}
+	// A single shard is already the whole execution: its recorder saw every
+	// event in merged order, so its stamp annotations are exactly as
+	// trustworthy as in the original trace, and stripping them would
+	// needlessly force analysis onto the fallback pre-scan route. Across
+	// shards the interleaving is re-derived by the merge, so per-shard
+	// annotations are not trustworthy and are dropped.
+	keepAnn := len(shards) == 1
+	if keepAnn {
+		out.Annotated = first.Annotated
 	}
 	seen := make(map[int32]bool)
 	for i, sh := range shards {
@@ -42,10 +62,9 @@ func Combine(shards ...*Trace) (*Trace, error) {
 			}
 			seen[id] = true
 			tt := sh.Threads[j]
-			// Stamp annotations describe one recorder's view of the global
-			// counter; across shards the interleaving is re-derived by the
-			// merge, so per-shard annotations are not trustworthy.
-			tt.Ann = nil
+			if !keepAnn {
+				tt.Ann = nil
+			}
 			out.Threads = append(out.Threads, tt)
 		}
 	}

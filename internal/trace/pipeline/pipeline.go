@@ -686,11 +686,15 @@ func (p *Plan) RunContext(ctx context.Context, workers int) (*core.Profile, erro
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	// The cross-thread merge is the same associative PartialProfile fold
+	// the continuous daemon uses across time windows: each worker's profile
+	// is one partial of the execution's activation multiset.
 	mergeSpan := reg.StartSpan(ctx, "pipeline/merge")
-	out := core.NewProfile()
-	for _, r := range results {
-		out.Merge(r)
+	parts := make([]*core.PartialProfile, len(results))
+	for i, r := range results {
+		parts[i] = core.NewPartialProfile(r)
 	}
+	out := core.MergePartials(parts...).Profile
 	mergeSpan.End()
 	return out, nil
 }

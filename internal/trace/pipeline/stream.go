@@ -170,10 +170,11 @@ func analyzeStreaming(ctx context.Context, tr *trace.Trace, opts Options) (*core
 		return nil, prodErr
 	}
 	mergeSpan := reg.StartSpan(ctx, "pipeline/merge")
-	out := core.NewProfile()
-	for _, p := range profs[:n] {
-		out.Merge(p)
+	parts := make([]*core.PartialProfile, n)
+	for i, p := range profs[:n] {
+		parts[i] = core.NewPartialProfile(p)
 	}
+	out := core.MergePartials(parts...).Profile
 	mergeSpan.End()
 	return out, nil
 }

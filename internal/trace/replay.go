@@ -47,6 +47,14 @@ func ReplayMerged(tr *Trace, merged []Event, tools ...guest.Tool) error {
 	return nil
 }
 
+// Dispatch delivers one already-merged event to the tools through the
+// guest.Tool callback it encodes, exactly as ReplayMerged would. It is the
+// building block for incremental replayers (core.Incremental, the
+// continuous-profiling daemon) that drive tools event by event instead of
+// from a materialized merged slice; such callers must keep their
+// guest.Env's clock at e.TS while dispatching, mirroring ReplayMerged.
+func Dispatch(e Event, tools []guest.Tool) error { return dispatch(e, tools) }
+
 func dispatch(e Event, tools []guest.Tool) error {
 	switch e.Kind {
 	case KindCall:

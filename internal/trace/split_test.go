@@ -1,0 +1,112 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSplitByTSPartitionsEvents: the windows keep the full thread list in
+// order, partition every thread's events into contiguous runs respecting
+// the cut boundaries, and concatenate back to the original trace.
+func TestSplitByTSPartitionsEvents(t *testing.T) {
+	rec := trace.NewRecorder()
+	exampleRun(t, 5, rec)
+	tr := rec.Trace()
+
+	var lo, hi uint64
+	first := true
+	for i := range tr.Threads {
+		for _, e := range tr.Threads[i].Events {
+			if first || e.TS < lo {
+				lo = e.TS
+			}
+			if first || e.TS > hi {
+				hi = e.TS
+			}
+			first = false
+		}
+	}
+	cuts := []uint64{lo + (hi-lo)/4, lo + (hi-lo)/2, lo + 3*(hi-lo)/4}
+	windows := trace.SplitByTS(tr, cuts)
+	if len(windows) != len(cuts)+1 {
+		t.Fatalf("got %d windows, want %d", len(windows), len(cuts)+1)
+	}
+
+	total := 0
+	for w, win := range windows {
+		if win.Annotated {
+			t.Errorf("window %d is marked annotated", w)
+		}
+		if len(win.Threads) != len(tr.Threads) {
+			t.Fatalf("window %d has %d threads, want full list of %d", w, len(win.Threads), len(tr.Threads))
+		}
+		for i := range win.Threads {
+			if win.Threads[i].ID != tr.Threads[i].ID {
+				t.Fatalf("window %d thread %d: id %d, want %d (order must match)", w, i, win.Threads[i].ID, tr.Threads[i].ID)
+			}
+			for _, e := range win.Threads[i].Events {
+				if w > 0 && e.TS <= cuts[w-1] {
+					t.Fatalf("window %d holds event TS %d <= lower cut %d", w, e.TS, cuts[w-1])
+				}
+				if w < len(cuts) && e.TS > cuts[w] {
+					t.Fatalf("window %d holds event TS %d > upper cut %d", w, e.TS, cuts[w])
+				}
+			}
+			total += len(win.Threads[i].Events)
+		}
+	}
+	if total != tr.NumEvents() {
+		t.Fatalf("windows hold %d events in total, want %d", total, tr.NumEvents())
+	}
+
+	// Per-thread concatenation across windows must reproduce the original
+	// event sequence exactly.
+	for i := range tr.Threads {
+		var cat []trace.Event
+		for _, win := range windows {
+			cat = append(cat, win.Threads[i].Events...)
+		}
+		if len(cat) != len(tr.Threads[i].Events) {
+			t.Fatalf("thread %d: concatenated %d events, want %d", tr.Threads[i].ID, len(cat), len(tr.Threads[i].Events))
+		}
+		for j := range cat {
+			if cat[j] != tr.Threads[i].Events[j] {
+				t.Fatalf("thread %d event %d differs after split/concat", tr.Threads[i].ID, j)
+			}
+		}
+	}
+}
+
+// TestSplitByTSDegenerateCuts: no cuts yield the whole trace as one window;
+// coinciding and out-of-range cuts yield empty windows, losing nothing.
+func TestSplitByTSDegenerateCuts(t *testing.T) {
+	rec := trace.NewRecorder()
+	exampleRun(t, 5, rec)
+	tr := rec.Trace()
+
+	one := trace.SplitByTS(tr, nil)
+	if len(one) != 1 {
+		t.Fatalf("nil cuts: %d windows, want 1", len(one))
+	}
+	if got := countEvents(one); got != tr.NumEvents() {
+		t.Fatalf("nil cuts: window holds %d events, want %d", got, tr.NumEvents())
+	}
+
+	// All cuts at zero: every event lands in the last window.
+	wins := trace.SplitByTS(tr, []uint64{0, 0, 0})
+	if got := countEvents(wins[:3]); got != 0 {
+		t.Errorf("zero cuts: %d events in the bounded windows, want 0", got)
+	}
+	if got := countEvents(wins[3:]); got != tr.NumEvents() {
+		t.Errorf("zero cuts: last window holds %d events, want %d", got, tr.NumEvents())
+	}
+}
+
+func countEvents(wins []*trace.Trace) int {
+	n := 0
+	for _, w := range wins {
+		n += w.NumEvents()
+	}
+	return n
+}

@@ -281,6 +281,23 @@ func (r *StreamRecorder) flushThread(st *streamThread) {
 	}
 }
 
+// Flush writes out every thread's buffered events as segments (with their
+// annotation blocks) immediately, without finishing the stream. After a
+// Flush the underlying writer holds a complete block image of every event
+// recorded so far — the property the continuous-profiling daemon's framing
+// relies on: a frame cut at a Flush boundary delivers the whole prefix of
+// the execution up to the last recorded timestamp. Open annotation runs
+// are split exactly (see flushThread); recording continues unaffected.
+func (r *StreamRecorder) Flush() {
+	if r.finished {
+		return
+	}
+	r.flushTables()
+	for _, st := range r.order {
+		r.flushThread(st)
+	}
+}
+
 // finish flushes every buffered segment and the footer exactly once.
 func (r *StreamRecorder) finish() {
 	if r.finished {

@@ -1,0 +1,179 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/trace"
+)
+
+// decodeAll feeds the encoded stream to a StreamDecoder in chunks of the
+// given size and reassembles a per-thread event map plus the name tables.
+func decodeAll(t *testing.T, raw []byte, chunk int) (map[guest.ThreadID][]trace.Event, []string, []string, *trace.StreamDecoder) {
+	t.Helper()
+	d := trace.NewStreamDecoder()
+	events := make(map[guest.ThreadID][]trace.Event)
+	var routines, syncs []string
+	for off := 0; off < len(raw); off += chunk {
+		end := off + chunk
+		if end > len(raw) {
+			end = len(raw)
+		}
+		delta, err := d.Feed(raw[off:end])
+		if err != nil {
+			t.Fatalf("chunk=%d: Feed at offset %d: %v", chunk, off, err)
+		}
+		routines = append(routines, delta.Routines...)
+		syncs = append(syncs, delta.Syncs...)
+		for _, seg := range delta.Segments {
+			events[seg.Thread] = append(events[seg.Thread], seg.Events...)
+		}
+	}
+	return events, routines, syncs, d
+}
+
+// TestStreamDecoderMatchesDecode: feeding the recorder's output through the
+// incremental decoder — at every chunking granularity — must reproduce
+// exactly the events and name tables the batch decoder reads, with absolute
+// timestamps restored across segment restarts.
+func TestStreamDecoderMatchesDecode(t *testing.T) {
+	var buf bytes.Buffer
+	sr := trace.NewStreamRecorder(&buf)
+	sr.SetSegmentEvents(8) // many segments: exercises per-segment TS restarts
+	exampleRun(t, 5, sr)
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	want, err := trace.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, chunk := range []int{1, 7, 1 << 20} {
+		events, routines, syncs, d := decodeAll(t, raw, chunk)
+		if !d.Ended() {
+			t.Fatalf("chunk=%d: footer not reached", chunk)
+		}
+		if d.Buffered() != 0 {
+			t.Fatalf("chunk=%d: %d undecoded bytes after footer", chunk, d.Buffered())
+		}
+		if len(routines) != len(want.Routines) {
+			t.Fatalf("chunk=%d: %d routines, want %d", chunk, len(routines), len(want.Routines))
+		}
+		for i := range routines {
+			if routines[i] != want.Routines[i] {
+				t.Fatalf("chunk=%d: routine %d = %q, want %q", chunk, i, routines[i], want.Routines[i])
+			}
+		}
+		if len(syncs) != len(want.Syncs) {
+			t.Fatalf("chunk=%d: %d syncs, want %d", chunk, len(syncs), len(want.Syncs))
+		}
+		for i := range want.Threads {
+			tt := &want.Threads[i]
+			got := events[tt.ID]
+			if len(got) != len(tt.Events) {
+				t.Fatalf("chunk=%d thread %d: %d events, want %d", chunk, tt.ID, len(got), len(tt.Events))
+			}
+			for j := range got {
+				if got[j] != tt.Events[j] {
+					t.Fatalf("chunk=%d thread %d event %d = %+v, want %+v", chunk, tt.ID, j, got[j], tt.Events[j])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamDecoderPermanentErrors: corruption anywhere — magic, version,
+// block body, post-footer garbage — is a permanent, sticky error.
+func TestStreamDecoderPermanentErrors(t *testing.T) {
+	var buf bytes.Buffer
+	sr := trace.NewStreamRecorder(&buf)
+	exampleRun(t, 5, sr)
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[0] ^= 0xff
+		d := trace.NewStreamDecoder()
+		if _, err := d.Feed(bad); err == nil {
+			t.Fatal("corrupt magic accepted")
+		}
+	})
+
+	t.Run("bad-version", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[8] = 99
+		d := trace.NewStreamDecoder()
+		_, err := d.Feed(bad)
+		var ve *trace.VersionError
+		if !errors.As(err, &ve) || ve.Got != 99 {
+			t.Fatalf("Feed error = %v, want *trace.VersionError{Got:99}", err)
+		}
+	})
+
+	t.Run("corrupt-body-sticky", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[len(bad)/2] ^= 0xff // somewhere inside a block: checksum must catch it
+		d := trace.NewStreamDecoder()
+		_, err := d.Feed(bad)
+		if err == nil {
+			t.Fatal("mid-stream corruption accepted")
+		}
+		if _, err2 := d.Feed(nil); err2 == nil {
+			t.Fatal("error not sticky")
+		}
+		if d.Err() == nil {
+			t.Fatal("Err() should report the permanent error")
+		}
+	})
+
+	t.Run("post-footer-bytes", func(t *testing.T) {
+		d := trace.NewStreamDecoder()
+		if _, err := d.Feed(raw); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Ended() {
+			t.Fatal("footer not reached")
+		}
+		if _, err := d.Feed([]byte{0}); err == nil {
+			t.Fatal("bytes after the footer accepted")
+		}
+	})
+}
+
+// TestStreamDecoderPartialBlockWaits: a partially delivered block produces
+// no delta and no error — the decoder waits for the rest.
+func TestStreamDecoderPartialBlockWaits(t *testing.T) {
+	var buf bytes.Buffer
+	sr := trace.NewStreamRecorder(&buf)
+	exampleRun(t, 5, sr)
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	d := trace.NewStreamDecoder()
+	half := len(raw) / 2
+	if _, err := d.Feed(raw[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if d.Ended() {
+		t.Fatal("half the stream should not contain the footer")
+	}
+	delta, err := d.Feed(raw[half:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Footer || !d.Ended() {
+		t.Fatal("second half should complete the stream")
+	}
+	if d.Buffered() != 0 {
+		t.Fatalf("%d bytes left undecoded", d.Buffered())
+	}
+}

@@ -31,6 +31,7 @@ var lintDirs = []string{
 	"internal/telemetry",
 	"internal/profflag",
 	"internal/obs",
+	"internal/daemon",
 	"internal/invariant",
 	"internal/fit",
 	"internal/report",

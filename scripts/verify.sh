@@ -123,6 +123,19 @@ if ! APROF_OBS_SMOKE=1 go test -run TestObsSmoke -v \
 fi
 grep -E "scraping|PASS" "$obs_log" || true
 
+echo "== daemon smoke: aprofd two-guest stream, byte-identical to one-shot analyze"
+# Continuous-profiling gate: a real aprofd process ingests one recorded
+# mysqld execution as two concurrent guest connections; the rolling
+# profile scraped from /profile?tenant= must be byte-identical to a
+# one-shot `aprof-trace analyze -export` of the combined trace.
+daemon_log="${TMPDIR:-/tmp}/aprof_daemon_smoke.log"
+if ! APROF_DAEMON_SMOKE=1 go test -run TestDaemonSmoke -v \
+	./internal/daemon >"$daemon_log" 2>&1; then
+	cat "$daemon_log" >&2
+	exit 1
+fi
+grep -E "byte-identical|PASS" "$daemon_log" || true
+
 echo "== invariant check: aprof-trace check -suite micro"
 # Full metamorphic matrix over the micro workloads: deep invariant
 # checking plus profile byte-identity under perturbed don't-care
